@@ -1,0 +1,36 @@
+"""E1 — Figure 1(a) / Example 1: single-piece system, threshold Us/(1 − µ/γ).
+
+Regenerates the Example-1 stability boundary: a sweep of the arrival rate
+``λ_0`` across the theoretical threshold, with the Theorem-1 verdict and the
+simulated verdict side by side.
+"""
+
+import pytest
+
+from repro.experiments.example1 import run_example1
+from repro.markov.classify import TrajectoryVerdict
+
+from conftest import print_report, run_once
+
+
+def test_example1_stability_boundary(benchmark, capsys):
+    result = run_once(
+        benchmark,
+        run_example1,
+        seed_rate=2.0,
+        peer_rate=1.0,
+        seed_departure_rate=2.0,
+        relative_rates=(0.5, 0.8, 1.5, 2.0),
+        horizon=250.0,
+        replications=2,
+        seed=11,
+        max_population=2500,
+    )
+    print_report(capsys, "E1  Example 1 (K=1): lambda_0 sweep", result.report())
+    # Paper prediction: threshold = Us / (1 - mu/gamma) = 2 / 0.5 = 4.
+    assert result.threshold == pytest.approx(4.0)
+    trials = result.sweep.trials
+    # The extreme points must agree with Theorem 1.
+    assert trials[0].empirical_verdict is not TrajectoryVerdict.UNSTABLE  # 0.5x
+    assert trials[-1].empirical_verdict is TrajectoryVerdict.UNSTABLE  # 2.0x
+    assert result.sweep.agreement_fraction() >= 0.5

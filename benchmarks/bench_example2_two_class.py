@@ -1,0 +1,32 @@
+"""E2 — Figure 1(b) / Example 2: two arrival classes, boundary λ12 = 2 λ34."""
+
+import pytest
+
+from repro.experiments.example2 import run_example2
+from repro.markov.classify import TrajectoryVerdict
+
+from conftest import print_report, run_once
+
+
+def test_example2_stability_boundary(benchmark, capsys):
+    result = run_once(
+        benchmark,
+        run_example2,
+        lambda_34=2.0,
+        lambda_12_values=(0.5, 2.0, 3.0, 7.0),
+        horizon=250.0,
+        replications=2,
+        seed=22,
+        max_population=2500,
+    )
+    print_report(capsys, "E2  Example 2 (K=4): lambda_12 sweep at lambda_34 = 2", result.report())
+    # Paper prediction: stable iff lambda_12 in (lambda_34/2, 2*lambda_34) = (1, 4).
+    assert result.stable_interval == (1.0, 4.0)
+    trials = result.sweep.trials
+    # lambda_12 = 0.5 (below the lower boundary) and 7.0 (above the upper one)
+    # are unstable; 2.0 (the symmetric point) is stable.
+    assert trials[0].theory.is_unstable
+    assert trials[1].theory.is_stable
+    assert trials[1].empirical_verdict is not TrajectoryVerdict.UNSTABLE
+    assert trials[3].empirical_verdict is TrajectoryVerdict.UNSTABLE
+    assert result.sweep.agreement_fraction() >= 0.5

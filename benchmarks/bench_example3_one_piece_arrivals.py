@@ -1,0 +1,36 @@
+"""E3 — Figure 1(c) / Example 3: one-piece arrivals, K = 3, dwelling seeds."""
+
+import pytest
+
+from repro.experiments.example3 import run_example3
+from repro.markov.classify import TrajectoryVerdict
+
+from conftest import print_report, run_once
+
+
+def test_example3_stability_region(benchmark, capsys):
+    result = run_once(
+        benchmark,
+        run_example3,
+        peer_rate=1.0,
+        seed_departure_rate=2.0,
+        mixes=((1.0, 1.0, 1.0), (1.5, 1.2, 1.0), (4.0, 4.0, 0.5), (6.0, 1.0, 0.2)),
+        horizon=250.0,
+        replications=2,
+        seed=33,
+        max_population=2500,
+    )
+    print_report(capsys, "E3  Example 3 (K=3): arrival-mix sweep", result.report())
+    trials = result.sweep.trials
+    # Paper prediction: symmetric mixes are stable, strongly skewed ones are not
+    # (lambda_i + lambda_j vs lambda_k (2 + mu/gamma)/(1 - mu/gamma) = 5 lambda_k).
+    assert trials[0].theory.is_stable
+    assert trials[2].theory.is_unstable and trials[3].theory.is_unstable
+    assert trials[0].empirical_verdict is not TrajectoryVerdict.UNSTABLE
+    assert trials[2].empirical_verdict is TrajectoryVerdict.UNSTABLE
+    assert result.sweep.agreement_fraction() >= 0.5
+    # The closed-form inequality table matches the amplification factor 5.
+    for _label, rows in result.inequality_tables[:1]:
+        for _name, lhs, rhs in rows:
+            assert rhs == pytest.approx(5.0)
+            assert lhs == pytest.approx(2.0)

@@ -1,0 +1,42 @@
+"""E4 — Figure 2: the missing piece syndrome / one-club growth rate.
+
+Starting from a pure one-club state, the one club grows at rate ``Δ_{F−{1}}``
+in the transient regime and drains in the stable regime.
+"""
+
+import pytest
+
+from repro.experiments.one_club import run_one_club_experiment
+
+from conftest import print_report, run_once
+
+
+def test_one_club_growth_matches_delta(benchmark, capsys):
+    result = run_once(
+        benchmark,
+        run_one_club_experiment,
+        num_pieces=3,
+        peer_rate=1.0,
+        seed_departure_rate=2.0,
+        unstable_arrival=3.0,
+        unstable_seed_rate=0.5,
+        stable_arrival=0.6,
+        stable_seed_rate=0.5,
+        initial_club_size=60,
+        horizon=120.0,
+        replications=2,
+        seed=44,
+        max_population=3000,
+    )
+    print_report(capsys, "E4  Figure 2: one-club dynamics", result.report())
+    unstable, stable = result.runs
+    # Paper prediction: club growth rate = Delta_{F-{1}} = lambda - Us/(1-mu/gamma) = +2.
+    assert unstable.predicted_growth == pytest.approx(2.0)
+    assert unstable.measured_growth == pytest.approx(2.0, rel=0.5)
+    assert unstable.final_one_club > 60
+    # Stable regime: the club drains and the system escapes the syndrome.
+    assert stable.predicted_growth < 0
+    assert stable.final_one_club < 30
+    # The one-club fraction stays near one while trapped (transient regime).
+    trapped_fractions = [frac for _t, frac in unstable.one_club_fraction_trajectory[5:]]
+    assert min(trapped_fractions) > 0.7

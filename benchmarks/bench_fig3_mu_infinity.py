@@ -1,0 +1,36 @@
+"""E5 — Figure 3: the µ = ∞ watched process (borderline, null recurrent)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.mu_infinity_exp import run_mu_infinity_experiment
+from repro.limits.mu_infinity import MuInfinityChain
+
+from conftest import print_report, run_once
+
+
+def test_mu_infinity_null_recurrence(benchmark, capsys):
+    result = run_once(
+        benchmark,
+        run_mu_infinity_experiment,
+        num_pieces=3,
+        arrival_rate_per_piece=1.0,
+        block_sizes=(50, 200, 800),
+        seed=55,
+    )
+    print_report(capsys, "E5  Figure 3: mu = infinity watched process", result.report())
+    # Paper prediction: the top layer is a zero-drift random walk.
+    assert result.top_layer_drift == pytest.approx(0.0)
+    # Null recurrence: excursion peaks are heavy-tailed — the largest peak over
+    # 800 excursions dwarfs the typical one.
+    assert result.running_max_peaks[-1] > 10 * max(result.running_mean_peaks[0], 1.0)
+
+    # The enumerated outcome distribution of a top-layer state is a proper
+    # distribution with zero mean population change (up to boundary effects).
+    chain = MuInfinityChain(num_pieces=3, arrival_rate_per_piece=1.0)
+    population = 50
+    transitions = chain.transitions((population, 2))
+    total_rate = sum(rate for rate, _ in transitions)
+    assert total_rate == pytest.approx(chain.total_arrival_rate)
+    mean_change = sum(rate * (target[0] - population) for rate, target in transitions)
+    assert mean_change == pytest.approx(0.0, abs=1e-6)

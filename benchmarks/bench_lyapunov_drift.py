@@ -1,0 +1,27 @@
+"""E9 — Section VII machinery: Foster–Lyapunov drift of W on heavy-load states."""
+
+import pytest
+
+from repro.experiments.lyapunov_exp import run_lyapunov_experiment
+
+from conftest import print_report, run_once
+
+
+def test_lyapunov_drift_on_heavy_load_states(benchmark, capsys):
+    result = run_once(
+        benchmark,
+        run_lyapunov_experiment,
+        populations=(200, 500),
+        states_per_population=10,
+        seed=99,
+    )
+    print_report(capsys, "E9  Lyapunov drift of W on heavy-load states", result.report())
+    stable_rows = [row for row in result.rows if row.label == "stable"]
+    unstable_rows = [row for row in result.rows if row.label == "unstable"]
+    # Inside the stability region the drift on one-club states is negative and
+    # the bulk of heavy-load states have negative drift at large populations.
+    for row in stable_rows:
+        assert row.one_club_drift_per_peer < 0
+    assert stable_rows[-1].fraction_negative >= 0.8
+    # Outside the region the one-club drift is positive (the club grows).
+    assert any(row.one_club_drift_per_peer > 0 for row in unstable_rows)

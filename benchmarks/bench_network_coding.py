@@ -1,0 +1,41 @@
+"""E6 — Theorem 15: network coding with gifted arrivals.
+
+Reproduces the paper's worked example numbers (q = 64, K = 200: thresholds
+~1.014/K and ~1.032/K on the gifted fraction) and simulates a small coded
+instance on both sides of its threshold, next to the uncoded system which is
+transient for every gifted fraction below one.
+"""
+
+import pytest
+
+from repro.experiments.coding import run_coding_experiment
+
+from conftest import print_report, run_once
+
+
+def test_network_coding_gifted_fraction(benchmark, capsys):
+    result = run_once(
+        benchmark,
+        run_coding_experiment,
+        num_pieces=8,
+        field_size=7,
+        total_rate=2.0,
+        low_fraction=0.05,
+        high_fraction=0.6,
+        uncoded_fraction=0.6,
+        horizon=200.0,
+        seed=66,
+        max_population=2500,
+    )
+    print_report(capsys, "E6  Theorem 15: network coding", result.report())
+    # Paper numbers for q=64, K=200 (quoted as 1.014/K and 1.032/K).
+    assert result.paper_numbers["transient_below_times_K"] == pytest.approx(1.016, abs=0.01)
+    assert result.paper_numbers["recurrent_above_times_K"] == pytest.approx(1.032, abs=0.01)
+    coded_low, coded_high, uncoded = result.rows
+    # Above the threshold the coded swarm stays small; the uncoded swarm with
+    # the same gifted fraction cannot recover from a one-club heavy load;
+    # below the threshold the coded swarm grows too.
+    assert coded_high.final_population < 0.3 * uncoded.final_population
+    assert coded_low.final_population > 3 * coded_high.final_population
+    assert uncoded.verdict == "unstable"
+    assert uncoded.normalized_slope > 0.2

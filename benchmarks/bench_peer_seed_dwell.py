@@ -1,0 +1,38 @@
+"""E8 — the headline corollary: a dwell time of one piece upload stabilises the system."""
+
+import math
+
+import pytest
+
+from repro.experiments.dwell_time import run_dwell_time_experiment
+from repro.markov.classify import TrajectoryVerdict
+
+from conftest import print_report, run_once
+
+
+def test_peer_seed_dwell_sweep(benchmark, capsys):
+    result = run_once(
+        benchmark,
+        run_dwell_time_experiment,
+        arrival_rate=2.0,
+        seed_rate=0.2,
+        num_pieces=3,
+        peer_rate=1.0,
+        gamma_values=(0.8, 1.05, 2.0, math.inf),
+        horizon=280.0,
+        replications=2,
+        seed=88,
+        max_population=2500,
+    )
+    print_report(capsys, "E8  Peer-seed dwell time sweep", result.report())
+    # Paper prediction: stability for gamma <= gamma* with gamma* >= mu, i.e.
+    # a mean dwell of at most one piece-upload time (1/mu) always suffices.
+    assert result.minimum_dwell <= 1.0 / result.peer_rate + 1e-9
+    assert result.critical_gamma == pytest.approx(2.0 / 1.8, rel=1e-6)
+    trials = result.sweep.trials
+    # gamma = 0.8 and 1.05 are inside the stable region; 2.0 and inf outside.
+    assert trials[0].theory.is_stable and trials[1].theory.is_stable
+    assert trials[2].theory.is_unstable and trials[3].theory.is_unstable
+    assert trials[0].empirical_verdict is not TrajectoryVerdict.UNSTABLE
+    assert trials[3].empirical_verdict is TrajectoryVerdict.UNSTABLE
+    assert result.sweep.agreement_fraction() >= 0.5

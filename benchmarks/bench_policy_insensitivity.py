@@ -1,0 +1,32 @@
+"""E7 — Theorem 14: the stability region does not depend on the piece-selection policy."""
+
+import pytest
+
+from repro.experiments.policy import run_policy_experiment
+
+from conftest import print_report, run_once
+
+
+def test_policy_insensitivity(benchmark, capsys):
+    result = run_once(
+        benchmark,
+        run_policy_experiment,
+        num_pieces=3,
+        seed_rate=1.2,
+        peer_rate=1.0,
+        stable_arrival=0.7,
+        unstable_arrival=2.8,
+        policies=("random-useful", "rarest-first", "sequential"),
+        horizon=220.0,
+        replications=2,
+        seed=77,
+        max_population=2500,
+    )
+    print_report(capsys, "E7  Theorem 14: piece-selection policy insensitivity", result.report())
+    # Paper prediction: every useful-piece policy has the same stability region.
+    assert result.all_agree()
+    stable_trial, unstable_trial = result.trials
+    assert stable_trial.theory == "stable"
+    assert unstable_trial.theory == "unstable"
+    assert set(unstable_trial.verdicts.values()) <= {"unstable", "inconclusive"}
+    assert "unstable" not in stable_trial.verdicts.values()

@@ -1,0 +1,25 @@
+"""E10 — appendix bounds: Kingman (Prop. 20) and the M/GI/∞ maximal bound (Lemma 21)."""
+
+import pytest
+
+from repro.experiments.queueing_exp import run_queueing_bounds_experiment
+
+from conftest import print_report, run_once
+
+
+def test_appendix_bounds_hold_empirically(benchmark, capsys):
+    result = run_once(
+        benchmark,
+        run_queueing_bounds_experiment,
+        horizon=200.0,
+        num_paths=200,
+        offsets=(20.0, 40.0),
+        seed=1234,
+    )
+    print_report(capsys, "E10  Appendix probability bounds", result.report())
+    # The empirical exceedance frequency never exceeds the bound (up to noise).
+    assert result.all_bounds_hold()
+    assert len(result.rows) == 4
+    # Larger offsets give smaller bounds.
+    kingman = [row for row in result.rows if "Kingman" in row.label]
+    assert kingman[1].theoretical_bound <= kingman[0].theoretical_bound

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures / worked examples (see
+the per-experiment index in DESIGN.md), prints the paper-vs-measured table to
+stdout, and records the wall-clock time of the experiment under
+pytest-benchmark.  Experiments are run exactly once per benchmark
+(``benchmark.pedantic(..., rounds=1, iterations=1)``) because a single run
+already aggregates several stochastic replications.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_report(capsys, title: str, report: str) -> None:
+    """Print an experiment report outside of pytest's capture."""
+    with capsys.disabled():
+        print()
+        print("=" * 78)
+        print(title)
+        print("=" * 78)
+        print(report)
+        print()
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)

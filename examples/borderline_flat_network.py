@@ -1,0 +1,92 @@
+"""The borderline symmetric flat network and the µ = ∞ watched process (Section VIII-D).
+
+Run with::
+
+    python examples/borderline_flat_network.py
+
+In the symmetric flat network (every arriving peer holds exactly one piece,
+all pieces equally likely, no fixed seed, peers leave on completion) Theorem 1
+is silent: the parameters sit exactly on the boundary.  The paper analyses the
+``µ → ∞`` limit watched on its slow states (Figure 3) and shows it is null
+recurrent — excursions away from the near-empty states have no finite mean
+peak.  Conjecture 17 speculates that for finite ``µ`` the system is positive
+recurrent when ``µ/λ`` is small and null recurrent when it is large.
+
+The script (i) verifies the zero drift of the top layer, (ii) shows the
+excursion peaks of the watched process growing without stabilising, and (iii)
+simulates the finite-µ swarm at a few values of ``µ/λ`` to illustrate the
+conjectured behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.parameters import SystemParameters, uniform_single_piece_rates
+from repro.core.stability import analyze
+from repro.limits.mu_infinity import MuInfinityChain
+from repro.swarm.swarm import run_swarm
+
+NUM_PIECES = 3
+
+
+def watched_process_section() -> None:
+    chain = MuInfinityChain(num_pieces=NUM_PIECES, arrival_rate_per_piece=1.0)
+    print(f"Top-layer drift of the mu = infinity watched process: {chain.top_layer_drift():g}")
+    peaks = chain.excursion_peaks(1200, seed=7)
+    rows = []
+    for count in (100, 400, 1200):
+        window = np.array(peaks[:count])
+        rows.append((count, float(window.mean()), int(window.max())))
+    print(
+        format_table(
+            headers=["excursions", "mean peak", "max peak"],
+            rows=rows,
+            title="Excursion peaks of the watched process (null recurrence: no stable mean)",
+        )
+    )
+    print()
+
+
+def finite_mu_section() -> None:
+    rows = []
+    for mu in (0.3, 1.0, 3.0):
+        params = SystemParameters(
+            num_pieces=NUM_PIECES,
+            seed_rate=0.0,
+            peer_rate=mu,
+            seed_departure_rate=float("inf"),
+            arrival_rates=uniform_single_piece_rates(NUM_PIECES, 1.0),
+        )
+        verdict = analyze(params).verdict.value
+        result = run_swarm(params, horizon=300.0, seed=11, max_population=4000)
+        metrics = result.metrics
+        rows.append(
+            (
+                f"{mu:g}",
+                verdict,
+                metrics.peak_population,
+                metrics.final_population,
+                f"{metrics.population_slope():+.3f}",
+            )
+        )
+    print(
+        format_table(
+            headers=["mu / lambda", "Theorem 1", "peak n", "final n", "growth /unit"],
+            rows=rows,
+            title=(
+                "Finite-mu symmetric flat network (Conjecture 17 territory): "
+                "Theorem 1 is silent on this boundary"
+            ),
+        )
+    )
+
+
+def main() -> None:
+    watched_process_section()
+    finite_mu_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Quickstart: define a swarm, check Theorem 1, and simulate it.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a flash-crowd style swarm (a 4-piece file, empty-handed
+arrivals, a fixed seed), asks the stability theory for its verdict and the
+critical parameter values, and then simulates the swarm on both sides of the
+boundary to show the verdicts in action.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    SystemParameters,
+    analyze,
+    critical_seed_rate,
+    minimum_mean_dwell_time,
+    run_swarm,
+)
+from repro.analysis.tables import format_table
+
+
+def describe_point(label: str, params: SystemParameters, horizon: float = 200.0):
+    """Theory verdict plus a short simulation summary for one parameter point."""
+    report = analyze(params)
+    result = run_swarm(params, horizon=horizon, seed=0, max_population=3000)
+    metrics = result.metrics
+    return (
+        label,
+        report.verdict.value,
+        f"{report.margin:+.3g}",
+        metrics.peak_population,
+        f"{metrics.population_slope():.3f}",
+    )
+
+
+def main() -> None:
+    # A 4-piece file, peers arrive empty-handed at rate lambda, the fixed seed
+    # uploads at rate Us = 2, peers leave as soon as they are done (gamma = inf).
+    stable = SystemParameters.flash_crowd(num_pieces=4, arrival_rate=1.2, seed_rate=2.0)
+    unstable = SystemParameters.flash_crowd(num_pieces=4, arrival_rate=4.0, seed_rate=2.0)
+
+    print("Parameters (stable point):")
+    print(stable.describe())
+    print()
+    print("Theorem 1 report:")
+    print(analyze(stable).describe())
+    print()
+
+    print(
+        "Minimum fixed-seed rate for these arrivals:",
+        f"{critical_seed_rate(unstable):.3g}",
+    )
+    print(
+        "Minimum mean peer-seed dwell time that would stabilise the unstable point:",
+        f"{minimum_mean_dwell_time(unstable):.3g}",
+        "(<= one piece upload time 1/mu = 1)",
+    )
+    print()
+
+    rows = [
+        describe_point("lambda = 1.2 (stable)", stable),
+        describe_point("lambda = 4.0 (unstable)", unstable),
+        describe_point(
+            "lambda = 4.0, dwell 1/gamma = 1.25",
+            unstable.with_departure_rate(0.8),
+        ),
+    ]
+    print(
+        format_table(
+            headers=["configuration", "theory", "margin", "peak n", "slope of n(t)"],
+            rows=rows,
+            title="Theory vs. a single simulation run (horizon 200)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

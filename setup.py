@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs (``pip install -e . --no-use-pep517``).
+
+The execution environment has no ``wheel`` package and no network access, so
+PEP 660 editable installs (which build a wheel) are unavailable; this shim
+lets ``setup.py develop`` handle ``pip install -e .`` instead.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

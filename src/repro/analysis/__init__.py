@@ -1,0 +1,23 @@
+"""Statistics and reporting helpers."""
+
+from .statistics import (
+    ConfidenceInterval,
+    empirical_exceedance_probability,
+    linear_slope,
+    mean_confidence_interval,
+    relative_error,
+    trailing_window,
+)
+from .tables import format_table, table_to_csv_string, write_csv
+
+__all__ = [
+    "ConfidenceInterval",
+    "empirical_exceedance_probability",
+    "format_table",
+    "linear_slope",
+    "mean_confidence_interval",
+    "relative_error",
+    "table_to_csv_string",
+    "trailing_window",
+    "write_csv",
+]

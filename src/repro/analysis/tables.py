@@ -1,0 +1,85 @@
+"""Plain-text tables and CSV output for experiment reports.
+
+The experiments produce small "paper prediction vs. measured" tables.  With no
+plotting dependency available, the harness renders aligned monospace tables to
+stdout and optionally writes CSV files next to them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(cell: Cell, float_format: str = "{:.4g}") -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render an aligned monospace table.
+
+    Columns are sized to their widest entry; a separator line follows the
+    header.  ``float_format`` controls numeric rendering.
+    """
+    rendered_rows: List[List[str]] = [
+        [_format_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    header_row = [str(h) for h in headers]
+    widths = [len(h) for h in header_row]
+    for row in rendered_rows:
+        if len(row) != len(header_row):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(header_row)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header_row, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+) -> Path:
+    """Write the table to a CSV file, creating parent directories as needed."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return target
+
+
+def table_to_csv_string(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """CSV rendering of a table as a string (used in tests)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+__all__ = ["format_table", "write_csv", "table_to_csv_string"]

@@ -1,0 +1,11 @@
+"""Finite-field linear algebra for random linear network coding.
+
+* :mod:`repro.coding.gf` — arithmetic over prime fields GF(p);
+* :mod:`repro.coding.subspace` — subspaces of GF(p)^K with RREF bases,
+  the peer "types" of the network-coded system (Section VIII-B).
+"""
+
+from .gf import PrimeField, is_prime
+from .subspace import Subspace, random_subspace, rref
+
+__all__ = ["PrimeField", "Subspace", "is_prime", "random_subspace", "rref"]

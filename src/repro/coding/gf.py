@@ -1,0 +1,108 @@
+"""Arithmetic over prime finite fields GF(p).
+
+The network-coding simulator only needs vector arithmetic over a prime field
+(the theory allows any prime power; restricting the *simulator* to primes
+keeps the arithmetic elementary while exercising exactly the same code paths).
+Vectors are numpy integer arrays reduced modulo ``p``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def is_prime(value: int) -> bool:
+    """Trial-division primality test (fields used here are tiny)."""
+    if value < 2:
+        return False
+    if value in (2, 3):
+        return True
+    if value % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+class PrimeField:
+    """The finite field GF(p) for a prime ``p``.
+
+    Provides scalar inverses and vector operations used by Gaussian
+    elimination over the field.
+    """
+
+    def __init__(self, p: int):
+        if not is_prime(p):
+            raise ValueError(f"field order must be prime, got {p}")
+        self.p = p
+        # Precompute inverses by Fermat's little theorem; p is small.
+        self._inverses = np.array(
+            [0] + [pow(a, p - 2, p) for a in range(1, p)], dtype=np.int64
+        )
+
+    def __repr__(self) -> str:
+        return f"PrimeField(p={self.p})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrimeField) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.p))
+
+    # -- scalar operations ----------------------------------------------------
+
+    def inverse(self, value: int) -> int:
+        """Multiplicative inverse of a nonzero element."""
+        value = int(value) % self.p
+        if value == 0:
+            raise ZeroDivisionError("zero has no multiplicative inverse")
+        return int(self._inverses[value])
+
+    # -- vector operations ------------------------------------------------------
+
+    def reduce(self, vector: np.ndarray) -> np.ndarray:
+        """Reduce an integer vector (or matrix) modulo ``p``."""
+        return np.mod(np.asarray(vector, dtype=np.int64), self.p)
+
+    def add(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        return self.reduce(np.asarray(left, dtype=np.int64) + np.asarray(right, dtype=np.int64))
+
+    def scale(self, vector: np.ndarray, scalar: int) -> np.ndarray:
+        return self.reduce(np.asarray(vector, dtype=np.int64) * (int(scalar) % self.p))
+
+    def dot(self, left: np.ndarray, right: np.ndarray) -> int:
+        return int(
+            np.mod(
+                np.asarray(left, dtype=np.int64) @ np.asarray(right, dtype=np.int64),
+                self.p,
+            )
+        )
+
+    def random_vector(
+        self, length: int, rng: np.random.Generator, nonzero: bool = False
+    ) -> np.ndarray:
+        """A uniformly random vector in GF(p)^length (optionally nonzero)."""
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        while True:
+            vector = rng.integers(0, self.p, size=length, dtype=np.int64)
+            if not nonzero or vector.any():
+                return vector
+
+    def random_combination(
+        self, basis: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """A uniformly random linear combination of the rows of ``basis``."""
+        basis = np.asarray(basis, dtype=np.int64)
+        if basis.ndim != 2:
+            raise ValueError("basis must be a 2-D array (rows are vectors)")
+        coefficients = rng.integers(0, self.p, size=basis.shape[0], dtype=np.int64)
+        return self.reduce(coefficients @ basis)
+
+
+__all__ = ["PrimeField", "is_prime"]

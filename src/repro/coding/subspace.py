@@ -1,0 +1,214 @@
+"""Subspaces of GF(p)^K represented by row-reduced bases.
+
+In the network-coded system the "type" of a peer is the subspace of
+``GF(q)^K`` spanned by the coding vectors of the pieces it has received
+(Section VIII-B).  A :class:`Subspace` maintains a basis in reduced row
+echelon form so that dimension, membership, containment and the usefulness of
+a new coded piece are all cheap to evaluate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .gf import PrimeField
+
+
+def rref(matrix: np.ndarray, field: PrimeField) -> np.ndarray:
+    """Reduced row echelon form over GF(p); zero rows are dropped."""
+    work = field.reduce(np.array(matrix, dtype=np.int64, copy=True))
+    if work.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    rows, cols = work.shape
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        pivot = None
+        for row in range(pivot_row, rows):
+            if work[row, col] != 0:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        if pivot != pivot_row:
+            work[[pivot_row, pivot]] = work[[pivot, pivot_row]]
+        inv = field.inverse(int(work[pivot_row, col]))
+        work[pivot_row] = field.scale(work[pivot_row], inv)
+        for row in range(rows):
+            if row != pivot_row and work[row, col] != 0:
+                factor = int(work[row, col])
+                work[row] = field.reduce(work[row] - factor * work[pivot_row])
+        pivot_row += 1
+    nonzero = [row for row in range(rows) if work[row].any()]
+    return work[nonzero] if nonzero else np.zeros((0, cols), dtype=np.int64)
+
+
+class Subspace:
+    """A subspace of GF(p)^K stored as an RREF basis (rows)."""
+
+    __slots__ = ("field", "ambient_dim", "_basis")
+
+    def __init__(
+        self,
+        field: PrimeField,
+        ambient_dim: int,
+        vectors: Optional[Iterable[Sequence[int]]] = None,
+    ):
+        if ambient_dim < 1:
+            raise ValueError("ambient_dim must be >= 1")
+        self.field = field
+        self.ambient_dim = ambient_dim
+        if vectors is None:
+            self._basis = np.zeros((0, ambient_dim), dtype=np.int64)
+        else:
+            matrix = np.array(list(vectors), dtype=np.int64)
+            if matrix.size == 0:
+                self._basis = np.zeros((0, ambient_dim), dtype=np.int64)
+            else:
+                if matrix.ndim == 1:
+                    matrix = matrix.reshape(1, -1)
+                if matrix.shape[1] != ambient_dim:
+                    raise ValueError(
+                        f"vectors have length {matrix.shape[1]}, expected {ambient_dim}"
+                    )
+                self._basis = rref(matrix, field)
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def zero(cls, field: PrimeField, ambient_dim: int) -> "Subspace":
+        return cls(field, ambient_dim)
+
+    @classmethod
+    def full(cls, field: PrimeField, ambient_dim: int) -> "Subspace":
+        return cls(field, ambient_dim, np.eye(ambient_dim, dtype=np.int64))
+
+    # -- basic queries ------------------------------------------------------------
+
+    @property
+    def basis(self) -> np.ndarray:
+        """Copy of the RREF basis (rows are basis vectors)."""
+        return self._basis.copy()
+
+    @property
+    def dimension(self) -> int:
+        return self._basis.shape[0]
+
+    @property
+    def is_full(self) -> bool:
+        return self.dimension == self.ambient_dim
+
+    @property
+    def is_zero(self) -> bool:
+        return self.dimension == 0
+
+    def contains(self, vector: Sequence[int]) -> bool:
+        """True if ``vector`` lies in the subspace."""
+        candidate = self.field.reduce(np.asarray(vector, dtype=np.int64))
+        if candidate.shape != (self.ambient_dim,):
+            raise ValueError("vector has wrong length")
+        if not candidate.any():
+            return True
+        stacked = np.vstack([self._basis, candidate]) if self.dimension else candidate.reshape(1, -1)
+        return rref(stacked, self.field).shape[0] == self.dimension
+
+    def is_useful(self, vector: Sequence[int]) -> bool:
+        """True if adding ``vector`` would increase the dimension."""
+        return not self.contains(vector)
+
+    def contains_subspace(self, other: "Subspace") -> bool:
+        """True if ``other ⊆ self``."""
+        self._check_compatible(other)
+        return all(self.contains(row) for row in other._basis)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Subspace):
+            return NotImplemented
+        return (
+            self.field == other.field
+            and self.ambient_dim == other.ambient_dim
+            and self._basis.shape == other._basis.shape
+            and bool(np.array_equal(self._basis, other._basis))
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.field.p, self.ambient_dim, self._basis.shape[0], self._basis.tobytes())
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Subspace(dim={self.dimension}, ambient={self.ambient_dim}, "
+            f"p={self.field.p})"
+        )
+
+    def _check_compatible(self, other: "Subspace") -> None:
+        if self.field != other.field or self.ambient_dim != other.ambient_dim:
+            raise ValueError("subspaces live in different ambient spaces")
+
+    # -- lattice operations --------------------------------------------------------
+
+    def add_vector(self, vector: Sequence[int]) -> "Subspace":
+        """Subspace spanned by this one and ``vector``."""
+        candidate = self.field.reduce(np.asarray(vector, dtype=np.int64)).reshape(1, -1)
+        stacked = np.vstack([self._basis, candidate]) if self.dimension else candidate
+        result = Subspace(self.field, self.ambient_dim)
+        result._basis = rref(stacked, self.field)
+        return result
+
+    def sum(self, other: "Subspace") -> "Subspace":
+        """The subspace ``self + other``."""
+        self._check_compatible(other)
+        if self.dimension == 0:
+            return other
+        if other.dimension == 0:
+            return self
+        stacked = np.vstack([self._basis, other._basis])
+        result = Subspace(self.field, self.ambient_dim)
+        result._basis = rref(stacked, self.field)
+        return result
+
+    def intersection_dimension(self, other: "Subspace") -> int:
+        """``dim(self ∩ other)`` via the dimension formula."""
+        self._check_compatible(other)
+        return self.dimension + other.dimension - self.sum(other).dimension
+
+    # -- sampling --------------------------------------------------------------------
+
+    def random_vector(self, rng: np.random.Generator) -> np.ndarray:
+        """A uniformly random vector of the subspace (zero vector possible)."""
+        if self.dimension == 0:
+            return np.zeros(self.ambient_dim, dtype=np.int64)
+        return self.field.random_combination(self._basis, rng)
+
+    def useful_probability_for(self, receiver: "Subspace") -> float:
+        """Probability a random vector of this subspace is useful to ``receiver``.
+
+        Equals ``1 − q^{dim(self ∩ receiver) − dim(self)}`` (Section VIII-B).
+        """
+        self._check_compatible(receiver)
+        if self.dimension == 0:
+            return 0.0
+        exponent = self.intersection_dimension(receiver) - self.dimension
+        return 1.0 - float(self.field.p) ** exponent
+
+
+def random_subspace(
+    field: PrimeField,
+    ambient_dim: int,
+    dimension: int,
+    rng: np.random.Generator,
+) -> Subspace:
+    """A random subspace of the requested dimension (uniform basis draws)."""
+    if not 0 <= dimension <= ambient_dim:
+        raise ValueError("dimension out of range")
+    subspace = Subspace.zero(field, ambient_dim)
+    while subspace.dimension < dimension:
+        subspace = subspace.add_vector(field.random_vector(ambient_dim, rng))
+    return subspace
+
+
+__all__ = ["Subspace", "rref", "random_subspace"]

@@ -1,0 +1,55 @@
+"""Core model and theory of the Zhu--Hajek P2P stability paper.
+
+Sub-modules:
+
+* :mod:`repro.core.types` — piece sets and the peer-type lattice;
+* :mod:`repro.core.parameters` — :class:`SystemParameters` and example
+  constructors;
+* :mod:`repro.core.state` — population state :class:`SystemState`;
+* :mod:`repro.core.transitions` — the transition rates of Eq. (1);
+* :mod:`repro.core.stability` — Theorem 1 (stability region, ``Δ_S``,
+  critical parameters);
+* :mod:`repro.core.branching` — the autonomous branching system of the
+  transience proof;
+* :mod:`repro.core.lyapunov` — the Lyapunov functions of the recurrence proof;
+* :mod:`repro.core.coding_theory` — Theorem 15 (network coding);
+* :mod:`repro.core.generator` — exact truncated-chain computations.
+"""
+
+from .parameters import SystemParameters, uniform_single_piece_rates
+from .stability import (
+    Stability,
+    StabilityReport,
+    analyze,
+    critical_departure_rate,
+    critical_seed_rate,
+    delta_s,
+    is_stable,
+    is_unstable,
+    minimum_mean_dwell_time,
+    piece_threshold,
+    stability_margin,
+)
+from .state import SystemState
+from .types import PieceSet, all_types, format_type, one_club_type
+
+__all__ = [
+    "PieceSet",
+    "SystemParameters",
+    "SystemState",
+    "Stability",
+    "StabilityReport",
+    "all_types",
+    "analyze",
+    "critical_departure_rate",
+    "critical_seed_rate",
+    "delta_s",
+    "format_type",
+    "is_stable",
+    "is_unstable",
+    "minimum_mean_dwell_time",
+    "one_club_type",
+    "piece_threshold",
+    "stability_margin",
+    "uniform_single_piece_rates",
+]

@@ -1,0 +1,264 @@
+"""Branching-process analysis of piece-one spread (Section VI).
+
+The transience proof couples the original system to an *autonomous branching
+system* (ABS) in which every holder of the rare piece — infected peers (group
+(b)), former one-club peer seeds (group (f)) and gifted peers (group (g)) —
+spawns further holders independently.  The key quantities are
+
+* ``m_b`` — one plus the mean number of descendants of a group-(b) peer,
+* ``m_f`` — one plus the mean number of descendants of a group-(f) peer,
+* ``m_g(C)`` — mean number of descendants of a gifted peer that arrived with
+  piece collection ``C``,
+
+all functions of the slack parameter ``ξ`` used in the proof.  As ``ξ → 0``
+these converge to ``K/(1−µ/γ)``, ``1/(1−µ/γ)`` and
+``(K−|C|+µ/γ)/(1−µ/γ)`` respectively, which are exactly the amplification
+factors appearing in ``Δ_S`` and in the heuristics of the three examples.
+
+Besides the closed forms, this module provides a Monte-Carlo simulator of the
+two-type branching process so that the formulas can be checked empirically and
+the (sub/super)criticality of the infection process can be observed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .parameters import SystemParameters
+from .types import PieceSet
+
+
+@dataclass(frozen=True)
+class BranchingParameters:
+    """Parameters of the autonomous branching system.
+
+    ``xi`` is the proof's slack parameter (the probability bound on contacting
+    a normal young peer); ``mu_over_gamma`` is ``µ/γ``; ``num_pieces`` is
+    ``K``.  The ABS is well defined (finite means) iff :meth:`is_subcritical`.
+    """
+
+    num_pieces: int
+    mu_over_gamma: float
+    xi: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_pieces < 1:
+            raise ValueError("num_pieces must be >= 1")
+        if not 0 <= self.xi < 1:
+            raise ValueError(f"xi must lie in [0, 1), got {self.xi}")
+        if not 0 <= self.mu_over_gamma:
+            raise ValueError("mu_over_gamma must be nonnegative")
+
+    @classmethod
+    def from_system(
+        cls, params: SystemParameters, xi: float = 0.0
+    ) -> "BranchingParameters":
+        return cls(
+            num_pieces=params.num_pieces,
+            mu_over_gamma=params.mu_over_gamma,
+            xi=xi,
+        )
+
+    def offspring_matrix(self) -> np.ndarray:
+        """Mean offspring matrix ``M`` of the two-type (b)/(f) branching process.
+
+        ``M[i, j]`` is the mean number of type-``j`` offspring of a type-``i``
+        individual, with index 0 = group (b) (infected) and 1 = group (f)
+        (former one-club seed).  This is the matrix appearing in the fixed
+        point equation ``(m_b, m_f)ᵀ = (1,1)ᵀ + M (m_b, m_f)ᵀ`` of Section VI.
+        """
+        k = self.num_pieces
+        ratio = self.mu_over_gamma
+        xi = self.xi
+        lifetime_b = (k - 1) / (1.0 - xi) + ratio
+        return np.array(
+            [
+                [xi * lifetime_b, lifetime_b],
+                [xi * ratio, ratio],
+            ]
+        )
+
+    def spectral_radius(self) -> float:
+        """Perron eigenvalue of the offspring matrix (criticality indicator)."""
+        eigenvalues = np.linalg.eigvals(self.offspring_matrix())
+        return float(np.max(np.abs(eigenvalues)))
+
+    def is_subcritical(self) -> bool:
+        """Condition (6): the total progeny of a single holder is finite."""
+        k = self.num_pieces
+        ratio = self.mu_over_gamma
+        xi = self.xi
+        return xi * ((k - 1) / (1.0 - xi) + ratio) + ratio < 1.0
+
+    def mean_descendants(self) -> Tuple[float, float]:
+        """``(m_b, m_f)``: one plus the mean total descendants of each type.
+
+        Raises ``ValueError`` when the branching process is not subcritical
+        (condition (6) fails), in which case the means are infinite.
+        """
+        if not self.is_subcritical():
+            raise ValueError(
+                "branching process is supercritical; mean progeny is infinite "
+                "(condition (6) of the paper fails)"
+            )
+        k = self.num_pieces
+        ratio = self.mu_over_gamma
+        xi = self.xi
+        lifetime_b = (k - 1) / (1.0 - xi) + ratio
+        denom = 1.0 - xi * lifetime_b - ratio
+        factor = (1.0 + xi) / denom
+        m_b = 1.0 + factor * lifetime_b
+        m_f = 1.0 + factor * ratio
+        return m_b, m_f
+
+    def mean_descendants_gifted(self, initial_pieces: int) -> float:
+        """``m_g(C)``: mean total descendants of a gifted peer with ``|C|`` pieces."""
+        if not 0 <= initial_pieces <= self.num_pieces:
+            raise ValueError("initial_pieces out of range")
+        m_b, m_f = self.mean_descendants()
+        k = self.num_pieces
+        ratio = self.mu_over_gamma
+        xi = self.xi
+        lifetime = (k - initial_pieces) / (1.0 - xi) + ratio
+        return lifetime * (xi * m_b + m_f)
+
+
+def seed_amplification(params: SystemParameters) -> float:
+    """``1/(1 − µ/γ)``: expected one-club departures caused per seed upload.
+
+    Each upload of the missing piece by the fixed seed turns a one-club peer
+    into a peer seed, which on average uploads the piece to ``µ/γ`` more
+    one-club peers before leaving, and so on (Example 1).  When ``γ ≤ µ`` the
+    branching process is (super)critical and the amplification is infinite.
+    """
+    ratio = params.mu_over_gamma
+    if ratio >= 1.0:
+        return math.inf
+    return 1.0 / (1.0 - ratio)
+
+
+def gifted_amplification(params: SystemParameters, initial_pieces: int) -> float:
+    """``(K − |C| + µ/γ)/(1 − µ/γ)``: one-club departures caused per gifted arrival.
+
+    A peer arriving with ``|C|`` pieces including the rare one uploads the rare
+    piece to about ``K − |C| + µ/γ`` one-club peers during its lifetime, each
+    of which starts a seed branching process (Section V).
+    """
+    ratio = params.mu_over_gamma
+    if ratio >= 1.0:
+        return math.inf
+    return (params.num_pieces - initial_pieces + ratio) / (1.0 - ratio)
+
+
+def one_club_drift(params: SystemParameters, missing_piece: int = 1) -> float:
+    """Net growth rate of the one club in the heavy-load regime.
+
+    This is exactly ``Δ_{F − {missing_piece}}`` expressed through the
+    branching amplification factors: arrivals of peers missing the rare piece,
+    minus the departures caused by the fixed seed and by gifted arrivals.
+    Positive drift ⇒ the one club grows linearly (transience); negative drift
+    ⇒ the system escapes the missing piece syndrome.
+    """
+    ratio = params.mu_over_gamma
+    arrivals_missing = params.arrival_rate_missing_piece(missing_piece)
+    if ratio >= 1.0:
+        # Infinite amplification: any injection of the piece empties the club.
+        return -math.inf if params.piece_can_enter(missing_piece) else arrivals_missing
+    departures = params.seed_rate * seed_amplification(params)
+    for type_c, rate in params.arrival_rates.items():
+        if missing_piece in type_c:
+            departures += rate * gifted_amplification(params, len(type_c))
+    return arrivals_missing - departures
+
+
+def abs_download_rate(params: SystemParameters, missing_piece: int = 1, xi: float = 0.0) -> float:
+    """Mean rate of piece-one downloads counted by the ABS (Corollary 3).
+
+    At ``ξ = 0`` this equals ``(U_s + Σ_{C∋k} λ_C (K − |C| + µ/γ)) / (1 − µ/γ)``,
+    the amplified injection rate of the rare piece.
+    """
+    branching = BranchingParameters.from_system(params, xi=xi)
+    m_b, m_f = branching.mean_descendants()
+    rate = params.seed_rate * (xi * m_b + m_f)
+    for type_c, lam in params.arrival_rates.items():
+        if missing_piece in type_c:
+            rate += lam * branching.mean_descendants_gifted(len(type_c))
+    return rate
+
+
+@dataclass
+class BranchingSimulationResult:
+    """Empirical summary of simulated branching-process progenies."""
+
+    mean_progeny: float
+    std_progeny: float
+    num_replications: int
+    extinction_fraction: float
+
+
+def simulate_total_progeny(
+    branching: BranchingParameters,
+    root_type: str = "f",
+    num_replications: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+    max_population: int = 100_000,
+) -> BranchingSimulationResult:
+    """Monte-Carlo estimate of the total progeny of a single root individual.
+
+    ``root_type`` is ``"b"`` (infected peer) or ``"f"`` (former one-club peer
+    seed).  The simulation counts the root plus all descendants, matching the
+    definition of ``m_b`` / ``m_f``.  Runs that exceed ``max_population``
+    individuals are treated as non-extinct (their progeny is censored at the
+    cap), which only matters in the supercritical regime.
+    """
+    if root_type not in ("b", "f"):
+        raise ValueError("root_type must be 'b' or 'f'")
+    rng = rng if rng is not None else np.random.default_rng()
+    matrix = branching.offspring_matrix()
+    totals = np.empty(num_replications)
+    exceeded = 0
+    for rep in range(num_replications):
+        # Population counts by type awaiting expansion.
+        pending = [0, 0]
+        pending[0 if root_type == "b" else 1] = 1
+        total = 1
+        alive = True
+        while alive and (pending[0] > 0 or pending[1] > 0):
+            new_pending = [0, 0]
+            for parent_type in (0, 1):
+                count = pending[parent_type]
+                if count == 0:
+                    continue
+                for child_type in (0, 1):
+                    mean = matrix[parent_type, child_type]
+                    if mean <= 0:
+                        continue
+                    children = int(rng.poisson(mean * count))
+                    new_pending[child_type] += children
+                    total += children
+            pending = new_pending
+            if total > max_population:
+                exceeded += 1
+                alive = False
+        totals[rep] = min(total, max_population)
+    return BranchingSimulationResult(
+        mean_progeny=float(np.mean(totals)),
+        std_progeny=float(np.std(totals)),
+        num_replications=num_replications,
+        extinction_fraction=float(1.0 - exceeded / num_replications),
+    )
+
+
+__all__ = [
+    "BranchingParameters",
+    "BranchingSimulationResult",
+    "seed_amplification",
+    "gifted_amplification",
+    "one_club_drift",
+    "abs_download_rate",
+    "simulate_total_progeny",
+]

@@ -1,0 +1,329 @@
+"""System parameters for the Zhu--Hajek P2P model.
+
+The model of Section III of the paper is fully described by:
+
+* ``K`` — number of pieces in the file,
+* ``us`` — contact-upload rate of the fixed seed (``U_s``),
+* ``mu`` — contact-upload rate of every peer (``µ > 0``),
+* ``gamma`` — departure rate of peer seeds (``γ``; ``math.inf`` means peers
+  depart immediately on completion),
+* ``arrival_rates`` — a mapping from peer type ``C`` to the Poisson arrival
+  rate ``λ_C`` of type-``C`` peers.
+
+:class:`SystemParameters` validates these, exposes convenient aggregates
+(``lambda_total``, per-piece injection rates, ...), and provides constructors
+for the three worked examples of Section IV.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from .types import PieceSet, all_types, format_type
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """Immutable parameter set for one P2P system instance.
+
+    Attributes
+    ----------
+    num_pieces:
+        Number of pieces ``K ≥ 1``.
+    seed_rate:
+        Upload rate ``U_s ≥ 0`` of the fixed seed.
+    peer_rate:
+        Upload rate ``µ > 0`` of each peer.
+    seed_departure_rate:
+        Peer-seed departure rate ``γ ∈ (0, ∞]``.  ``math.inf`` models peers
+        leaving immediately after completing the file.
+    arrival_rates:
+        Mapping ``C ↦ λ_C`` for the types that arrive with positive rate.
+        Types not present arrive with rate zero.  When ``γ = ∞`` the full type
+        ``F`` must not arrive (the paper assumes ``λ_F = 0`` in that case).
+    """
+
+    num_pieces: int
+    seed_rate: float
+    peer_rate: float
+    seed_departure_rate: float
+    arrival_rates: Mapping[PieceSet, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_pieces < 1:
+            raise ValueError(f"num_pieces must be >= 1, got {self.num_pieces}")
+        if self.seed_rate < 0:
+            raise ValueError(f"seed_rate must be >= 0, got {self.seed_rate}")
+        if not self.peer_rate > 0:
+            raise ValueError(f"peer_rate must be > 0, got {self.peer_rate}")
+        if not self.seed_departure_rate > 0:
+            raise ValueError(
+                "seed_departure_rate must be > 0 (use math.inf for immediate "
+                f"departure), got {self.seed_departure_rate}"
+            )
+        cleaned: Dict[PieceSet, float] = {}
+        for type_c, rate in dict(self.arrival_rates).items():
+            if not isinstance(type_c, PieceSet):
+                raise TypeError(
+                    f"arrival_rates keys must be PieceSet, got {type(type_c)!r}"
+                )
+            if type_c.num_pieces != self.num_pieces:
+                raise ValueError(
+                    f"arrival type {type_c!r} does not match K={self.num_pieces}"
+                )
+            if rate < 0:
+                raise ValueError(f"arrival rate for {type_c!r} is negative: {rate}")
+            if rate > 0:
+                cleaned[type_c] = float(rate)
+        if not cleaned:
+            raise ValueError("total arrival rate must be strictly positive")
+        full = PieceSet.full(self.num_pieces)
+        if self.immediate_departure and cleaned.get(full, 0.0) > 0:
+            raise ValueError(
+                "lambda_F must be zero when gamma is infinite "
+                "(peer seeds depart immediately)"
+            )
+        object.__setattr__(self, "arrival_rates", cleaned)
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def immediate_departure(self) -> bool:
+        """True when ``γ = ∞`` — peers leave as soon as they hold all pieces."""
+        return math.isinf(self.seed_departure_rate)
+
+    @property
+    def lambda_total(self) -> float:
+        """Total exogenous arrival rate ``λ_total = Σ_C λ_C``."""
+        return sum(self.arrival_rates.values())
+
+    @property
+    def mu_over_gamma(self) -> float:
+        """The branching ratio ``µ/γ`` (zero when ``γ = ∞``)."""
+        if self.immediate_departure:
+            return 0.0
+        return self.peer_rate / self.seed_departure_rate
+
+    @property
+    def mean_dwell_time(self) -> float:
+        """Mean peer-seed dwell time ``1/γ`` (zero when ``γ = ∞``)."""
+        if self.immediate_departure:
+            return 0.0
+        return 1.0 / self.seed_departure_rate
+
+    def arrival_rate(self, type_c: PieceSet) -> float:
+        """``λ_C`` for the given type (zero if it never arrives)."""
+        return self.arrival_rates.get(type_c, 0.0)
+
+    def arriving_types(self) -> Tuple[PieceSet, ...]:
+        """Types with strictly positive arrival rate, in canonical order."""
+        return tuple(sorted(self.arrival_rates))
+
+    def arrival_rate_with_piece(self, piece: int) -> float:
+        """``Σ_{C : piece ∈ C} λ_C`` — rate of arrivals already holding ``piece``."""
+        return sum(
+            rate for type_c, rate in self.arrival_rates.items() if piece in type_c
+        )
+
+    def arrival_rate_missing_piece(self, piece: int) -> float:
+        """``Σ_{C : piece ∉ C} λ_C`` — rate of arrivals that still need ``piece``."""
+        return self.lambda_total - self.arrival_rate_with_piece(piece)
+
+    def piece_injection_rate(self, piece: int) -> float:
+        """Rate at which *new copies* of ``piece`` can enter the system.
+
+        A new copy of piece ``k`` enters either via the fixed seed (rate
+        ``U_s``) or carried by an arriving peer whose initial collection
+        contains ``k``.  Theorem 1 uses only whether this is positive in the
+        ``γ ≤ µ`` regime, but the quantity itself is useful for reporting.
+        """
+        return self.seed_rate + self.arrival_rate_with_piece(piece)
+
+    def piece_can_enter(self, piece: int) -> bool:
+        """Whether new copies of ``piece`` can enter the system at all."""
+        return self.piece_injection_rate(piece) > 0
+
+    def all_pieces_can_enter(self) -> bool:
+        """Whether every piece can enter the system (Theorem 1, case γ ≤ µ)."""
+        return all(self.piece_can_enter(k) for k in range(1, self.num_pieces + 1))
+
+    # -- derived / modified copies ------------------------------------------
+
+    def with_seed_rate(self, seed_rate: float) -> "SystemParameters":
+        """Copy of the parameters with a different fixed-seed rate."""
+        return SystemParameters(
+            num_pieces=self.num_pieces,
+            seed_rate=seed_rate,
+            peer_rate=self.peer_rate,
+            seed_departure_rate=self.seed_departure_rate,
+            arrival_rates=dict(self.arrival_rates),
+        )
+
+    def with_departure_rate(self, gamma: float) -> "SystemParameters":
+        """Copy of the parameters with a different peer-seed departure rate."""
+        return SystemParameters(
+            num_pieces=self.num_pieces,
+            seed_rate=self.seed_rate,
+            peer_rate=self.peer_rate,
+            seed_departure_rate=gamma,
+            arrival_rates=dict(self.arrival_rates),
+        )
+
+    def with_arrival_rates(
+        self, arrival_rates: Mapping[PieceSet, float]
+    ) -> "SystemParameters":
+        """Copy of the parameters with a different arrival mix."""
+        return SystemParameters(
+            num_pieces=self.num_pieces,
+            seed_rate=self.seed_rate,
+            peer_rate=self.peer_rate,
+            seed_departure_rate=self.seed_departure_rate,
+            arrival_rates=dict(arrival_rates),
+        )
+
+    def scaled_arrivals(self, factor: float) -> "SystemParameters":
+        """Copy with every arrival rate multiplied by ``factor`` (> 0)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        return self.with_arrival_rates(
+            {c: rate * factor for c, rate in self.arrival_rates.items()}
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the parameter set."""
+        gamma = "inf" if self.immediate_departure else f"{self.seed_departure_rate:g}"
+        lines = [
+            f"K={self.num_pieces}  Us={self.seed_rate:g}  mu={self.peer_rate:g}  "
+            f"gamma={gamma}  lambda_total={self.lambda_total:g}",
+            "arrivals:",
+        ]
+        for type_c in sorted(self.arrival_rates):
+            lines.append(
+                f"  lambda_{format_type(type_c)} = {self.arrival_rates[type_c]:g}"
+            )
+        return "\n".join(lines)
+
+    # -- example constructors (Section IV of the paper) ----------------------
+
+    @classmethod
+    def single_piece(
+        cls,
+        arrival_rate: float,
+        seed_rate: float,
+        peer_rate: float = 1.0,
+        seed_departure_rate: float = 1.0,
+    ) -> "SystemParameters":
+        """Example 1 (Figure 1a): ``K = 1``, empty arrivals, peer seeds dwell."""
+        empty = PieceSet.empty(1)
+        return cls(
+            num_pieces=1,
+            seed_rate=seed_rate,
+            peer_rate=peer_rate,
+            seed_departure_rate=seed_departure_rate,
+            arrival_rates={empty: arrival_rate},
+        )
+
+    @classmethod
+    def two_class_four_pieces(
+        cls,
+        lambda_12: float,
+        lambda_34: float,
+        peer_rate: float = 1.0,
+    ) -> "SystemParameters":
+        """Example 2 (Figure 1b): ``K = 4``, arrivals of types {1,2} and {3,4}.
+
+        No fixed seed, and peers depart immediately on completion (γ = ∞).
+        The stability boundary is ``λ_12 < 2 λ_34`` and ``λ_34 < 2 λ_12``.
+        """
+        return cls(
+            num_pieces=4,
+            seed_rate=0.0,
+            peer_rate=peer_rate,
+            seed_departure_rate=math.inf,
+            arrival_rates={
+                PieceSet((1, 2), 4): lambda_12,
+                PieceSet((3, 4), 4): lambda_34,
+            },
+        )
+
+    @classmethod
+    def one_piece_arrivals(
+        cls,
+        lambda_by_piece: Iterable[float],
+        peer_rate: float = 1.0,
+        seed_departure_rate: float = 2.0,
+        seed_rate: float = 0.0,
+    ) -> "SystemParameters":
+        """Example 3 (Figure 1c): each arriving peer holds exactly one piece.
+
+        ``lambda_by_piece`` gives ``(λ_1, ..., λ_K)``.  The paper's Example 3
+        uses ``K = 3``, no fixed seed, and ``γ > µ``.
+        """
+        rates = list(lambda_by_piece)
+        num_pieces = len(rates)
+        arrival_rates = {
+            PieceSet.single(i + 1, num_pieces): rate
+            for i, rate in enumerate(rates)
+            if rate > 0
+        }
+        return cls(
+            num_pieces=num_pieces,
+            seed_rate=seed_rate,
+            peer_rate=peer_rate,
+            seed_departure_rate=seed_departure_rate,
+            arrival_rates=arrival_rates,
+        )
+
+    @classmethod
+    def flash_crowd(
+        cls,
+        num_pieces: int,
+        arrival_rate: float,
+        seed_rate: float,
+        peer_rate: float = 1.0,
+        seed_departure_rate: float = math.inf,
+    ) -> "SystemParameters":
+        """The basic Hajek--Zhu [9,10] setting: all peers arrive empty-handed."""
+        empty = PieceSet.empty(num_pieces)
+        return cls(
+            num_pieces=num_pieces,
+            seed_rate=seed_rate,
+            peer_rate=peer_rate,
+            seed_departure_rate=seed_departure_rate,
+            arrival_rates={empty: arrival_rate},
+        )
+
+
+def uniform_single_piece_rates(num_pieces: int, rate: float) -> Dict[PieceSet, float]:
+    """Arrival mix where each single-piece type arrives at the same ``rate``.
+
+    This is the symmetric flat-network mix of Conjecture 17 and Section VIII-D.
+    """
+    return {PieceSet.single(k, num_pieces): rate for k in range(1, num_pieces + 1)}
+
+
+def validate_policy_support(params: SystemParameters) -> None:
+    """Sanity checks that the parameter set describes a sensible swarm.
+
+    Raises ``ValueError`` when no piece can ever enter the system — in that
+    case the process is trivially transient (Theorem 1(a), second bullet) and
+    most experiments are meaningless.
+    """
+    blocked = [
+        k for k in range(1, params.num_pieces + 1) if not params.piece_can_enter(k)
+    ]
+    if blocked:
+        raise ValueError(
+            "no copies of piece(s) "
+            + ", ".join(str(k) for k in blocked)
+            + " can ever enter the system; the process is trivially transient"
+        )
+
+
+__all__ = [
+    "SystemParameters",
+    "uniform_single_piece_rates",
+    "validate_policy_support",
+]

@@ -1,0 +1,238 @@
+"""State of the P2P Markov chain: counts of peers of each type.
+
+The paper's Markov chain has state ``x = (x_C : C ∈ 𝒞)`` where ``x_C`` is the
+number of type-``C`` peers currently in the system (with ``x_F ≡ 0`` when
+``γ = ∞``).  :class:`SystemState` is an immutable mapping from types to counts
+with the aggregates used throughout the theory (total population ``n``,
+``E_C``, ``H_C`` sums, one-club size, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from .parameters import SystemParameters
+from .types import PieceSet, all_types, format_type
+
+
+class SystemState:
+    """Immutable snapshot of the population, indexed by peer type.
+
+    Only types with a nonzero count are stored.  States are hashable so they
+    can index dictionaries (e.g. stationary distributions over truncated state
+    spaces).
+    """
+
+    __slots__ = ("_counts", "_num_pieces", "_hash")
+
+    def __init__(self, counts: Mapping[PieceSet, int], num_pieces: int):
+        cleaned: Dict[PieceSet, int] = {}
+        for type_c, count in counts.items():
+            if type_c.num_pieces != num_pieces:
+                raise ValueError(
+                    f"type {type_c!r} does not match K={num_pieces}"
+                )
+            if count < 0:
+                raise ValueError(f"negative count {count} for type {type_c!r}")
+            if count:
+                cleaned[type_c] = int(count)
+        self._counts = cleaned
+        self._num_pieces = num_pieces
+        self._hash: Optional[int] = None
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def empty(cls, num_pieces: int) -> "SystemState":
+        """The empty system (no peers)."""
+        return cls({}, num_pieces)
+
+    @classmethod
+    def one_club(
+        cls, num_pieces: int, size: int, missing_piece: int = 1
+    ) -> "SystemState":
+        """A pure one-club state: ``size`` peers all of type ``F − {missing_piece}``.
+
+        This is the canonical heavy-load initial condition used in the proof of
+        transience (Section VI) and in the Figure-2 experiments.
+        """
+        club = PieceSet.full(num_pieces).remove(missing_piece)
+        return cls({club: size}, num_pieces)
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[Tuple[PieceSet, int]], num_pieces: int
+    ) -> "SystemState":
+        counts: Dict[PieceSet, int] = {}
+        for type_c, count in pairs:
+            counts[type_c] = counts.get(type_c, 0) + count
+        return cls(counts, num_pieces)
+
+    # -- mapping protocol ------------------------------------------------------
+
+    @property
+    def num_pieces(self) -> int:
+        return self._num_pieces
+
+    def count(self, type_c: PieceSet) -> int:
+        """Number of type-``C`` peers (zero if absent)."""
+        return self._counts.get(type_c, 0)
+
+    def __getitem__(self, type_c: PieceSet) -> int:
+        return self.count(type_c)
+
+    def __iter__(self) -> Iterator[PieceSet]:
+        return iter(sorted(self._counts))
+
+    def items(self) -> Iterator[Tuple[PieceSet, int]]:
+        for type_c in sorted(self._counts):
+            yield type_c, self._counts[type_c]
+
+    def nonzero_types(self) -> Tuple[PieceSet, ...]:
+        return tuple(sorted(self._counts))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SystemState):
+            return NotImplemented
+        return (
+            self._num_pieces == other._num_pieces and self._counts == other._counts
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (self._num_pieces, tuple(sorted((t.mask, c) for t, c in self._counts.items())))
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{format_type(t)}:{c}" for t, c in self.items()
+        )
+        return f"SystemState({{{inner}}}, K={self._num_pieces})"
+
+    # -- aggregates -------------------------------------------------------------
+
+    @property
+    def total_peers(self) -> int:
+        """Total number of peers ``n`` in the system."""
+        return sum(self._counts.values())
+
+    @property
+    def num_seeds(self) -> int:
+        """Number of peer seeds (type ``F`` peers)."""
+        return self.count(PieceSet.full(self._num_pieces))
+
+    def peers_with_piece(self, piece: int) -> int:
+        """Number of peers currently holding ``piece``."""
+        return sum(c for t, c in self._counts.items() if piece in t)
+
+    def peers_missing_piece(self, piece: int) -> int:
+        """Number of peers currently missing ``piece``."""
+        return self.total_peers - self.peers_with_piece(piece)
+
+    def piece_counts(self) -> Dict[int, int]:
+        """Copies of each piece held across the population (seeds included)."""
+        counts = {k: 0 for k in range(1, self._num_pieces + 1)}
+        for type_c, count in self._counts.items():
+            for piece in type_c:
+                counts[piece] += count
+        return counts
+
+    def one_club_size(self, missing_piece: int = 1) -> int:
+        """Number of peers of type ``F − {missing_piece}``."""
+        club = PieceSet.full(self._num_pieces).remove(missing_piece)
+        return self.count(club)
+
+    def one_club_fraction(self, missing_piece: int = 1) -> float:
+        """Fraction of the population in the one club (zero for empty system)."""
+        n = self.total_peers
+        if n == 0:
+            return 0.0
+        return self.one_club_size(missing_piece) / n
+
+    def downward_count(self, target: PieceSet) -> int:
+        """``E_C = Σ_{C' ⊆ C} x_{C'}`` — peers that are or can become type ``C``."""
+        return sum(c for t, c in self._counts.items() if t.issubset(target))
+
+    def helper_count(self, target: PieceSet) -> int:
+        """``x_{H_C} = Σ_{C' ⊄ C} x_{C'}`` — peers that can help type ``C`` peers."""
+        return sum(c for t, c in self._counts.items() if not t.issubset(target))
+
+    def helper_potential(self, target: PieceSet, mu_over_gamma: float) -> float:
+        """``H_C`` of the Lyapunov construction (Section VII).
+
+        ``H_C = (1/(1−µ/γ)) Σ_{C' ∈ H_C} (K − |C'| + µ/γ) x_{C'}`` — the stored
+        potential of the helper population for serving type-``C`` peers.
+        Requires ``µ/γ < 1`` (the interesting regime ``µ < γ``).
+        """
+        if not 0 <= mu_over_gamma < 1:
+            raise ValueError(
+                f"helper_potential requires 0 <= mu/gamma < 1, got {mu_over_gamma}"
+            )
+        total = 0.0
+        num_pieces = self._num_pieces
+        for type_c, count in self._counts.items():
+            if not type_c.issubset(target):
+                total += (num_pieces - len(type_c) + mu_over_gamma) * count
+        return total / (1.0 - mu_over_gamma)
+
+    def helper_potential_prime(self, target: PieceSet) -> float:
+        """``H'_C = Σ_{C' ∈ H_C} (K + 1 − |C'|) x_{C'}`` (case ``γ ≤ µ``, Eq. 43)."""
+        num_pieces = self._num_pieces
+        return float(
+            sum(
+                (num_pieces + 1 - len(type_c)) * count
+                for type_c, count in self._counts.items()
+                if not type_c.issubset(target)
+            )
+        )
+
+    # -- transformations -----------------------------------------------------
+
+    def add_peer(self, type_c: PieceSet) -> "SystemState":
+        """State after the arrival of one type-``C`` peer."""
+        counts = dict(self._counts)
+        counts[type_c] = counts.get(type_c, 0) + 1
+        return SystemState(counts, self._num_pieces)
+
+    def remove_peer(self, type_c: PieceSet) -> "SystemState":
+        """State after the departure of one type-``C`` peer (must exist)."""
+        if self.count(type_c) < 1:
+            raise ValueError(f"no type {type_c!r} peer to remove from {self!r}")
+        counts = dict(self._counts)
+        counts[type_c] -= 1
+        return SystemState(counts, self._num_pieces)
+
+    def move_peer(self, from_type: PieceSet, to_type: PieceSet) -> "SystemState":
+        """State after one peer upgrades from ``from_type`` to ``to_type``."""
+        if self.count(from_type) < 1:
+            raise ValueError(f"no type {from_type!r} peer to move in {self!r}")
+        counts = dict(self._counts)
+        counts[from_type] -= 1
+        counts[to_type] = counts.get(to_type, 0) + 1
+        return SystemState(counts, self._num_pieces)
+
+    def to_vector(self, type_order: Tuple[PieceSet, ...]) -> Tuple[int, ...]:
+        """Counts as a tuple aligned with ``type_order``."""
+        return tuple(self.count(t) for t in type_order)
+
+    @classmethod
+    def from_vector(
+        cls, vector: Iterable[int], type_order: Tuple[PieceSet, ...], num_pieces: int
+    ) -> "SystemState":
+        """Inverse of :meth:`to_vector`."""
+        counts = {t: int(v) for t, v in zip(type_order, vector) if v}
+        return cls(counts, num_pieces)
+
+
+def describe_state(state: SystemState) -> str:
+    """One-line rendering such as ``n=12 [{1,2}:8, {1,2,3}:3, F:1]``."""
+    inner = ", ".join(f"{format_type(t)}:{c}" for t, c in state.items())
+    return f"n={state.total_peers} [{inner}]"
+
+
+__all__ = ["SystemState", "describe_state"]

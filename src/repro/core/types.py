@@ -1,0 +1,309 @@
+"""Piece sets and the peer-type lattice.
+
+A peer in the Zhu--Hajek model is characterised by the set of pieces it
+holds, a subset of ``{1, ..., K}``.  This module provides a small, hashable,
+immutable representation of such piece sets (:class:`PieceSet`) together with
+the lattice operations the stability theory needs:
+
+* enumeration of all types (``all_types``),
+* the downward closure ``E_C = {C' : C' ⊆ C}`` of a type (peers that *are or
+  can become* type ``C``),
+* the upward complement ``H_C = {C' : C' ⊄ C}`` (peers that *can help* type
+  ``C`` peers),
+* useful-piece computations used by the simulators.
+
+Internally a :class:`PieceSet` is a frozenset of 1-based piece indices, with a
+compact bitmask used for fast hashing and ordering.  Pieces are numbered from
+1 to match the paper's notation (piece "one" is the canonical missing piece).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+
+
+class PieceSet:
+    """An immutable set of pieces held by a peer (a peer *type*).
+
+    Parameters
+    ----------
+    pieces:
+        Iterable of 1-based piece indices.
+    num_pieces:
+        Total number of pieces ``K`` in the file.  Every index must lie in
+        ``1..K``.
+
+    Notes
+    -----
+    ``PieceSet`` objects are hashable, comparable (by bitmask, which gives a
+    stable total order grouping by cardinality only incidentally) and support
+    the usual set operations needed by the model.
+    """
+
+    __slots__ = ("_mask", "_num_pieces")
+
+    def __init__(self, pieces: Iterable[int], num_pieces: int):
+        if num_pieces < 1:
+            raise ValueError(f"num_pieces must be >= 1, got {num_pieces}")
+        mask = 0
+        for p in pieces:
+            if not 1 <= p <= num_pieces:
+                raise ValueError(
+                    f"piece index {p} out of range 1..{num_pieces}"
+                )
+            mask |= 1 << (p - 1)
+        self._mask = mask
+        self._num_pieces = num_pieces
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls, num_pieces: int) -> "PieceSet":
+        """The type of a peer holding no pieces."""
+        return cls((), num_pieces)
+
+    @classmethod
+    def full(cls, num_pieces: int) -> "PieceSet":
+        """The type ``F`` of a peer seed (all pieces)."""
+        return cls(range(1, num_pieces + 1), num_pieces)
+
+    @classmethod
+    def from_mask(cls, mask: int, num_pieces: int) -> "PieceSet":
+        """Build a piece set directly from a bitmask (bit ``i-1`` = piece ``i``)."""
+        if mask < 0 or mask >= (1 << num_pieces):
+            raise ValueError(f"mask {mask} out of range for K={num_pieces}")
+        obj = cls.__new__(cls)
+        obj._mask = mask
+        obj._num_pieces = num_pieces
+        return obj
+
+    @classmethod
+    def single(cls, piece: int, num_pieces: int) -> "PieceSet":
+        """The type of a peer holding exactly one piece."""
+        return cls((piece,), num_pieces)
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def mask(self) -> int:
+        """Bitmask representation (bit ``i-1`` set iff piece ``i`` is held)."""
+        return self._mask
+
+    @property
+    def num_pieces(self) -> int:
+        """Total number of pieces ``K`` in the file."""
+        return self._num_pieces
+
+    def __len__(self) -> int:
+        return bin(self._mask).count("1")
+
+    def __iter__(self) -> Iterator[int]:
+        mask = self._mask
+        piece = 1
+        while mask:
+            if mask & 1:
+                yield piece
+            mask >>= 1
+            piece += 1
+
+    def __contains__(self, piece: int) -> bool:
+        if not 1 <= piece <= self._num_pieces:
+            return False
+        return bool(self._mask & (1 << (piece - 1)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PieceSet):
+            return NotImplemented
+        return self._mask == other._mask and self._num_pieces == other._num_pieces
+
+    def __hash__(self) -> int:
+        return hash((self._mask, self._num_pieces))
+
+    def __lt__(self, other: "PieceSet") -> bool:
+        self._check_compatible(other)
+        return (len(self), self._mask) < (len(other), other._mask)
+
+    def __repr__(self) -> str:
+        return f"PieceSet({sorted(self)}, K={self._num_pieces})"
+
+    # -- set algebra -------------------------------------------------------
+
+    def _check_compatible(self, other: "PieceSet") -> None:
+        if self._num_pieces != other._num_pieces:
+            raise ValueError(
+                "piece sets refer to different files: "
+                f"K={self._num_pieces} vs K={other._num_pieces}"
+            )
+
+    def issubset(self, other: "PieceSet") -> bool:
+        """True if every piece of this set is held by ``other``."""
+        self._check_compatible(other)
+        return (self._mask & other._mask) == self._mask
+
+    def issuperset(self, other: "PieceSet") -> bool:
+        """True if this set holds every piece of ``other``."""
+        return other.issubset(self)
+
+    def is_proper_subset(self, other: "PieceSet") -> bool:
+        """True if this set is contained in, and not equal to, ``other``."""
+        return self.issubset(other) and self._mask != other._mask
+
+    def union(self, other: "PieceSet") -> "PieceSet":
+        self._check_compatible(other)
+        return PieceSet.from_mask(self._mask | other._mask, self._num_pieces)
+
+    def intersection(self, other: "PieceSet") -> "PieceSet":
+        self._check_compatible(other)
+        return PieceSet.from_mask(self._mask & other._mask, self._num_pieces)
+
+    def difference(self, other: "PieceSet") -> "PieceSet":
+        self._check_compatible(other)
+        return PieceSet.from_mask(self._mask & ~other._mask, self._num_pieces)
+
+    def add(self, piece: int) -> "PieceSet":
+        """Return a new piece set with ``piece`` added."""
+        if not 1 <= piece <= self._num_pieces:
+            raise ValueError(f"piece index {piece} out of range")
+        return PieceSet.from_mask(self._mask | (1 << (piece - 1)), self._num_pieces)
+
+    def remove(self, piece: int) -> "PieceSet":
+        """Return a new piece set with ``piece`` removed (must be present)."""
+        if piece not in self:
+            raise KeyError(f"piece {piece} not in {self!r}")
+        return PieceSet.from_mask(self._mask & ~(1 << (piece - 1)), self._num_pieces)
+
+    # -- model-specific helpers --------------------------------------------
+
+    @property
+    def is_complete(self) -> bool:
+        """True if the peer holds all ``K`` pieces (it is a peer seed)."""
+        return self._mask == (1 << self._num_pieces) - 1
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the peer holds no pieces."""
+        return self._mask == 0
+
+    def missing(self) -> "PieceSet":
+        """The set of pieces this peer still needs (``F − C``)."""
+        full = (1 << self._num_pieces) - 1
+        return PieceSet.from_mask(full & ~self._mask, self._num_pieces)
+
+    def missing_pieces(self) -> List[int]:
+        """List of 1-based indices of pieces the peer still needs."""
+        return list(self.missing())
+
+    def useful_from(self, uploader: "PieceSet") -> "PieceSet":
+        """Pieces the ``uploader`` holds that this peer needs (``B − A``).
+
+        In the paper's notation, when peer ``A`` (this set) is contacted by a
+        type-``B`` uploader, a useful upload is possible iff ``B ⊄ A``, i.e.
+        the returned set is nonempty.
+        """
+        self._check_compatible(uploader)
+        return PieceSet.from_mask(uploader._mask & ~self._mask, self._num_pieces)
+
+    def can_be_helped_by(self, uploader: "PieceSet") -> bool:
+        """True if ``uploader`` holds at least one piece this peer needs."""
+        return bool(uploader._mask & ~self._mask)
+
+
+def all_types(num_pieces: int, include_full: bool = True) -> List[PieceSet]:
+    """Enumerate every peer type for a file of ``num_pieces`` pieces.
+
+    Types are returned sorted by cardinality then bitmask, so the empty set
+    comes first and ``F`` last.  ``include_full=False`` omits the peer-seed
+    type ``F`` (used when ``γ = ∞`` and seeds leave instantly).
+    """
+    full_mask = 1 << num_pieces
+    types = [PieceSet.from_mask(m, num_pieces) for m in range(full_mask)]
+    if not include_full:
+        types = [t for t in types if not t.is_complete]
+    return sorted(types)
+
+
+def types_of_size(num_pieces: int, size: int) -> List[PieceSet]:
+    """All types with exactly ``size`` pieces."""
+    return [
+        PieceSet(combo, num_pieces)
+        for combo in itertools.combinations(range(1, num_pieces + 1), size)
+    ]
+
+
+def downward_closure(target: PieceSet) -> List[PieceSet]:
+    """``E_C``: all types ``C' ⊆ C`` — peers that are or can become type ``C``."""
+    pieces = sorted(target)
+    closure = []
+    for r in range(len(pieces) + 1):
+        for combo in itertools.combinations(pieces, r):
+            closure.append(PieceSet(combo, target.num_pieces))
+    return sorted(closure)
+
+
+def helpers(target: PieceSet, include_full: bool = True) -> List[PieceSet]:
+    """``H_C``: all types ``C' ⊄ C`` — peers that can help type ``C`` peers.
+
+    The full type ``F`` belongs to ``H_C`` for every ``C ≠ F``; pass
+    ``include_full=False`` to omit it (e.g. when enumerating over the γ = ∞
+    state space where ``x_F ≡ 0``).
+    """
+    result = [
+        t
+        for t in all_types(target.num_pieces, include_full=include_full)
+        if not t.issubset(target)
+    ]
+    return result
+
+
+def one_club_type(num_pieces: int, missing_piece: int = 1) -> PieceSet:
+    """The one-club type ``F − {missing_piece}`` of Figure 2."""
+    return PieceSet.full(num_pieces).remove(missing_piece)
+
+
+def format_type(piece_set: PieceSet) -> str:
+    """Compact human-readable rendering such as ``{1,3}`` or ``∅`` or ``F``."""
+    if piece_set.is_empty:
+        return "∅"
+    if piece_set.is_complete:
+        return "F"
+    return "{" + ",".join(str(p) for p in piece_set) + "}"
+
+
+def parse_type(text: str, num_pieces: int) -> PieceSet:
+    """Inverse of :func:`format_type` (accepts ``∅``, ``F``, ``{1,3}``, ``1,3``)."""
+    text = text.strip()
+    if text in ("∅", "{}", ""):
+        return PieceSet.empty(num_pieces)
+    if text == "F":
+        return PieceSet.full(num_pieces)
+    text = text.strip("{}")
+    pieces = [int(tok) for tok in text.split(",") if tok.strip()]
+    return PieceSet(pieces, num_pieces)
+
+
+TypeVector = Tuple[PieceSet, ...]
+
+
+def canonical_type_order(num_pieces: int, include_full: bool = True) -> TypeVector:
+    """The canonical ordering of types used to index state vectors."""
+    return tuple(all_types(num_pieces, include_full=include_full))
+
+
+def type_index_map(types: Sequence[PieceSet]) -> dict:
+    """Map each type to its index within ``types``."""
+    return {t: i for i, t in enumerate(types)}
+
+
+__all__ = [
+    "PieceSet",
+    "all_types",
+    "types_of_size",
+    "downward_closure",
+    "helpers",
+    "one_club_type",
+    "format_type",
+    "parse_type",
+    "canonical_type_order",
+    "type_index_map",
+]

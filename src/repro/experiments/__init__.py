@@ -1,0 +1,57 @@
+"""Experiment definitions reproducing the paper's figures and worked examples.
+
+One module per experiment of the DESIGN.md index:
+
+* E1 :mod:`repro.experiments.example1`  — Figure 1(a), single piece;
+* E2 :mod:`repro.experiments.example2`  — Figure 1(b), two arrival classes;
+* E3 :mod:`repro.experiments.example3`  — Figure 1(c), one-piece arrivals;
+* E4 :mod:`repro.experiments.one_club`  — Figure 2, missing piece syndrome;
+* E5 :mod:`repro.experiments.mu_infinity_exp` — Figure 3, µ = ∞ watched chain;
+* E6 :mod:`repro.experiments.coding`    — Theorem 15 worked example;
+* E7 :mod:`repro.experiments.policy`    — Theorem 14, policy insensitivity;
+* E8 :mod:`repro.experiments.dwell_time` — the one-extra-piece corollary;
+* E9 :mod:`repro.experiments.lyapunov_exp` — Section VII drift verification;
+* E10 :mod:`repro.experiments.queueing_exp` — appendix bounds.
+
+The :mod:`repro.experiments.runner` module provides the shared stability-trial
+harness.
+"""
+
+from .coding import CodingResult, run_coding_experiment
+from .dwell_time import DwellTimeResult, run_dwell_time_experiment
+from .example1 import Example1Result, run_example1
+from .example2 import Example2Result, run_example2
+from .example3 import Example3Result, run_example3
+from .lyapunov_exp import LyapunovResult, run_lyapunov_experiment
+from .mu_infinity_exp import MuInfinityResult, run_mu_infinity_experiment
+from .one_club import OneClubResult, run_one_club_experiment
+from .policy import PolicyResult, run_policy_experiment
+from .queueing_exp import QueueingBoundsResult, run_queueing_bounds_experiment
+from .runner import StabilityTrialResult, SweepResult, run_stability_trial, run_sweep
+
+__all__ = [
+    "CodingResult",
+    "DwellTimeResult",
+    "Example1Result",
+    "Example2Result",
+    "Example3Result",
+    "LyapunovResult",
+    "MuInfinityResult",
+    "OneClubResult",
+    "PolicyResult",
+    "QueueingBoundsResult",
+    "StabilityTrialResult",
+    "SweepResult",
+    "run_coding_experiment",
+    "run_dwell_time_experiment",
+    "run_example1",
+    "run_example2",
+    "run_example3",
+    "run_lyapunov_experiment",
+    "run_mu_infinity_experiment",
+    "run_one_club_experiment",
+    "run_policy_experiment",
+    "run_queueing_bounds_experiment",
+    "run_stability_trial",
+    "run_sweep",
+]

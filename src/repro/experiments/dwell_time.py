@@ -1,0 +1,117 @@
+"""Experiment E8 — the headline corollary: one extra piece is enough.
+
+For a fixed arrival rate and a small fixed-seed rate, Theorem 1 identifies the
+largest peer-seed departure rate ``γ*`` (smallest mean dwell time ``1/γ*``)
+for which the system is stable; the corollary says ``γ* ≥ µ``, i.e. a mean
+dwell long enough to upload a single piece always suffices (provided every
+piece can enter the system).
+
+The experiment sweeps ``γ`` across ``γ*`` and compares verdicts, and reports
+``1/γ*`` against ``1/µ``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..core.parameters import SystemParameters
+from ..core.stability import critical_departure_rate, minimum_mean_dwell_time
+from ..simulation.rng import SeedLike
+from .runner import SweepResult, run_sweep
+
+
+@dataclass
+class DwellTimeResult:
+    """Sweep outcome plus the theoretical critical dwell time."""
+
+    critical_gamma: float
+    minimum_dwell: float
+    peer_rate: float
+    sweep: SweepResult
+
+    def report(self) -> str:
+        title = (
+            "Peer-seed dwell time: critical gamma* = "
+            f"{self.critical_gamma:.4g} (minimum mean dwell {self.minimum_dwell:.4g}, "
+            f"one-piece upload time 1/mu = {1.0 / self.peer_rate:.4g})"
+        )
+        return format_table(
+            headers=["gamma", "theory", "simulated", "norm. slope", "mean n"],
+            rows=self.sweep.table_rows(),
+            title=title,
+        )
+
+
+def dwell_parameters(
+    gamma: float,
+    arrival_rate: float = 2.0,
+    seed_rate: float = 0.2,
+    num_pieces: int = 3,
+    peer_rate: float = 1.0,
+) -> SystemParameters:
+    """Flash-crowd parameters with the given peer-seed departure rate."""
+    return SystemParameters.flash_crowd(
+        num_pieces=num_pieces,
+        arrival_rate=arrival_rate,
+        seed_rate=seed_rate,
+        peer_rate=peer_rate,
+        seed_departure_rate=gamma,
+    )
+
+
+def run_dwell_time_experiment(
+    arrival_rate: float = 2.0,
+    seed_rate: float = 0.2,
+    num_pieces: int = 3,
+    peer_rate: float = 1.0,
+    gamma_values: Sequence[float] = (0.8, 1.05, 2.0, math.inf),
+    horizon: float = 250.0,
+    replications: int = 2,
+    seed: SeedLike = 88,
+    max_population: int = 4000,
+) -> DwellTimeResult:
+    """Sweep the peer-seed departure rate ``γ`` across the critical value."""
+    reference = dwell_parameters(
+        gamma=2.0,
+        arrival_rate=arrival_rate,
+        seed_rate=seed_rate,
+        num_pieces=num_pieces,
+        peer_rate=peer_rate,
+    )
+    critical = critical_departure_rate(reference)
+    minimum_dwell = minimum_mean_dwell_time(reference)
+    points: List[Tuple[str, SystemParameters]] = []
+    for gamma in gamma_values:
+        label = "inf" if math.isinf(gamma) else f"{gamma:g}"
+        points.append(
+            (
+                label,
+                dwell_parameters(
+                    gamma=gamma,
+                    arrival_rate=arrival_rate,
+                    seed_rate=seed_rate,
+                    num_pieces=num_pieces,
+                    peer_rate=peer_rate,
+                ),
+            )
+        )
+    sweep = run_sweep(
+        name="dwell-time",
+        points=points,
+        horizon=horizon,
+        replications=replications,
+        seed=seed,
+        max_population=max_population,
+    )
+    return DwellTimeResult(
+        critical_gamma=critical,
+        minimum_dwell=minimum_dwell,
+        peer_rate=peer_rate,
+        sweep=sweep,
+    )
+
+
+__all__ = ["DwellTimeResult", "dwell_parameters", "run_dwell_time_experiment"]

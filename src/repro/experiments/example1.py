@@ -1,0 +1,105 @@
+"""Experiment E1 — Example 1 / Figure 1(a): the single-piece system.
+
+The file is a single piece; empty-handed peers arrive at rate ``λ_0``, the
+fixed seed uploads at rate ``U_s`` and completed peers dwell as peer seeds for
+an Exp(γ) time.  Theorem 1 (confirming Leskelä--Robert--Simatos [12]) gives
+the threshold ``λ_0^* = U_s / (1 − µ/γ)`` when ``µ < γ``, and stability for
+every ``λ_0`` when ``γ ≤ µ``.
+
+The experiment sweeps ``λ_0`` across the threshold and compares the verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..core.parameters import SystemParameters
+from ..core.stability import piece_threshold
+from ..simulation.rng import SeedLike
+from .runner import SweepResult, run_sweep
+
+
+@dataclass
+class Example1Result:
+    """Sweep outcome plus the theoretical threshold."""
+
+    threshold: float
+    sweep: SweepResult
+
+    def report(self) -> str:
+        rows = [
+            (label, theory, empirical, slope, population)
+            for label, theory, empirical, slope, population in self.sweep.table_rows()
+        ]
+        table = format_table(
+            headers=["lambda_0", "theory", "simulated", "norm. slope", "mean n"],
+            rows=rows,
+            title=(
+                "Example 1 (K=1): threshold lambda_0* = "
+                f"{self.threshold:.4g}"
+            ),
+        )
+        return table
+
+
+def example1_parameters(
+    arrival_rate: float,
+    seed_rate: float = 2.0,
+    peer_rate: float = 1.0,
+    seed_departure_rate: float = 2.0,
+) -> SystemParameters:
+    """Parameter set of Example 1 at a given arrival rate."""
+    return SystemParameters.single_piece(
+        arrival_rate=arrival_rate,
+        seed_rate=seed_rate,
+        peer_rate=peer_rate,
+        seed_departure_rate=seed_departure_rate,
+    )
+
+
+def run_example1(
+    seed_rate: float = 2.0,
+    peer_rate: float = 1.0,
+    seed_departure_rate: float = 2.0,
+    relative_rates: Sequence[float] = (0.5, 0.8, 1.5, 2.0),
+    horizon: float = 250.0,
+    replications: int = 2,
+    seed: SeedLike = 11,
+    max_population: int = 4000,
+) -> Example1Result:
+    """Sweep ``λ_0`` at the given multiples of the theoretical threshold."""
+    reference = example1_parameters(
+        arrival_rate=1.0,
+        seed_rate=seed_rate,
+        peer_rate=peer_rate,
+        seed_departure_rate=seed_departure_rate,
+    )
+    threshold = piece_threshold(reference, piece=1)
+    points: List[Tuple[str, SystemParameters]] = []
+    for multiple in relative_rates:
+        arrival = multiple * threshold
+        points.append(
+            (
+                f"{arrival:.3g} ({multiple:.2g}x)",
+                example1_parameters(
+                    arrival_rate=arrival,
+                    seed_rate=seed_rate,
+                    peer_rate=peer_rate,
+                    seed_departure_rate=seed_departure_rate,
+                ),
+            )
+        )
+    sweep = run_sweep(
+        name="example1",
+        points=points,
+        horizon=horizon,
+        replications=replications,
+        seed=seed,
+        max_population=max_population,
+    )
+    return Example1Result(threshold=threshold, sweep=sweep)
+
+
+__all__ = ["Example1Result", "example1_parameters", "run_example1"]

@@ -1,0 +1,83 @@
+"""Experiment E2 — Example 2 / Figure 1(b): two arrival classes, four pieces.
+
+Peers of type ``{1,2}`` and ``{3,4}`` arrive at rates ``λ_12`` and ``λ_34``;
+there is no fixed seed and peers depart on completion.  Theorem 1 gives the
+stability region ``λ_12 < 2 λ_34`` and ``λ_34 < 2 λ_12``.
+
+The experiment fixes ``λ_34`` and sweeps ``λ_12`` across both boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..core.parameters import SystemParameters
+from ..core.stability import stability_region_boundary_example2
+from ..simulation.rng import SeedLike
+from .runner import SweepResult, run_sweep
+
+
+@dataclass
+class Example2Result:
+    """Sweep outcome plus the theoretical stable interval for ``λ_12``."""
+
+    lambda_34: float
+    stable_interval: Tuple[float, float]
+    sweep: SweepResult
+
+    def report(self) -> str:
+        low, high = self.stable_interval
+        return format_table(
+            headers=["lambda_12", "theory", "simulated", "norm. slope", "mean n"],
+            rows=self.sweep.table_rows(),
+            title=(
+                f"Example 2 (K=4, lambda_34={self.lambda_34:g}): stable iff "
+                f"lambda_12 in ({low:g}, {high:g})"
+            ),
+        )
+
+
+def example2_parameters(
+    lambda_12: float, lambda_34: float, peer_rate: float = 1.0
+) -> SystemParameters:
+    """Parameter set of Example 2."""
+    return SystemParameters.two_class_four_pieces(
+        lambda_12=lambda_12, lambda_34=lambda_34, peer_rate=peer_rate
+    )
+
+
+def run_example2(
+    lambda_34: float = 2.0,
+    peer_rate: float = 1.0,
+    lambda_12_values: Sequence[float] = (0.5, 2.0, 3.0, 7.0),
+    horizon: float = 250.0,
+    replications: int = 2,
+    seed: SeedLike = 22,
+    max_population: int = 4000,
+) -> Example2Result:
+    """Sweep ``λ_12`` for a fixed ``λ_34`` across the stability boundary."""
+    points: List[Tuple[str, SystemParameters]] = [
+        (
+            f"{value:.3g}",
+            example2_parameters(lambda_12=value, lambda_34=lambda_34, peer_rate=peer_rate),
+        )
+        for value in lambda_12_values
+    ]
+    sweep = run_sweep(
+        name="example2",
+        points=points,
+        horizon=horizon,
+        replications=replications,
+        seed=seed,
+        max_population=max_population,
+    )
+    return Example2Result(
+        lambda_34=lambda_34,
+        stable_interval=stability_region_boundary_example2(lambda_34),
+        sweep=sweep,
+    )
+
+
+__all__ = ["Example2Result", "example2_parameters", "run_example2"]

@@ -1,0 +1,113 @@
+"""Experiment E3 — Example 3 / Figure 1(c): one-piece arrivals, three pieces.
+
+Every arriving peer carries exactly one piece (piece ``i`` with rate ``λ_i``);
+no fixed seed; completed peers dwell with rate ``γ > µ``.  Theorem 1 gives the
+stability region
+
+``λ_i + λ_j < λ_k (2 + µ/γ) / (1 − µ/γ)``  for every permutation ``{i,j,k}``.
+
+The experiment evaluates symmetric (stable) and skewed (unstable) arrival
+mixes and reports the three inequalities alongside the simulation verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..core.parameters import SystemParameters
+from ..core.stability import stability_region_boundary_example3
+from ..simulation.rng import SeedLike
+from .runner import SweepResult, run_sweep
+
+
+@dataclass
+class Example3Result:
+    """Sweep outcome plus the per-mix inequality tables."""
+
+    mu: float
+    gamma: float
+    inequality_tables: List[Tuple[str, List[Tuple[str, float, float]]]]
+    sweep: SweepResult
+
+    def report(self) -> str:
+        sections = [
+            format_table(
+                headers=["arrival mix", "theory", "simulated", "norm. slope", "mean n"],
+                rows=self.sweep.table_rows(),
+                title=(
+                    f"Example 3 (K=3, mu={self.mu:g}, gamma={self.gamma:g}): stable iff "
+                    "lambda_i+lambda_j < lambda_k (2+mu/gamma)/(1-mu/gamma) for all k"
+                ),
+            )
+        ]
+        for label, rows in self.inequality_tables:
+            sections.append(
+                format_table(
+                    headers=["inequality", "lhs", "rhs (threshold)"],
+                    rows=rows,
+                    title=f"  inequalities for mix {label}",
+                )
+            )
+        return "\n\n".join(sections)
+
+
+def example3_parameters(
+    lambda_rates: Tuple[float, float, float],
+    peer_rate: float = 1.0,
+    seed_departure_rate: float = 2.0,
+) -> SystemParameters:
+    """Parameter set of Example 3 for the given one-piece arrival rates."""
+    return SystemParameters.one_piece_arrivals(
+        lambda_by_piece=lambda_rates,
+        peer_rate=peer_rate,
+        seed_departure_rate=seed_departure_rate,
+    )
+
+
+def run_example3(
+    peer_rate: float = 1.0,
+    seed_departure_rate: float = 2.0,
+    mixes: Sequence[Tuple[float, float, float]] = (
+        (1.0, 1.0, 1.0),
+        (1.5, 1.2, 1.0),
+        (4.0, 4.0, 0.5),
+        (6.0, 1.0, 0.2),
+    ),
+    horizon: float = 250.0,
+    replications: int = 2,
+    seed: SeedLike = 33,
+    max_population: int = 4000,
+) -> Example3Result:
+    """Evaluate several arrival mixes against the Example-3 boundary."""
+    points: List[Tuple[str, SystemParameters]] = []
+    inequality_tables: List[Tuple[str, List[Tuple[str, float, float]]]] = []
+    for mix in mixes:
+        label = f"({mix[0]:g}, {mix[1]:g}, {mix[2]:g})"
+        points.append(
+            (label, example3_parameters(mix, peer_rate, seed_departure_rate))
+        )
+        inequality_tables.append(
+            (
+                label,
+                stability_region_boundary_example3(mix, peer_rate, seed_departure_rate),
+            )
+        )
+    sweep = run_sweep(
+        name="example3",
+        points=points,
+        horizon=horizon,
+        replications=replications,
+        seed=seed,
+        max_population=max_population,
+    )
+    return Example3Result(
+        mu=peer_rate,
+        gamma=seed_departure_rate,
+        inequality_tables=inequality_tables,
+        sweep=sweep,
+    )
+
+
+__all__ = ["Example3Result", "example3_parameters", "run_example3"]

@@ -1,0 +1,125 @@
+"""Experiment E9 — numerical Foster--Lyapunov verification (Section VII).
+
+Inside the stability region (``Δ_S < 0`` for every ``S``) the paper's
+Lyapunov function ``W`` has drift ``QW(x) ≤ −ξ n`` outside a finite set.  The
+experiment evaluates the exact drift on heavy-load states of growing
+population — one-club states and random class-I style loads — and reports the
+fraction of states with negative drift together with the worst normalised
+drift, for a stable and (as a contrast) an unstable parameter set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..core.lyapunov import (
+    LyapunovConfig,
+    LyapunovFunction,
+    check_negative_drift,
+    sample_heavy_load_states,
+)
+from ..core.parameters import SystemParameters
+from ..core.stability import analyze
+from ..core.state import SystemState
+from ..simulation.rng import SeedLike, make_rng
+
+
+@dataclass
+class LyapunovRow:
+    """Drift summary for one parameter set and one population size."""
+
+    label: str
+    theory: str
+    population: int
+    num_states: int
+    fraction_negative: float
+    worst_drift_per_peer: float
+    one_club_drift_per_peer: float
+
+
+@dataclass
+class LyapunovResult:
+    """All drift-check rows of the experiment."""
+
+    rows: List[LyapunovRow]
+
+    def report(self) -> str:
+        return format_table(
+            headers=[
+                "configuration",
+                "theory",
+                "n",
+                "states",
+                "frac. QW<0",
+                "worst QW/n",
+                "one-club QW/n",
+            ],
+            rows=[
+                (
+                    row.label,
+                    row.theory,
+                    row.population,
+                    row.num_states,
+                    row.fraction_negative,
+                    row.worst_drift_per_peer,
+                    row.one_club_drift_per_peer,
+                )
+                for row in self.rows
+            ],
+            title="Foster-Lyapunov drift of W on heavy-load states",
+        )
+
+
+def run_lyapunov_experiment(
+    stable_params: Optional[SystemParameters] = None,
+    unstable_params: Optional[SystemParameters] = None,
+    populations: Sequence[int] = (100, 400),
+    states_per_population: int = 12,
+    seed: SeedLike = 99,
+) -> LyapunovResult:
+    """Evaluate the drift of ``W`` on heavy-load states.
+
+    Defaults: the stable set is Example 3 with symmetric rates (1, 1, 1) and
+    ``γ = 2 > µ = 1``; the unstable set skews the arrivals to (4, 4, 0.5).
+    In the stable case the drift on one-club states must be negative for large
+    populations; in the unstable case it is positive (the one club grows).
+    """
+    if stable_params is None:
+        stable_params = SystemParameters.one_piece_arrivals(
+            (1.0, 1.0, 1.0), peer_rate=1.0, seed_departure_rate=2.0
+        )
+    if unstable_params is None:
+        unstable_params = SystemParameters.one_piece_arrivals(
+            (4.0, 4.0, 0.5), peer_rate=1.0, seed_departure_rate=2.0
+        )
+    rng = make_rng(seed)
+    rows: List[LyapunovRow] = []
+    for label, params in (("stable", stable_params), ("unstable", unstable_params)):
+        theory = analyze(params).verdict.value
+        lyapunov = LyapunovFunction(params)
+        for population in populations:
+            states = sample_heavy_load_states(
+                params,
+                population=population,
+                num_states=states_per_population,
+                rng=rng,
+            )
+            check = check_negative_drift(lyapunov, states)
+            one_club = SystemState.one_club(params.num_pieces, population)
+            rows.append(
+                LyapunovRow(
+                    label=label,
+                    theory=theory,
+                    population=population,
+                    num_states=check.num_states,
+                    fraction_negative=check.num_negative / max(check.num_states, 1),
+                    worst_drift_per_peer=check.max_drift_per_peer,
+                    one_club_drift_per_peer=lyapunov.drift_per_peer(one_club),
+                )
+            )
+    return LyapunovResult(rows=rows)
+
+
+__all__ = ["LyapunovResult", "LyapunovRow", "run_lyapunov_experiment"]

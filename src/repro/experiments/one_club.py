@@ -1,0 +1,196 @@
+"""Experiment E4 — Figure 2: the missing piece syndrome / one-club dynamics.
+
+Starting from a pure one-club state (every peer holds ``F − {1}``), the
+transience proof predicts that the one club grows at rate ``Δ_{F−{1}}`` when
+that quantity is positive, while a stable system escapes the syndrome and the
+club drains.  The experiment runs the swarm simulator from a large one-club
+initial condition in an unstable and a stable configuration, tracks the five
+Figure-2 peer groups over time, and compares the measured one-club growth rate
+with ``Δ_{F−{1}}``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.statistics import linear_slope
+from ..analysis.tables import format_table
+from ..core.parameters import SystemParameters
+from ..core.stability import delta_s
+from ..core.state import SystemState
+from ..core.types import PieceSet
+from ..simulation.rng import SeedLike, spawn_generators
+from ..swarm.swarm import SwarmSimulator
+
+
+@dataclass
+class OneClubRun:
+    """One configuration: predicted vs. measured one-club growth."""
+
+    label: str
+    params: SystemParameters
+    predicted_growth: float
+    measured_growth: float
+    final_one_club: float
+    final_population: float
+    one_club_fraction_trajectory: List[Tuple[float, float]]
+
+
+@dataclass
+class OneClubResult:
+    """Both regimes of the Figure-2 experiment."""
+
+    runs: List[OneClubRun]
+
+    def report(self) -> str:
+        rows = [
+            (
+                run.label,
+                run.predicted_growth,
+                run.measured_growth,
+                run.final_one_club,
+                run.final_population,
+            )
+            for run in self.runs
+        ]
+        return format_table(
+            headers=[
+                "configuration",
+                "predicted club growth",
+                "measured club growth",
+                "final club size",
+                "final population",
+            ],
+            rows=rows,
+            title="Figure 2 / missing piece syndrome: one-club growth rate",
+        )
+
+
+def one_club_parameters(
+    arrival_rate: float,
+    seed_rate: float,
+    num_pieces: int = 3,
+    peer_rate: float = 1.0,
+    seed_departure_rate: float = 2.0,
+) -> SystemParameters:
+    """Flash-crowd style parameters used for the one-club experiment."""
+    return SystemParameters.flash_crowd(
+        num_pieces=num_pieces,
+        arrival_rate=arrival_rate,
+        seed_rate=seed_rate,
+        peer_rate=peer_rate,
+        seed_departure_rate=seed_departure_rate,
+    )
+
+
+def _run_configuration(
+    label: str,
+    params: SystemParameters,
+    initial_club_size: int,
+    horizon: float,
+    seed: SeedLike,
+    replications: int,
+    max_population: int,
+) -> OneClubRun:
+    predicted = delta_s(params, PieceSet.full(params.num_pieces).remove(1))
+    rngs = spawn_generators(seed, replications)
+    growths: List[float] = []
+    finals_club: List[float] = []
+    finals_pop: List[float] = []
+    fraction_trajectory: List[Tuple[float, float]] = []
+    for index, rng in enumerate(rngs):
+        simulator = SwarmSimulator(params, seed=rng, track_groups=True)
+        initial = SystemState.one_club(params.num_pieces, initial_club_size)
+        result = simulator.run(
+            horizon, initial_state=initial, max_population=max_population
+        )
+        metrics = result.metrics
+        growths.append(
+            linear_slope(metrics.sample_times, metrics.one_club_size)
+        )
+        finals_club.append(float(metrics.one_club_size[-1]))
+        finals_pop.append(float(metrics.population[-1]))
+        if index == 0:
+            fraction_trajectory = [
+                (snapshot.time, snapshot.one_club_fraction)
+                for snapshot in metrics.group_snapshots
+            ]
+    return OneClubRun(
+        label=label,
+        params=params,
+        predicted_growth=predicted,
+        measured_growth=float(np.mean(growths)),
+        final_one_club=float(np.mean(finals_club)),
+        final_population=float(np.mean(finals_pop)),
+        one_club_fraction_trajectory=fraction_trajectory,
+    )
+
+
+def run_one_club_experiment(
+    num_pieces: int = 3,
+    peer_rate: float = 1.0,
+    seed_departure_rate: float = 2.0,
+    unstable_arrival: float = 3.0,
+    unstable_seed_rate: float = 0.5,
+    stable_arrival: float = 0.6,
+    stable_seed_rate: float = 0.5,
+    initial_club_size: int = 60,
+    horizon: float = 120.0,
+    replications: int = 2,
+    seed: SeedLike = 44,
+    max_population: int = 4000,
+) -> OneClubResult:
+    """Run the Figure-2 experiment in an unstable and a stable configuration.
+
+    Defaults: ``U_s = 0.5``, ``µ = 1``, ``γ = 2`` give a threshold of
+    ``U_s/(1−µ/γ) = 1``; arrivals at 3 (unstable, predicted club growth +2
+    peers per unit time) and at 0.6 (stable, the club drains).
+    """
+    configurations = [
+        (
+            f"unstable (lambda={unstable_arrival:g})",
+            one_club_parameters(
+                unstable_arrival,
+                unstable_seed_rate,
+                num_pieces,
+                peer_rate,
+                seed_departure_rate,
+            ),
+        ),
+        (
+            f"stable (lambda={stable_arrival:g})",
+            one_club_parameters(
+                stable_arrival,
+                stable_seed_rate,
+                num_pieces,
+                peer_rate,
+                seed_departure_rate,
+            ),
+        ),
+    ]
+    seeds = spawn_generators(seed, len(configurations))
+    runs = [
+        _run_configuration(
+            label,
+            params,
+            initial_club_size=initial_club_size,
+            horizon=horizon,
+            seed=config_seed,
+            replications=replications,
+            max_population=max_population,
+        )
+        for (label, params), config_seed in zip(configurations, seeds)
+    ]
+    return OneClubResult(runs=runs)
+
+
+__all__ = [
+    "OneClubResult",
+    "OneClubRun",
+    "one_club_parameters",
+    "run_one_club_experiment",
+]

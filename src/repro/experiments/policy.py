@@ -1,0 +1,133 @@
+"""Experiment E7 — Theorem 14: insensitivity to the piece-selection policy.
+
+The same arrival mix is simulated under several useful-piece selection
+policies (random useful, rarest first, most common first, sequential).  The
+stability verdict must not depend on the policy: a point inside the stability
+region stays stable under every policy, a point outside stays unstable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..core.parameters import SystemParameters
+from ..core.stability import analyze
+from ..simulation.rng import SeedLike, spawn_generators
+from ..swarm.policies import make_policy
+from .runner import StabilityTrialResult, run_stability_trial
+
+
+@dataclass
+class PolicyTrial:
+    """Verdicts of every policy at one parameter point."""
+
+    label: str
+    theory: str
+    verdicts: Dict[str, str]
+    slopes: Dict[str, float]
+
+    @property
+    def verdicts_agree(self) -> bool:
+        """True when all decisive policy verdicts coincide."""
+        decisive = {v for v in self.verdicts.values() if v != "inconclusive"}
+        return len(decisive) <= 1
+
+
+@dataclass
+class PolicyResult:
+    """Outcome of the policy-insensitivity experiment."""
+
+    policies: List[str]
+    trials: List[PolicyTrial]
+
+    def report(self) -> str:
+        headers = ["configuration", "theory"] + [
+            f"{name}" for name in self.policies
+        ]
+        rows = []
+        for trial in self.trials:
+            rows.append(
+                [trial.label, trial.theory]
+                + [trial.verdicts[name] for name in self.policies]
+            )
+        return format_table(
+            headers=headers,
+            rows=rows,
+            title="Theorem 14: stability verdict under different piece-selection policies",
+        )
+
+    def all_agree(self) -> bool:
+        return all(trial.verdicts_agree for trial in self.trials)
+
+
+def run_policy_experiment(
+    num_pieces: int = 3,
+    seed_rate: float = 1.2,
+    peer_rate: float = 1.0,
+    stable_arrival: float = 0.7,
+    unstable_arrival: float = 2.8,
+    policies: Sequence[str] = ("random-useful", "rarest-first", "sequential"),
+    horizon: float = 220.0,
+    replications: int = 2,
+    seed: SeedLike = 77,
+    max_population: int = 3000,
+) -> PolicyResult:
+    """Run the insensitivity experiment on a stable and an unstable point.
+
+    Defaults use the flash-crowd setting (empty arrivals, ``γ = ∞``) where the
+    threshold is exactly ``U_s``.
+    """
+    import math
+
+    configurations = [
+        (
+            f"stable (lambda={stable_arrival:g} < Us={seed_rate:g})",
+            SystemParameters.flash_crowd(
+                num_pieces=num_pieces,
+                arrival_rate=stable_arrival,
+                seed_rate=seed_rate,
+                peer_rate=peer_rate,
+                seed_departure_rate=math.inf,
+            ),
+        ),
+        (
+            f"unstable (lambda={unstable_arrival:g} > Us={seed_rate:g})",
+            SystemParameters.flash_crowd(
+                num_pieces=num_pieces,
+                arrival_rate=unstable_arrival,
+                seed_rate=seed_rate,
+                peer_rate=peer_rate,
+                seed_departure_rate=math.inf,
+            ),
+        ),
+    ]
+    policy_list = list(policies)
+    seeds = spawn_generators(seed, len(configurations) * len(policy_list))
+    trials: List[PolicyTrial] = []
+    seed_index = 0
+    for label, params in configurations:
+        theory = analyze(params).verdict.value
+        verdicts: Dict[str, str] = {}
+        slopes: Dict[str, float] = {}
+        for policy_name in policy_list:
+            trial = run_stability_trial(
+                params,
+                label=f"{label} / {policy_name}",
+                horizon=horizon,
+                replications=replications,
+                seed=seeds[seed_index],
+                policy=make_policy(policy_name),
+                max_population=max_population,
+            )
+            seed_index += 1
+            verdicts[policy_name] = trial.empirical_verdict.value
+            slopes[policy_name] = trial.mean_normalized_slope
+        trials.append(
+            PolicyTrial(label=label, theory=theory, verdicts=verdicts, slopes=slopes)
+        )
+    return PolicyResult(policies=policy_list, trials=trials)
+
+
+__all__ = ["PolicyResult", "PolicyTrial", "run_policy_experiment"]

@@ -1,0 +1,147 @@
+"""Experiment E10 — the appendix bounds (Proposition 20 and Lemma 21).
+
+Two probabilistic bounds used by the transience proof are checked empirically:
+
+* **Kingman's moment bound** for compound Poisson processes: the probability
+  that the cumulative process ever exceeds a line ``B + εt`` is at most
+  ``α m₂ / (2B(ε − α m₁))``;
+* **the M/GI/∞ maximal bound** of Lemma 21: the probability the occupancy
+  ever exceeds ``B + εt`` is at most ``e^{λ(m+1)} 2^{−B} / (1 − 2^{−ε})``.
+
+For each bound the experiment simulates many independent paths, measures the
+empirical exceedance frequency, and reports it next to the bound; the
+measurements must not exceed the bounds (up to Monte-Carlo noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.tables import format_table
+from ..queueing.mgi_inf import (
+    MGInfinityQueue,
+    erlang_plus_exponential_mean,
+    erlang_plus_exponential_sampler,
+    maximal_exceedance_bound,
+)
+from ..simulation.processes import CompoundPoissonProcess, kingman_exceedance_bound
+from ..simulation.rng import SeedLike, spawn_generators
+
+
+@dataclass
+class BoundCheckRow:
+    """One bound vs. its empirical exceedance frequency."""
+
+    label: str
+    offset: float
+    slope: float
+    theoretical_bound: float
+    empirical_frequency: float
+
+    @property
+    def bound_holds(self) -> bool:
+        """Allow a small Monte-Carlo slack above the bound."""
+        return self.empirical_frequency <= min(1.0, self.theoretical_bound + 0.05)
+
+
+@dataclass
+class QueueingBoundsResult:
+    """All checked bounds of the experiment."""
+
+    rows: List[BoundCheckRow]
+
+    def report(self) -> str:
+        return format_table(
+            headers=["process", "B", "slope", "bound", "empirical P(exceed)"],
+            rows=[
+                (row.label, row.offset, row.slope, row.theoretical_bound, row.empirical_frequency)
+                for row in self.rows
+            ],
+            title="Appendix bounds: Kingman (Prop. 20) and M/GI/infinity maximal bound (Lemma 21)",
+        )
+
+    def all_bounds_hold(self) -> bool:
+        return all(row.bound_holds for row in self.rows)
+
+
+def run_queueing_bounds_experiment(
+    horizon: float = 200.0,
+    num_paths: int = 200,
+    offsets: Sequence[float] = (20.0, 40.0),
+    seed: SeedLike = 1234,
+) -> QueueingBoundsResult:
+    """Check both appendix bounds by Monte-Carlo simulation."""
+    rows: List[BoundCheckRow] = []
+    seeds = spawn_generators(seed, 2 * len(offsets))
+    seed_index = 0
+
+    # Kingman bound for a compound Poisson process with geometric batch sizes.
+    rate = 1.0
+    batch_mean = 2.0  # geometric with success probability 1/2 on {1, 2, ...}
+    batch_second_moment = 6.0  # E[X^2] for that geometric law
+    process = CompoundPoissonProcess(
+        rate=rate,
+        batch_sampler=lambda rng, count: rng.geometric(0.5, size=count).astype(float),
+        batch_mean=batch_mean,
+        batch_second_moment=batch_second_moment,
+    )
+    slope = rate * batch_mean * 1.5
+    for offset in offsets:
+        rng = seeds[seed_index]
+        seed_index += 1
+        exceed = 0
+        for _ in range(num_paths):
+            sample = process.sample(horizon, seed=rng)
+            if sample.arrival_times.size:
+                cumulative = np.cumsum(sample.batch_sizes)
+                line = offset + slope * sample.arrival_times
+                if np.any(cumulative >= line):
+                    exceed += 1
+        bound = kingman_exceedance_bound(
+            rate, batch_mean, batch_second_moment, offset, slope
+        )
+        rows.append(
+            BoundCheckRow(
+                label="compound Poisson (Kingman)",
+                offset=offset,
+                slope=slope,
+                theoretical_bound=bound,
+                empirical_frequency=exceed / num_paths,
+            )
+        )
+
+    # M/GI/infinity maximal bound with the Lemma-5 service law.
+    arrival_rate = 1.0
+    num_stages, stage_rate, dwell_rate = 3, 1.0, 2.0
+    mean_service = erlang_plus_exponential_mean(num_stages, stage_rate, dwell_rate)
+    queue = MGInfinityQueue(
+        arrival_rate,
+        erlang_plus_exponential_sampler(num_stages, stage_rate, dwell_rate),
+    )
+    slope_q = 1.0
+    for offset in offsets:
+        rng = seeds[seed_index]
+        seed_index += 1
+        exceed = 0
+        for _ in range(num_paths):
+            trajectory = queue.simulate(horizon, seed=rng, num_samples=400)
+            line = offset + slope_q * trajectory.sample_times
+            if np.any(trajectory.occupancy >= line):
+                exceed += 1
+        bound = maximal_exceedance_bound(arrival_rate, mean_service, offset, slope_q)
+        rows.append(
+            BoundCheckRow(
+                label="M/GI/inf occupancy (Lemma 21)",
+                offset=offset,
+                slope=slope_q,
+                theoretical_bound=bound,
+                empirical_frequency=exceed / num_paths,
+            )
+        )
+    return QueueingBoundsResult(rows=rows)
+
+
+__all__ = ["BoundCheckRow", "QueueingBoundsResult", "run_queueing_bounds_experiment"]

@@ -1,0 +1,184 @@
+"""Run the full experiment suite and emit a combined report.
+
+This is the "regenerate everything" entry point::
+
+    python -m repro.experiments.report                 # full settings
+    python -m repro.experiments.report --quick         # reduced horizons
+    python -m repro.experiments.report --only E1 E6    # a subset
+    python -m repro.experiments.report --output-dir results/
+
+Each experiment prints its paper-vs-measured table; with ``--output-dir`` the
+tables are also written as text files (one per experiment) for inclusion in
+reports.  The same experiments are exercised, one per benchmark, by
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .coding import run_coding_experiment
+from .dwell_time import run_dwell_time_experiment
+from .example1 import run_example1
+from .example2 import run_example2
+from .example3 import run_example3
+from .lyapunov_exp import run_lyapunov_experiment
+from .mu_infinity_exp import run_mu_infinity_experiment
+from .one_club import run_one_club_experiment
+from .policy import run_policy_experiment
+from .queueing_exp import run_queueing_bounds_experiment
+
+ExperimentRunner = Callable[[bool], object]
+
+
+def _scale(quick: bool, full_value: float, quick_value: float) -> float:
+    return quick_value if quick else full_value
+
+
+def _run_e1(quick: bool):
+    return run_example1(
+        horizon=_scale(quick, 250.0, 120.0),
+        replications=1 if quick else 2,
+    )
+
+
+def _run_e2(quick: bool):
+    return run_example2(
+        horizon=_scale(quick, 250.0, 120.0),
+        replications=1 if quick else 2,
+    )
+
+
+def _run_e3(quick: bool):
+    return run_example3(
+        horizon=_scale(quick, 250.0, 120.0),
+        replications=1 if quick else 2,
+    )
+
+
+def _run_e4(quick: bool):
+    return run_one_club_experiment(
+        horizon=_scale(quick, 120.0, 60.0),
+        replications=1 if quick else 2,
+        initial_club_size=40 if quick else 60,
+    )
+
+
+def _run_e5(quick: bool):
+    return run_mu_infinity_experiment(block_sizes=(20, 80) if quick else (50, 200, 800))
+
+
+def _run_e6(quick: bool):
+    return run_coding_experiment(
+        num_pieces=6 if quick else 8,
+        field_size=5 if quick else 7,
+        horizon=_scale(quick, 200.0, 80.0),
+    )
+
+
+def _run_e7(quick: bool):
+    return run_policy_experiment(
+        horizon=_scale(quick, 220.0, 100.0),
+        replications=1 if quick else 2,
+    )
+
+
+def _run_e8(quick: bool):
+    return run_dwell_time_experiment(
+        horizon=_scale(quick, 280.0, 200.0),
+        replications=1 if quick else 2,
+        gamma_values=(0.8, math.inf) if quick else (0.8, 1.05, 2.0, math.inf),
+    )
+
+
+def _run_e9(quick: bool):
+    return run_lyapunov_experiment(
+        populations=(400,) if quick else (200, 500),
+        states_per_population=4 if quick else 10,
+    )
+
+
+def _run_e10(quick: bool):
+    return run_queueing_bounds_experiment(
+        num_paths=40 if quick else 200,
+        horizon=_scale(quick, 200.0, 80.0),
+        offsets=(20.0,) if quick else (20.0, 40.0),
+    )
+
+
+EXPERIMENTS: Dict[str, Tuple[str, ExperimentRunner]] = {
+    "E1": ("Figure 1(a) / Example 1: single piece", _run_e1),
+    "E2": ("Figure 1(b) / Example 2: two arrival classes", _run_e2),
+    "E3": ("Figure 1(c) / Example 3: one-piece arrivals", _run_e3),
+    "E4": ("Figure 2: missing piece syndrome", _run_e4),
+    "E5": ("Figure 3: mu = infinity watched process", _run_e5),
+    "E6": ("Theorem 15: network coding", _run_e6),
+    "E7": ("Theorem 14: policy insensitivity", _run_e7),
+    "E8": ("One-extra-piece corollary: dwell sweep", _run_e8),
+    "E9": ("Section VII: Lyapunov drift", _run_e9),
+    "E10": ("Appendix bounds", _run_e10),
+}
+
+
+def run_experiments(
+    only: Optional[List[str]] = None,
+    quick: bool = False,
+    output_dir: Optional[Path] = None,
+) -> Dict[str, str]:
+    """Run the selected experiments and return their text reports by id.
+
+    ``only`` restricts the set (default: all ten).  ``quick`` shrinks horizons
+    and replication counts for smoke runs.  ``output_dir`` additionally writes
+    one ``<id>.txt`` file per experiment.
+    """
+    selected = list(EXPERIMENTS) if not only else [key.upper() for key in only]
+    unknown = [key for key in selected if key not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment id(s): {unknown}; known: {list(EXPERIMENTS)}")
+    reports: Dict[str, str] = {}
+    for key in selected:
+        title, runner = EXPERIMENTS[key]
+        result = runner(quick)
+        reports[key] = f"{key}  {title}\n\n{result.report()}"
+    if output_dir is not None:
+        output_dir = Path(output_dir)
+        output_dir.mkdir(parents=True, exist_ok=True)
+        for key, text in reports.items():
+            (output_dir / f"{key}.txt").write_text(text + "\n")
+    return reports
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's figures and worked examples."
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        metavar="ID",
+        help="experiment ids to run (E1..E10); default: all",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced horizons and replications"
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="also write one text report per experiment into this directory",
+    )
+    args = parser.parse_args(argv)
+    reports = run_experiments(only=args.only, quick=args.quick, output_dir=args.output_dir)
+    for key in reports:
+        print("=" * 78)
+        print(reports[key])
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,187 @@
+"""Experiment harness: replicated swarm runs and stability trials.
+
+A *stability trial* compares Theorem 1's verdict with the empirical behaviour
+of the peer-level simulator at a single parameter point: several independent
+replications are run, each trajectory is classified by
+:func:`repro.markov.classify.classify_trajectory`, and the majority verdict is
+reported next to the theoretical one.  Sweeps are lists of trials.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.parameters import SystemParameters
+from ..core.stability import Stability, StabilityReport, analyze
+from ..core.state import SystemState
+from ..markov.classify import (
+    TrajectoryClassification,
+    TrajectoryVerdict,
+    classify_trajectory,
+    majority_verdict,
+)
+from ..simulation.rng import SeedLike, spawn_generators
+from ..swarm.policies import PieceSelectionPolicy
+from ..swarm.swarm import SwarmResult, SwarmSimulator
+
+
+@dataclass
+class StabilityTrialResult:
+    """Theory vs. simulation at a single parameter point."""
+
+    label: str
+    params: SystemParameters
+    theory: StabilityReport
+    classifications: List[TrajectoryClassification]
+    empirical_verdict: TrajectoryVerdict
+    mean_normalized_slope: float
+    mean_population: float
+    results: List[SwarmResult] = field(default_factory=list)
+
+    @property
+    def agrees_with_theory(self) -> bool:
+        """True when the empirical verdict matches the theoretical one.
+
+        Borderline theory points and inconclusive empirical verdicts never
+        count as agreement or disagreement; they are reported as-is.
+        """
+        if self.theory.verdict is Stability.STABLE:
+            return self.empirical_verdict is TrajectoryVerdict.STABLE
+        if self.theory.verdict is Stability.UNSTABLE:
+            return self.empirical_verdict is TrajectoryVerdict.UNSTABLE
+        return False
+
+    def row(self) -> Tuple[str, str, str, float, float]:
+        """A table row: label, theory, empirical, slope, mean population."""
+        return (
+            self.label,
+            self.theory.verdict.value,
+            self.empirical_verdict.value,
+            self.mean_normalized_slope,
+            self.mean_population,
+        )
+
+
+def run_stability_trial(
+    params: SystemParameters,
+    label: str = "",
+    horizon: float = 300.0,
+    replications: int = 3,
+    seed: SeedLike = 0,
+    policy: Optional[PieceSelectionPolicy] = None,
+    initial_state: Optional[SystemState] = None,
+    max_population: Optional[int] = 20_000,
+    keep_results: bool = False,
+    last_fraction: float = 0.5,
+) -> StabilityTrialResult:
+    """Run one theory-vs-simulation comparison at a parameter point."""
+    theory = analyze(params)
+    rngs = spawn_generators(seed, replications)
+    classifications: List[TrajectoryClassification] = []
+    results: List[SwarmResult] = []
+    slopes: List[float] = []
+    populations: List[float] = []
+    for rng in rngs:
+        simulator = SwarmSimulator(params, policy=policy, seed=rng)
+        result = simulator.run(
+            horizon,
+            initial_state=initial_state,
+            max_population=max_population,
+        )
+        metrics = result.metrics
+        classification = classify_trajectory(
+            metrics.sample_times,
+            metrics.population,
+            arrival_rate=params.lambda_total,
+            last_fraction=last_fraction,
+        )
+        classifications.append(classification)
+        slopes.append(classification.normalized_slope)
+        populations.append(metrics.mean_population(last_fraction))
+        if keep_results:
+            results.append(result)
+    return StabilityTrialResult(
+        label=label or params.describe().splitlines()[0],
+        params=params,
+        theory=theory,
+        classifications=classifications,
+        empirical_verdict=majority_verdict(classifications),
+        mean_normalized_slope=float(np.mean(slopes)) if slopes else 0.0,
+        mean_population=float(np.mean(populations)) if populations else 0.0,
+        results=results,
+    )
+
+
+@dataclass
+class SweepResult:
+    """A collection of stability trials forming one experiment."""
+
+    name: str
+    trials: List[StabilityTrialResult]
+
+    def table_rows(self) -> List[Tuple[str, str, str, float, float]]:
+        return [trial.row() for trial in self.trials]
+
+    def agreement_fraction(self) -> float:
+        """Fraction of non-borderline trials whose verdicts agree with theory."""
+        decisive = [
+            trial
+            for trial in self.trials
+            if trial.theory.verdict is not Stability.BORDERLINE
+            and trial.empirical_verdict is not TrajectoryVerdict.INCONCLUSIVE
+        ]
+        if not decisive:
+            return 0.0
+        agreeing = sum(1 for trial in decisive if trial.agrees_with_theory)
+        return agreeing / len(decisive)
+
+    def all_decisive_agree(self) -> bool:
+        """True when every decisive trial matches the theoretical verdict."""
+        for trial in self.trials:
+            if trial.theory.verdict is Stability.BORDERLINE:
+                continue
+            if trial.empirical_verdict is TrajectoryVerdict.INCONCLUSIVE:
+                continue
+            if not trial.agrees_with_theory:
+                return False
+        return True
+
+
+def run_sweep(
+    name: str,
+    points: Sequence[Tuple[str, SystemParameters]],
+    horizon: float = 300.0,
+    replications: int = 3,
+    seed: SeedLike = 0,
+    policy: Optional[PieceSelectionPolicy] = None,
+    initial_state: Optional[SystemState] = None,
+    max_population: Optional[int] = 20_000,
+) -> SweepResult:
+    """Run a stability trial at each labelled parameter point."""
+    rngs = spawn_generators(seed, len(points))
+    trials = [
+        run_stability_trial(
+            params,
+            label=label,
+            horizon=horizon,
+            replications=replications,
+            seed=rng,
+            policy=policy,
+            initial_state=initial_state,
+            max_population=max_population,
+        )
+        for (label, params), rng in zip(points, rngs)
+    ]
+    return SweepResult(name=name, trials=trials)
+
+
+__all__ = [
+    "StabilityTrialResult",
+    "SweepResult",
+    "run_stability_trial",
+    "run_sweep",
+]

@@ -1,0 +1,23 @@
+"""Limiting regimes of the model.
+
+* :mod:`repro.limits.mu_infinity` — the µ = ∞ watched process of Figure 3
+  and Section VIII-D (borderline / null-recurrent behaviour);
+* :mod:`repro.limits.fluid` — the deterministic fluid ODE limit.
+"""
+
+from .fluid import FluidModel, FluidTrajectory
+from .mu_infinity import (
+    MuInfinityChain,
+    MuInfinityState,
+    finite_mu_symmetric_chain_simulation,
+    negative_binomial_pmf,
+)
+
+__all__ = [
+    "FluidModel",
+    "FluidTrajectory",
+    "MuInfinityChain",
+    "MuInfinityState",
+    "finite_mu_symmetric_chain_simulation",
+    "negative_binomial_pmf",
+]

@@ -1,0 +1,31 @@
+"""Queueing substrates used by the proofs (appendix of the paper).
+
+* :mod:`repro.queueing.mgi_inf` — M/GI/∞ queue simulation, stationary mean,
+  and the maximal bound of Lemma 21;
+* Kingman's compound-Poisson moment bound lives in
+  :mod:`repro.simulation.processes` and is re-exported here for convenience.
+"""
+
+from ..simulation.processes import (
+    CompoundPoissonProcess,
+    kingman_exceedance_bound,
+)
+from .mgi_inf import (
+    MGInfinityQueue,
+    MGInfinityTrajectory,
+    erlang_plus_exponential_mean,
+    erlang_plus_exponential_sampler,
+    maximal_exceedance_bound,
+    stationary_mean,
+)
+
+__all__ = [
+    "CompoundPoissonProcess",
+    "MGInfinityQueue",
+    "MGInfinityTrajectory",
+    "erlang_plus_exponential_mean",
+    "erlang_plus_exponential_sampler",
+    "kingman_exceedance_bound",
+    "maximal_exceedance_bound",
+    "stationary_mean",
+]

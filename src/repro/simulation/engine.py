@@ -1,0 +1,196 @@
+"""A small discrete-event simulation engine.
+
+The peer-level swarm simulator and the queueing substrates are built on a
+conventional event-heap engine: events are ``(time, sequence, callback)``
+entries popped in time order; callbacks may schedule further events.  The
+engine knows nothing about peers or pieces — it only advances the clock.
+
+A companion :class:`PoissonClock` models the internal Poisson clocks of the
+paper (the fixed seed's rate-``U_s`` clock and every peer's rate-``µ`` clock):
+each tick re-schedules the next tick, and clocks can be cancelled when their
+owner departs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from .rng import exponential
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventCancelled:
+    """Handle returned by :meth:`EventLoop.schedule`; used to cancel events."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def is_cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class EventLoop:
+    """Time-ordered event queue with cancellation support."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._heap: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventCancelled:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be nonnegative, got {delay}")
+        if math.isinf(delay):
+            # Never fires; return an already-cancelled handle.
+            event = _ScheduledEvent(math.inf, next(self._counter), callback, True)
+            return EventCancelled(event)
+        event = _ScheduledEvent(self._now + delay, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return EventCancelled(event)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventCancelled:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        return self.schedule(time - self._now, callback)
+
+    def peek_time(self) -> float:
+        """Time of the next pending (non-cancelled) event, or ``inf``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else math.inf
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Run events until the clock would pass ``end_time``.
+
+        Returns the number of events executed.  The clock is advanced to
+        ``end_time`` at the end even if no event lands exactly there.
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            next_time = self.peek_time()
+            if next_time > end_time:
+                break
+            if not self.step():
+                break
+            executed += 1
+        self._now = max(self._now, end_time)
+        return executed
+
+
+class PoissonClock:
+    """An internal Poisson clock that invokes a callback at each tick.
+
+    Models the paper's contact clocks: the owner contacts a random peer at the
+    ticks of a rate-``rate`` Poisson process.  The clock keeps re-arming itself
+    until :meth:`stop` is called (e.g. when the owning peer departs).  The rate
+    can be changed on the fly (used by the faster-retry extension of Section
+    VIII-C).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: np.random.Generator,
+        rate: float,
+        on_tick: Callable[[], None],
+    ):
+        if rate < 0:
+            raise ValueError(f"rate must be nonnegative, got {rate}")
+        self._loop = loop
+        self._rng = rng
+        self._rate = rate
+        self._on_tick = on_tick
+        self._running = False
+        self._pending: Optional[EventCancelled] = None
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Arm the clock (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._arm()
+
+    def stop(self) -> None:
+        """Disarm the clock; no further ticks fire."""
+        self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def set_rate(self, rate: float) -> None:
+        """Change the tick rate; the next tick is re-drawn at the new rate."""
+        if rate < 0:
+            raise ValueError(f"rate must be nonnegative, got {rate}")
+        self._rate = rate
+        if self._running:
+            if self._pending is not None:
+                self._pending.cancel()
+            self._arm()
+
+    def _arm(self) -> None:
+        delay = exponential(self._rng, self._rate)
+        if math.isinf(delay):
+            self._pending = None
+            return
+        self._pending = self._loop.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._on_tick()
+        if self._running:
+            self._arm()
+
+
+__all__ = ["EventLoop", "EventCancelled", "PoissonClock"]

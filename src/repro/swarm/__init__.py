@@ -1,0 +1,57 @@
+"""Peer-level swarm simulators (uncoded and network-coded).
+
+* :mod:`repro.swarm.peer` / :mod:`repro.swarm.swarm` — the discrete-event
+  simulation of the Section-III model;
+* :mod:`repro.swarm.policies` — piece-selection policies (Theorem 14);
+* :mod:`repro.swarm.groups` — the Figure-2 group decomposition;
+* :mod:`repro.swarm.metrics` — collected statistics;
+* :mod:`repro.swarm.network_coding` — the random-linear-coding variant
+  (Theorem 15).
+"""
+
+from .groups import GroupSnapshot, PeerGroup, classify_peer, group_counts
+from .metrics import SwarmMetrics
+from .network_coding import (
+    CodedArrivalSpec,
+    CodedSwarmResult,
+    CodedSwarmSimulator,
+    gifted_fraction_arrivals,
+)
+from .peer import Peer
+from .policies import (
+    CallablePolicy,
+    MostCommonFirstSelection,
+    PieceSelectionPolicy,
+    RandomUsefulSelection,
+    RarestFirstSelection,
+    SequentialSelection,
+    SwarmView,
+    make_policy,
+    registered_policies,
+)
+from .swarm import SwarmResult, SwarmSimulator, run_swarm
+
+__all__ = [
+    "CallablePolicy",
+    "CodedArrivalSpec",
+    "CodedSwarmResult",
+    "CodedSwarmSimulator",
+    "GroupSnapshot",
+    "MostCommonFirstSelection",
+    "Peer",
+    "PeerGroup",
+    "PieceSelectionPolicy",
+    "RandomUsefulSelection",
+    "RarestFirstSelection",
+    "SequentialSelection",
+    "SwarmMetrics",
+    "SwarmResult",
+    "SwarmSimulator",
+    "SwarmView",
+    "classify_peer",
+    "gifted_fraction_arrivals",
+    "group_counts",
+    "make_policy",
+    "registered_policies",
+    "run_swarm",
+]

@@ -1,0 +1,113 @@
+"""The Figure-2 decomposition of the population.
+
+The transience proof partitions the peers into five groups with respect to a
+designated rare piece (piece one in the paper):
+
+* **normal young** (a): missing at least two pieces, one of them the rare one,
+  and never previously infected;
+* **infected** (b): obtained the rare piece after arrival, before holding all
+  the other pieces; stays infected for its whole stay;
+* **gifted** (g): arrived already holding the rare piece;
+* **one club** (e): holds every piece except the rare one;
+* **former one club** (f): was in the one club earlier and has since obtained
+  the rare piece (necessarily a peer seed).
+
+The classification drives the E4 experiment (one-club dynamics) and several
+tests of the transience mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List
+
+from .peer import Peer
+
+
+class PeerGroup(Enum):
+    """Labels of the five peer groups of Figure 2."""
+
+    NORMAL_YOUNG = "normal_young"
+    INFECTED = "infected"
+    GIFTED = "gifted"
+    ONE_CLUB = "one_club"
+    FORMER_ONE_CLUB = "former_one_club"
+
+
+def classify_peer(peer: Peer, rare_piece: int = 1) -> PeerGroup:
+    """Assign a peer to its Figure-2 group.
+
+    Precedence follows the paper: gifted and infected are *sticky* labels that
+    persist once acquired (even for peer seeds), the one club contains exactly
+    the peers of type ``F − {rare_piece}``, and former one-club peers are the
+    ex-members that have since completed the file.
+    """
+    if peer.is_gifted if rare_piece == 1 else (rare_piece in peer.arrived_with):
+        return PeerGroup.GIFTED
+    if peer.infected_at is not None:
+        return PeerGroup.INFECTED
+    if peer.is_one_club(rare_piece):
+        return PeerGroup.ONE_CLUB
+    if peer.was_one_club and rare_piece in peer.pieces:
+        return PeerGroup.FORMER_ONE_CLUB
+    return PeerGroup.NORMAL_YOUNG
+
+
+def group_counts(peers: Iterable[Peer], rare_piece: int = 1) -> Dict[PeerGroup, int]:
+    """Count the members of each group among the given peers."""
+    counts = {group: 0 for group in PeerGroup}
+    for peer in peers:
+        counts[classify_peer(peer, rare_piece)] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class GroupSnapshot:
+    """Group sizes at one sampling instant."""
+
+    time: float
+    normal_young: int
+    infected: int
+    gifted: int
+    one_club: int
+    former_one_club: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.normal_young
+            + self.infected
+            + self.gifted
+            + self.one_club
+            + self.former_one_club
+        )
+
+    @property
+    def one_club_fraction(self) -> float:
+        """Fraction of peers in the one club and former one club together.
+
+        This is the quantity ``(Y^e + Y^f)/N`` whose persistence above
+        ``1 − ξ`` defines the trapping event of the transience proof.
+        """
+        total = self.total
+        if total == 0:
+            return 0.0
+        return (self.one_club + self.former_one_club) / total
+
+    @classmethod
+    def from_peers(
+        cls, time: float, peers: Iterable[Peer], rare_piece: int = 1
+    ) -> "GroupSnapshot":
+        counts = group_counts(peers, rare_piece)
+        return cls(
+            time=time,
+            normal_young=counts[PeerGroup.NORMAL_YOUNG],
+            infected=counts[PeerGroup.INFECTED],
+            gifted=counts[PeerGroup.GIFTED],
+            one_club=counts[PeerGroup.ONE_CLUB],
+            former_one_club=counts[PeerGroup.FORMER_ONE_CLUB],
+        )
+
+
+__all__ = ["PeerGroup", "GroupSnapshot", "classify_peer", "group_counts"]

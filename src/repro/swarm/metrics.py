@@ -1,0 +1,161 @@
+"""Metrics collected by the swarm simulators.
+
+:class:`SwarmMetrics` accumulates a sampled time series of the population
+size, the number of peer seeds, the one-club size, the minimum piece count
+(how rare the rarest piece is) and the Figure-2 group sizes, plus event
+counters (arrivals, departures, downloads, wasted contacts) and the sojourn
+times of departed peers.  Summary helpers compute the growth slope of the
+population, which the experiments use to classify runs as stable or unstable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .groups import GroupSnapshot
+
+
+@dataclass
+class SwarmMetrics:
+    """Time series and counters from one swarm simulation run."""
+
+    sample_times: List[float] = field(default_factory=list)
+    population: List[int] = field(default_factory=list)
+    num_seeds: List[int] = field(default_factory=list)
+    one_club_size: List[int] = field(default_factory=list)
+    min_piece_count: List[int] = field(default_factory=list)
+    group_snapshots: List[GroupSnapshot] = field(default_factory=list)
+
+    total_arrivals: int = 0
+    total_departures: int = 0
+    total_downloads: int = 0
+    total_seed_uploads: int = 0
+    wasted_contacts: int = 0
+    sojourn_times: List[float] = field(default_factory=list)
+    download_times: List[float] = field(default_factory=list)
+
+    # -- recording -------------------------------------------------------------
+
+    def record_sample(
+        self,
+        time: float,
+        population: int,
+        num_seeds: int,
+        one_club_size: int,
+        min_piece_count: int,
+        group_snapshot: Optional[GroupSnapshot] = None,
+    ) -> None:
+        self.sample_times.append(time)
+        self.population.append(population)
+        self.num_seeds.append(num_seeds)
+        self.one_club_size.append(one_club_size)
+        self.min_piece_count.append(min_piece_count)
+        if group_snapshot is not None:
+            self.group_snapshots.append(group_snapshot)
+
+    def record_departure(self, sojourn: float, download_time: Optional[float]) -> None:
+        self.total_departures += 1
+        self.sojourn_times.append(sojourn)
+        if download_time is not None:
+            self.download_times.append(download_time)
+
+    # -- arrays ------------------------------------------------------------------
+
+    def times_array(self) -> np.ndarray:
+        return np.asarray(self.sample_times, dtype=float)
+
+    def population_array(self) -> np.ndarray:
+        return np.asarray(self.population, dtype=float)
+
+    def one_club_array(self) -> np.ndarray:
+        return np.asarray(self.one_club_size, dtype=float)
+
+    # -- summaries --------------------------------------------------------------
+
+    @property
+    def final_population(self) -> int:
+        return self.population[-1] if self.population else 0
+
+    @property
+    def peak_population(self) -> int:
+        return max(self.population) if self.population else 0
+
+    def mean_population(self, last_fraction: float = 0.5) -> float:
+        """Mean population over the trailing ``last_fraction`` of samples."""
+        values = self.population_array()
+        if values.size == 0:
+            return 0.0
+        start = int(round((1.0 - last_fraction) * values.size))
+        return float(values[start:].mean())
+
+    def population_slope(self, last_fraction: float = 0.5) -> float:
+        """Least-squares slope of ``n(t)`` over the trailing portion of the run.
+
+        A clearly positive slope (relative to the arrival rate) indicates the
+        linear growth characteristic of transience; a slope near zero with a
+        bounded population indicates stability.
+        """
+        times = self.times_array()
+        values = self.population_array()
+        if times.size < 3:
+            return 0.0
+        start = int(round((1.0 - last_fraction) * times.size))
+        t = times[start:]
+        y = values[start:]
+        if t.size < 3 or np.ptp(t) == 0:
+            return 0.0
+        slope, _intercept = np.polyfit(t, y, 1)
+        return float(slope)
+
+    def one_club_slope(self, last_fraction: float = 0.5) -> float:
+        """Least-squares slope of the one-club size over the trailing portion."""
+        times = self.times_array()
+        values = self.one_club_array()
+        if times.size < 3:
+            return 0.0
+        start = int(round((1.0 - last_fraction) * times.size))
+        t = times[start:]
+        y = values[start:]
+        if t.size < 3 or np.ptp(t) == 0:
+            return 0.0
+        slope, _intercept = np.polyfit(t, y, 1)
+        return float(slope)
+
+    def mean_sojourn_time(self) -> float:
+        if not self.sojourn_times:
+            return float("nan")
+        return float(np.mean(self.sojourn_times))
+
+    def mean_download_time(self) -> float:
+        if not self.download_times:
+            return float("nan")
+        return float(np.mean(self.download_times))
+
+    def fraction_time_empty(self) -> float:
+        """Fraction of samples at which the system was empty."""
+        values = self.population_array()
+        if values.size == 0:
+            return 0.0
+        return float(np.mean(values == 0))
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of headline statistics (for tables and CSV output)."""
+        return {
+            "final_population": float(self.final_population),
+            "peak_population": float(self.peak_population),
+            "mean_population": self.mean_population(),
+            "population_slope": self.population_slope(),
+            "one_club_slope": self.one_club_slope(),
+            "total_arrivals": float(self.total_arrivals),
+            "total_departures": float(self.total_departures),
+            "total_downloads": float(self.total_downloads),
+            "wasted_contacts": float(self.wasted_contacts),
+            "mean_sojourn_time": self.mean_sojourn_time(),
+            "mean_download_time": self.mean_download_time(),
+        }
+
+
+__all__ = ["SwarmMetrics"]

@@ -1,0 +1,125 @@
+"""Peer objects of the peer-level swarm simulator.
+
+A :class:`Peer` tracks its current piece collection plus the lifecycle flags
+needed for the Figure-2 group decomposition of the transience proof:
+
+* ``arrived_with`` — the initial piece collection (gifted peers arrived with
+  the rare piece in it);
+* ``infected_at`` — the time it obtained the designated rare piece after
+  arrival (None if it never has, or if it arrived with it);
+* ``was_one_club`` — whether it was ever a one-club peer;
+* ``completed_at`` — the time it became a peer seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.types import PieceSet
+
+
+@dataclass
+class Peer:
+    """One peer in the swarm simulation (mutable)."""
+
+    peer_id: int
+    pieces: PieceSet
+    arrival_time: float
+    arrived_with: PieceSet = field(default=None)  # type: ignore[assignment]
+    completed_at: Optional[float] = None
+    departed_at: Optional[float] = None
+    infected_at: Optional[float] = None
+    was_one_club: bool = False
+    downloads: int = 0
+    uploads: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrived_with is None:
+            self.arrived_with = self.pieces
+
+    # -- piece queries ----------------------------------------------------------
+
+    @property
+    def num_pieces(self) -> int:
+        return len(self.pieces)
+
+    @property
+    def is_seed(self) -> bool:
+        """True when the peer holds the complete file (it is a peer seed)."""
+        return self.pieces.is_complete
+
+    @property
+    def in_system(self) -> bool:
+        return self.departed_at is None
+
+    def needs(self, piece: int) -> bool:
+        return piece not in self.pieces
+
+    def useful_from(self, uploader_pieces: PieceSet) -> PieceSet:
+        """Pieces the uploader holds that this peer still needs."""
+        return self.pieces.useful_from(uploader_pieces)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def receive_piece(self, piece: int, time: float, rare_piece: int = 1) -> None:
+        """Record the download of ``piece`` at ``time``.
+
+        Updates the infection flag of the transience-proof decomposition: a
+        peer becomes *infected* when it obtains the rare piece after arrival
+        while still missing at least one other piece (it was a normal young
+        peer just before the download).
+        """
+        if piece in self.pieces:
+            raise ValueError(f"peer {self.peer_id} already holds piece {piece}")
+        was_one_club = self.is_one_club(rare_piece)
+        missing_before = len(self.pieces.missing())
+        if (
+            piece == rare_piece
+            and rare_piece not in self.arrived_with
+            and missing_before >= 2
+            and self.infected_at is None
+        ):
+            self.infected_at = time
+        if was_one_club:
+            self.was_one_club = True
+        self.pieces = self.pieces.add(piece)
+        self.downloads += 1
+        if self.pieces.is_complete and self.completed_at is None:
+            self.completed_at = time
+
+    def record_upload(self) -> None:
+        self.uploads += 1
+
+    def depart(self, time: float) -> None:
+        if self.departed_at is not None:
+            raise ValueError(f"peer {self.peer_id} already departed")
+        self.departed_at = time
+
+    # -- Figure-2 classification helpers -------------------------------------------
+
+    @property
+    def is_gifted(self) -> bool:
+        """Arrived holding the rare piece 1 (gifted for its entire stay)."""
+        return 1 in self.arrived_with
+
+    def is_one_club(self, rare_piece: int = 1) -> bool:
+        """Currently holds every piece except the rare one."""
+        missing = self.pieces.missing()
+        return len(missing) == 1 and rare_piece in missing
+
+    def sojourn_time(self, now: Optional[float] = None) -> float:
+        """Time spent in the system (up to departure or ``now``)."""
+        end = self.departed_at if self.departed_at is not None else now
+        if end is None:
+            raise ValueError("peer has not departed; supply the current time")
+        return end - self.arrival_time
+
+    def download_time(self) -> Optional[float]:
+        """Time from arrival to completion (None if never completed)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.arrival_time
+
+
+__all__ = ["Peer"]

@@ -1,0 +1,236 @@
+"""Piece-selection policies (Theorem 14 / Section VIII-A).
+
+A policy decides which piece an uploader transfers to a contacted peer.  The
+only restriction Theorem 14 places on a policy is the *usefulness constraint*:
+if the uploader holds any piece the downloader needs, a needed piece must be
+transferred.  The stability region is then the same as for random useful
+selection.
+
+Implemented policies:
+
+* :class:`RandomUsefulSelection` — the paper's baseline: a uniformly random
+  piece among those the downloader needs;
+* :class:`RarestFirstSelection` — BitTorrent-style: the needed piece with the
+  fewest copies in the current population (ties broken uniformly);
+* :class:`MostCommonFirstSelection` — adversarial counterpart of rarest-first,
+  used to show insensitivity from the other side;
+* :class:`SequentialSelection` — the lowest-numbered needed piece (in-order
+  streaming-style download);
+* :class:`CallablePolicy` — wraps an arbitrary ``h(A, B, x)``-style function.
+
+Each policy receives a :class:`SwarmView` giving read-only access to the piece
+census of the current population so that global policies (rarest first) can be
+expressed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.types import PieceSet
+
+
+@dataclass(frozen=True)
+class SwarmView:
+    """Read-only snapshot handed to piece-selection policies.
+
+    Attributes
+    ----------
+    num_pieces:
+        Number of pieces ``K``.
+    piece_counts:
+        ``piece_counts[k]`` is the number of peers currently holding piece
+        ``k`` (1-based dict).
+    total_peers:
+        Current population size.
+    time:
+        Current simulation time.
+    """
+
+    num_pieces: int
+    piece_counts: Dict[int, int]
+    total_peers: int
+    time: float
+
+
+class PieceSelectionPolicy(abc.ABC):
+    """Interface for piece-selection policies."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def select_piece(
+        self,
+        downloader_pieces: PieceSet,
+        uploader_pieces: PieceSet,
+        view: SwarmView,
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        """Choose the piece to transfer, or None when no useful piece exists.
+
+        Implementations must satisfy the usefulness constraint: whenever the
+        uploader holds a piece the downloader needs, a needed piece is
+        returned.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _useful_pieces(downloader_pieces: PieceSet, uploader_pieces: PieceSet) -> List[int]:
+    return list(downloader_pieces.useful_from(uploader_pieces))
+
+
+class RandomUsefulSelection(PieceSelectionPolicy):
+    """Uniformly random useful piece (the paper's baseline policy)."""
+
+    name = "random-useful"
+
+    def select_piece(
+        self,
+        downloader_pieces: PieceSet,
+        uploader_pieces: PieceSet,
+        view: SwarmView,
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        useful = _useful_pieces(downloader_pieces, uploader_pieces)
+        if not useful:
+            return None
+        return int(useful[rng.integers(len(useful))])
+
+
+class RarestFirstSelection(PieceSelectionPolicy):
+    """Transfer the useful piece with the fewest copies in the population."""
+
+    name = "rarest-first"
+
+    def select_piece(
+        self,
+        downloader_pieces: PieceSet,
+        uploader_pieces: PieceSet,
+        view: SwarmView,
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        useful = _useful_pieces(downloader_pieces, uploader_pieces)
+        if not useful:
+            return None
+        counts = [view.piece_counts.get(piece, 0) for piece in useful]
+        rarest = min(counts)
+        candidates = [piece for piece, count in zip(useful, counts) if count == rarest]
+        return int(candidates[rng.integers(len(candidates))])
+
+
+class MostCommonFirstSelection(PieceSelectionPolicy):
+    """Transfer the useful piece with the *most* copies (worst-case diversity)."""
+
+    name = "most-common-first"
+
+    def select_piece(
+        self,
+        downloader_pieces: PieceSet,
+        uploader_pieces: PieceSet,
+        view: SwarmView,
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        useful = _useful_pieces(downloader_pieces, uploader_pieces)
+        if not useful:
+            return None
+        counts = [view.piece_counts.get(piece, 0) for piece in useful]
+        most = max(counts)
+        candidates = [piece for piece, count in zip(useful, counts) if count == most]
+        return int(candidates[rng.integers(len(candidates))])
+
+
+class SequentialSelection(PieceSelectionPolicy):
+    """Transfer the lowest-numbered useful piece (in-order download)."""
+
+    name = "sequential"
+
+    def select_piece(
+        self,
+        downloader_pieces: PieceSet,
+        uploader_pieces: PieceSet,
+        view: SwarmView,
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        useful = _useful_pieces(downloader_pieces, uploader_pieces)
+        if not useful:
+            return None
+        return int(min(useful))
+
+
+class CallablePolicy(PieceSelectionPolicy):
+    """Adapt an arbitrary function into a policy.
+
+    The function receives the downloader's pieces, the uploader's pieces, the
+    swarm view and an RNG, and must return a needed piece (or raise).  A
+    usefulness check wraps the result so that a buggy function cannot violate
+    the Theorem-14 constraint silently.
+    """
+
+    def __init__(
+        self,
+        func: Callable[[PieceSet, PieceSet, SwarmView, np.random.Generator], int],
+        name: str = "custom",
+    ):
+        self._func = func
+        self.name = name
+
+    def select_piece(
+        self,
+        downloader_pieces: PieceSet,
+        uploader_pieces: PieceSet,
+        view: SwarmView,
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        useful = _useful_pieces(downloader_pieces, uploader_pieces)
+        if not useful:
+            return None
+        piece = int(self._func(downloader_pieces, uploader_pieces, view, rng))
+        if piece not in useful:
+            raise ValueError(
+                f"policy {self.name!r} selected piece {piece}, which is not useful "
+                f"(useful pieces: {useful})"
+            )
+        return piece
+
+
+_POLICY_REGISTRY: Dict[str, Callable[[], PieceSelectionPolicy]] = {
+    "random-useful": RandomUsefulSelection,
+    "rarest-first": RarestFirstSelection,
+    "most-common-first": MostCommonFirstSelection,
+    "sequential": SequentialSelection,
+}
+
+
+def make_policy(name: str) -> PieceSelectionPolicy:
+    """Construct a registered policy by name."""
+    try:
+        factory = _POLICY_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown policy {name!r}; known policies: {sorted(_POLICY_REGISTRY)}"
+        ) from exc
+    return factory()
+
+
+def registered_policies() -> List[str]:
+    """Names of all built-in piece-selection policies."""
+    return sorted(_POLICY_REGISTRY)
+
+
+__all__ = [
+    "SwarmView",
+    "PieceSelectionPolicy",
+    "RandomUsefulSelection",
+    "RarestFirstSelection",
+    "MostCommonFirstSelection",
+    "SequentialSelection",
+    "CallablePolicy",
+    "make_policy",
+    "registered_policies",
+]

@@ -1,0 +1,407 @@
+"""Peer-level discrete-event simulator of the Zhu--Hajek swarm.
+
+The simulator follows the model of Section III exactly:
+
+* type-``C`` peers arrive as independent Poisson processes with rates
+  ``λ_C``;
+* the fixed seed contacts a uniformly chosen peer at the ticks of a rate
+  ``U_s`` Poisson clock and uploads one useful piece chosen by the
+  piece-selection policy (random useful by default);
+* each peer contacts a uniformly chosen peer (possibly itself, in which case
+  nothing useful can be transferred — matching the ``x_C/n`` normalisation of
+  Eq. (1)) at the ticks of its own rate-``µ`` clock;
+* a peer that completes the file stays as a peer seed for an Exp(γ) time
+  (or departs immediately when ``γ = ∞``).
+
+Because all peer clocks share the same rate, the simulation samples the
+*aggregate* next event (arrival / seed tick / some peer's tick / some seed's
+departure) instead of maintaining one timer per peer, which keeps a step at
+O(population) worst case and usually O(1).
+
+The optional ``retry_speedup`` factor implements the Section VIII-C extension:
+a peer whose contact found no useful piece runs its clock faster by the given
+factor until its next tick.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.parameters import SystemParameters
+from ..core.state import SystemState
+from ..core.types import PieceSet
+from ..simulation.rng import SeedLike, make_rng
+from .groups import GroupSnapshot
+from .metrics import SwarmMetrics
+from .peer import Peer
+from .policies import PieceSelectionPolicy, RandomUsefulSelection, SwarmView
+
+
+@dataclass
+class SwarmResult:
+    """Outcome of one swarm simulation run."""
+
+    metrics: SwarmMetrics
+    final_time: float
+    final_population: int
+    final_state: SystemState
+    horizon_reached: bool
+
+
+class SwarmSimulator:
+    """Event-driven peer-level simulation of the P2P swarm."""
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        policy: Optional[PieceSelectionPolicy] = None,
+        seed: SeedLike = None,
+        rare_piece: int = 1,
+        retry_speedup: float = 1.0,
+        track_groups: bool = False,
+    ):
+        if retry_speedup < 1.0:
+            raise ValueError(f"retry_speedup must be >= 1, got {retry_speedup}")
+        if not 1 <= rare_piece <= params.num_pieces:
+            raise ValueError("rare_piece out of range")
+        self.params = params
+        self.policy = policy if policy is not None else RandomUsefulSelection()
+        self.rng = make_rng(seed)
+        self.rare_piece = rare_piece
+        self.retry_speedup = retry_speedup
+        self.track_groups = track_groups
+
+        self._peers: Dict[int, Peer] = {}
+        self._order: List[int] = []  # peer ids, for O(1) uniform sampling
+        self._position: Dict[int, int] = {}
+        self._seeds: List[int] = []  # ids of peer seeds (only when gamma < inf)
+        self._seed_position: Dict[int, int] = {}
+        self._speedups: Dict[int, float] = {}  # only peers with multiplier > 1
+        self._piece_counts: Dict[int, int] = {
+            k: 0 for k in range(1, params.num_pieces + 1)
+        }
+        self._next_peer_id = 0
+        self._time = 0.0
+        self.metrics = SwarmMetrics()
+        self._arrival_types = list(params.arrival_rates)
+        self._arrival_weights = np.array(
+            [params.arrival_rates[t] for t in self._arrival_types], dtype=float
+        )
+        self._arrival_total = float(self._arrival_weights.sum())
+
+    # -- population management -------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._time
+
+    @property
+    def population(self) -> int:
+        return len(self._order)
+
+    @property
+    def num_seeds(self) -> int:
+        return len(self._seeds)
+
+    def peers(self) -> Iterable[Peer]:
+        """Iterate over the peers currently in the system."""
+        return (self._peers[pid] for pid in self._order)
+
+    def current_state(self) -> SystemState:
+        """Aggregate the population into a :class:`SystemState`."""
+        counts: Dict[PieceSet, int] = {}
+        for peer in self.peers():
+            counts[peer.pieces] = counts.get(peer.pieces, 0) + 1
+        return SystemState(counts, self.params.num_pieces)
+
+    def one_club_size(self) -> int:
+        return sum(1 for peer in self.peers() if peer.is_one_club(self.rare_piece))
+
+    def _add_peer(self, pieces: PieceSet) -> Peer:
+        peer = Peer(
+            peer_id=self._next_peer_id,
+            pieces=pieces,
+            arrival_time=self._time,
+            arrived_with=pieces,
+        )
+        self._next_peer_id += 1
+        self._peers[peer.peer_id] = peer
+        self._position[peer.peer_id] = len(self._order)
+        self._order.append(peer.peer_id)
+        for piece in pieces:
+            self._piece_counts[piece] += 1
+        if peer.is_seed and not self.params.immediate_departure:
+            self._add_seed(peer.peer_id)
+        self.metrics.total_arrivals += 1
+        return peer
+
+    def _remove_peer(self, peer: Peer) -> None:
+        pid = peer.peer_id
+        index = self._position.pop(pid)
+        last_id = self._order[-1]
+        self._order[index] = last_id
+        self._position[last_id] = index
+        self._order.pop()
+        if pid == last_id and self._order and self._position.get(pid) == len(self._order):
+            # Degenerate case handled by the swap above; nothing further needed.
+            pass
+        del self._peers[pid]
+        self._speedups.pop(pid, None)
+        for piece in peer.pieces:
+            self._piece_counts[piece] -= 1
+        if pid in self._seed_position:
+            self._remove_seed(pid)
+        peer.depart(self._time)
+        self.metrics.record_departure(
+            sojourn=peer.sojourn_time(self._time),
+            download_time=peer.download_time(),
+        )
+
+    def _add_seed(self, peer_id: int) -> None:
+        self._seed_position[peer_id] = len(self._seeds)
+        self._seeds.append(peer_id)
+
+    def _remove_seed(self, peer_id: int) -> None:
+        index = self._seed_position.pop(peer_id)
+        last_id = self._seeds[-1]
+        self._seeds[index] = last_id
+        self._seed_position[last_id] = index
+        self._seeds.pop()
+
+    def seed_population(self, initial_state: SystemState) -> None:
+        """Populate the swarm from a :class:`SystemState` before running."""
+        for type_c, count in initial_state.items():
+            for _ in range(count):
+                self._add_peer(type_c)
+        # The pre-seeded peers are not exogenous arrivals.
+        self.metrics.total_arrivals -= initial_state.total_peers
+
+    # -- event mechanics -------------------------------------------------------------
+
+    def _total_peer_tick_rate(self) -> float:
+        base = self.population * self.params.peer_rate
+        if self.retry_speedup > 1.0 and self._speedups:
+            base += sum(
+                (multiplier - 1.0) * self.params.peer_rate
+                for multiplier in self._speedups.values()
+            )
+        return base
+
+    def _event_rates(self) -> Tuple[float, float, float, float]:
+        """Rates of (arrival, fixed-seed tick, peer tick, seed departure)."""
+        arrival = self._arrival_total
+        seed_tick = self.params.seed_rate if self.population > 0 else 0.0
+        peer_tick = self._total_peer_tick_rate()
+        if self.params.immediate_departure:
+            seed_departure = 0.0
+        else:
+            seed_departure = self.params.seed_departure_rate * self.num_seeds
+        return arrival, seed_tick, peer_tick, seed_departure
+
+    def _sample_arrival_type(self) -> PieceSet:
+        index = self.rng.choice(len(self._arrival_types), p=self._arrival_weights / self._arrival_total)
+        return self._arrival_types[int(index)]
+
+    def _sample_uniform_peer(self) -> Peer:
+        index = int(self.rng.integers(self.population))
+        return self._peers[self._order[index]]
+
+    def _sample_ticking_peer(self) -> Peer:
+        """Choose which peer's clock ticks (weighted when speedups are active)."""
+        if self.retry_speedup == 1.0 or not self._speedups:
+            return self._sample_uniform_peer()
+        weights = np.array(
+            [self._speedups.get(pid, 1.0) for pid in self._order], dtype=float
+        )
+        probabilities = weights / weights.sum()
+        index = int(self.rng.choice(len(self._order), p=probabilities))
+        return self._peers[self._order[index]]
+
+    def _swarm_view(self) -> SwarmView:
+        return SwarmView(
+            num_pieces=self.params.num_pieces,
+            piece_counts=dict(self._piece_counts),
+            total_peers=self.population,
+            time=self._time,
+        )
+
+    def _transfer(self, uploader_pieces: PieceSet, downloader: Peer, from_seed: bool) -> bool:
+        """Attempt a useful upload into ``downloader``; returns True on success."""
+        piece = self.policy.select_piece(
+            downloader.pieces, uploader_pieces, self._swarm_view(), self.rng
+        )
+        if piece is None:
+            self.metrics.wasted_contacts += 1
+            return False
+        downloader.receive_piece(piece, self._time, rare_piece=self.rare_piece)
+        self._piece_counts[piece] += 1
+        self.metrics.total_downloads += 1
+        if from_seed:
+            self.metrics.total_seed_uploads += 1
+        if downloader.is_seed:
+            if self.params.immediate_departure:
+                self._remove_peer(downloader)
+            else:
+                self._add_seed(downloader.peer_id)
+        return True
+
+    def _handle_arrival(self) -> None:
+        self._add_peer(self._sample_arrival_type())
+
+    def _handle_seed_tick(self) -> None:
+        if self.population == 0:
+            return
+        target = self._sample_uniform_peer()
+        full = PieceSet.full(self.params.num_pieces)
+        self._transfer(full, target, from_seed=True)
+
+    def _handle_peer_tick(self) -> None:
+        if self.population == 0:
+            return
+        uploader = self._sample_ticking_peer()
+        # A ticking peer's speedup (if any) is consumed by this tick.
+        self._speedups.pop(uploader.peer_id, None)
+        target = self._sample_uniform_peer()
+        if target.peer_id == uploader.peer_id:
+            self.metrics.wasted_contacts += 1
+            success = False
+        else:
+            success = self._transfer(uploader.pieces, target, from_seed=False)
+            if success:
+                uploader.record_upload()
+        if not success and self.retry_speedup > 1.0 and uploader.in_system:
+            self._speedups[uploader.peer_id] = self.retry_speedup
+
+    def _handle_seed_departure(self) -> None:
+        if not self._seeds:
+            return
+        index = int(self.rng.integers(len(self._seeds)))
+        peer = self._peers[self._seeds[index]]
+        self._remove_peer(peer)
+
+    def _apply_event(self, rates: Tuple[float, float, float, float]) -> None:
+        """Apply one event drawn proportionally to the given rates."""
+        total = sum(rates)
+        threshold = self.rng.uniform(0.0, total)
+        if threshold <= rates[0]:
+            self._handle_arrival()
+        elif threshold <= rates[0] + rates[1]:
+            self._handle_seed_tick()
+        elif threshold <= rates[0] + rates[1] + rates[2]:
+            self._handle_peer_tick()
+        else:
+            self._handle_seed_departure()
+
+    def step(self) -> bool:
+        """Execute one event; returns False when no event can occur."""
+        rates = self._event_rates()
+        total = sum(rates)
+        if total <= 0:
+            return False
+        self._time += float(self.rng.exponential(1.0 / total))
+        self._apply_event(rates)
+        return True
+
+    def _record_sample(self, sample_time: float) -> None:
+        snapshot = None
+        if self.track_groups:
+            snapshot = GroupSnapshot.from_peers(
+                sample_time, self.peers(), rare_piece=self.rare_piece
+            )
+        occupied = [count for count in self._piece_counts.values()]
+        self.metrics.record_sample(
+            time=sample_time,
+            population=self.population,
+            num_seeds=self.num_seeds,
+            one_club_size=self.one_club_size(),
+            min_piece_count=min(occupied) if occupied else 0,
+            group_snapshot=snapshot,
+        )
+
+    def run(
+        self,
+        horizon: float,
+        initial_state: Optional[SystemState] = None,
+        sample_interval: Optional[float] = None,
+        max_events: Optional[int] = None,
+        max_population: Optional[int] = None,
+    ) -> SwarmResult:
+        """Simulate until ``horizon`` (simulation time units).
+
+        ``max_events`` and ``max_population`` provide safety caps for runs in
+        the unstable regime, where the population grows linearly without
+        bound; hitting either cap ends the run early with
+        ``horizon_reached=False``.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if initial_state is not None:
+            self.seed_population(initial_state)
+        interval = sample_interval if sample_interval is not None else horizon / 200.0
+        next_sample = 0.0
+        events = 0
+        horizon_reached = True
+        while True:
+            if max_events is not None and events >= max_events:
+                horizon_reached = False
+                break
+            if max_population is not None and self.population >= max_population:
+                horizon_reached = False
+                break
+            rates = self._event_rates()
+            total = sum(rates)
+            if total <= 0:
+                # No events possible (no arrivals configured and system empty).
+                self._time = horizon
+                break
+            next_event_time = self._time + float(self.rng.exponential(1.0 / total))
+            # The current population holds until the next event: record every
+            # grid point in between before applying it (time-correct sampling).
+            while next_sample <= horizon and next_sample < next_event_time:
+                self._record_sample(next_sample)
+                next_sample += interval
+            if next_event_time > horizon:
+                self._time = horizon
+                break
+            self._time = next_event_time
+            self._apply_event(rates)
+            events += 1
+        while next_sample <= horizon:
+            self._record_sample(next_sample)
+            next_sample += interval
+        return SwarmResult(
+            metrics=self.metrics,
+            final_time=self._time,
+            final_population=self.population,
+            final_state=self.current_state(),
+            horizon_reached=horizon_reached,
+        )
+
+
+def run_swarm(
+    params: SystemParameters,
+    horizon: float,
+    seed: SeedLike = None,
+    policy: Optional[PieceSelectionPolicy] = None,
+    initial_state: Optional[SystemState] = None,
+    **kwargs,
+) -> SwarmResult:
+    """Convenience wrapper: build a :class:`SwarmSimulator` and run it."""
+    simulator = SwarmSimulator(params, policy=policy, seed=seed, **{
+        key: value
+        for key, value in kwargs.items()
+        if key in ("rare_piece", "retry_speedup", "track_groups")
+    })
+    run_kwargs = {
+        key: value
+        for key, value in kwargs.items()
+        if key in ("sample_interval", "max_events", "max_population")
+    }
+    return simulator.run(horizon, initial_state=initial_state, **run_kwargs)
+
+
+__all__ = ["SwarmSimulator", "SwarmResult", "run_swarm"]

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.core.types import PieceSet
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def flash_crowd_stable() -> SystemParameters:
+    """K=3 flash crowd well inside the stability region (threshold Us=2)."""
+    return SystemParameters.flash_crowd(
+        num_pieces=3, arrival_rate=1.0, seed_rate=2.0, peer_rate=1.0
+    )
+
+
+@pytest.fixture
+def flash_crowd_unstable() -> SystemParameters:
+    """K=3 flash crowd well outside the stability region."""
+    return SystemParameters.flash_crowd(
+        num_pieces=3, arrival_rate=5.0, seed_rate=1.0, peer_rate=1.0
+    )
+
+
+@pytest.fixture
+def example1_params() -> SystemParameters:
+    """Example 1 parameters (K=1, dwelling peer seeds)."""
+    return SystemParameters.single_piece(
+        arrival_rate=1.0, seed_rate=2.0, peer_rate=1.0, seed_departure_rate=2.0
+    )
+
+
+@pytest.fixture
+def example2_params() -> SystemParameters:
+    """Example 2 parameters inside the stability region."""
+    return SystemParameters.two_class_four_pieces(lambda_12=2.0, lambda_34=2.0)
+
+
+@pytest.fixture
+def example3_params() -> SystemParameters:
+    """Example 3 parameters (symmetric, stable)."""
+    return SystemParameters.one_piece_arrivals(
+        (1.0, 1.0, 1.0), peer_rate=1.0, seed_departure_rate=2.0
+    )
+
+
+@pytest.fixture
+def gifted_params() -> SystemParameters:
+    """A mix in which some peers arrive holding piece 1 (gifted peers)."""
+    return SystemParameters(
+        num_pieces=3,
+        seed_rate=0.5,
+        peer_rate=1.0,
+        seed_departure_rate=2.0,
+        arrival_rates={
+            PieceSet.empty(3): 1.0,
+            PieceSet((1,), 3): 0.5,
+            PieceSet((1, 2), 3): 0.25,
+        },
+    )

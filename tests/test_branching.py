@@ -1,0 +1,160 @@
+"""Unit tests for the autonomous-branching-system analysis (Section VI)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.branching import (
+    BranchingParameters,
+    abs_download_rate,
+    gifted_amplification,
+    one_club_drift,
+    seed_amplification,
+    simulate_total_progeny,
+)
+from repro.core.parameters import SystemParameters
+from repro.core.stability import delta_s
+from repro.core.types import PieceSet
+
+
+class TestBranchingParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchingParameters(num_pieces=0, mu_over_gamma=0.5)
+        with pytest.raises(ValueError):
+            BranchingParameters(num_pieces=3, mu_over_gamma=0.5, xi=1.0)
+        with pytest.raises(ValueError):
+            BranchingParameters(num_pieces=3, mu_over_gamma=-0.1)
+
+    def test_from_system(self, example3_params):
+        branching = BranchingParameters.from_system(example3_params)
+        assert branching.num_pieces == 3
+        assert branching.mu_over_gamma == pytest.approx(0.5)
+
+    def test_subcriticality_condition(self):
+        assert BranchingParameters(3, 0.5, xi=0.0).is_subcritical()
+        assert not BranchingParameters(3, 1.0, xi=0.0).is_subcritical()
+        assert not BranchingParameters(3, 0.5, xi=0.5).is_subcritical()
+
+    def test_offspring_matrix_rank_one(self):
+        matrix = BranchingParameters(4, 0.3, xi=0.1).offspring_matrix()
+        assert np.linalg.matrix_rank(matrix) == 1
+
+    def test_spectral_radius_below_one_iff_subcritical(self):
+        for ratio, xi in ((0.3, 0.0), (0.3, 0.05), (0.9, 0.0), (0.99, 0.2)):
+            branching = BranchingParameters(3, ratio, xi=xi)
+            radius = branching.spectral_radius()
+            assert (radius < 1.0) == branching.is_subcritical()
+
+    def test_mean_descendants_limit_as_xi_zero(self):
+        """At xi = 0, m_b -> K/(1-mu/gamma) and m_f -> 1/(1-mu/gamma)."""
+        branching = BranchingParameters(num_pieces=5, mu_over_gamma=0.4, xi=0.0)
+        m_b, m_f = branching.mean_descendants()
+        assert m_b == pytest.approx(5 / 0.6)
+        assert m_f == pytest.approx(1 / 0.6)
+
+    def test_mean_descendants_monotone_in_xi(self):
+        previous = None
+        for xi in (0.0, 0.01, 0.05):
+            m_b, m_f = BranchingParameters(3, 0.5, xi=xi).mean_descendants()
+            if previous is not None:
+                assert m_b >= previous[0]
+                assert m_f >= previous[1]
+            previous = (m_b, m_f)
+
+    def test_mean_descendants_raises_when_supercritical(self):
+        with pytest.raises(ValueError):
+            BranchingParameters(3, 1.2).mean_descendants()
+
+    def test_fixed_point_equation(self):
+        """(m_b, m_f) solves m = 1 + M m."""
+        branching = BranchingParameters(num_pieces=4, mu_over_gamma=0.3, xi=0.05)
+        m = np.array(branching.mean_descendants())
+        matrix = branching.offspring_matrix()
+        assert np.allclose(m, 1.0 + matrix @ m)
+
+    def test_gifted_descendants_limit(self):
+        branching = BranchingParameters(num_pieces=4, mu_over_gamma=0.25, xi=0.0)
+        # (K - |C| + mu/gamma) / (1 - mu/gamma) with |C| = 1
+        assert branching.mean_descendants_gifted(1) == pytest.approx((3 + 0.25) / 0.75)
+
+    def test_gifted_descendants_range_check(self):
+        branching = BranchingParameters(3, 0.5)
+        with pytest.raises(ValueError):
+            branching.mean_descendants_gifted(4)
+
+
+class TestAmplificationFactors:
+    def test_seed_amplification(self, example3_params):
+        assert seed_amplification(example3_params) == pytest.approx(2.0)
+
+    def test_seed_amplification_infinite_when_gamma_le_mu(self):
+        params = SystemParameters.flash_crowd(
+            2, 1.0, 1.0, peer_rate=1.0, seed_departure_rate=1.0
+        )
+        assert math.isinf(seed_amplification(params))
+
+    def test_gifted_amplification(self, example3_params):
+        # (K - |C| + mu/gamma)/(1 - mu/gamma) = (3 - 1 + 0.5)/0.5 = 5
+        assert gifted_amplification(example3_params, 1) == pytest.approx(5.0)
+
+    def test_one_club_drift_equals_delta(self, gifted_params):
+        """The branching heuristic reproduces Delta_{F-{1}} exactly."""
+        drift = one_club_drift(gifted_params, missing_piece=1)
+        delta = delta_s(gifted_params, PieceSet.full(3).remove(1))
+        assert drift == pytest.approx(delta)
+
+    def test_one_club_drift_example3(self):
+        params = SystemParameters.one_piece_arrivals(
+            (4.0, 4.0, 0.5), seed_departure_rate=2.0
+        )
+        # lambda_1 + lambda_2 - lambda_3 (2 + mu/gamma)/(1 - mu/gamma) = 8 - 2.5
+        assert one_club_drift(params, missing_piece=3) == pytest.approx(8.0 - 0.5 * 5.0)
+
+    def test_one_club_drift_negative_infinite_when_gamma_le_mu(self):
+        params = SystemParameters.flash_crowd(
+            2, 5.0, 0.1, peer_rate=1.0, seed_departure_rate=0.5
+        )
+        assert one_club_drift(params) == -math.inf
+
+    def test_abs_download_rate_limit(self, gifted_params):
+        """At xi=0 the ABS rate is the amplified injection rate of piece one."""
+        expected = (
+            gifted_params.seed_rate
+            + 0.5 * (3 - 1 + 0.5)
+            + 0.25 * (3 - 2 + 0.5)
+        ) / 0.5
+        assert abs_download_rate(gifted_params, 1, xi=0.0) == pytest.approx(expected)
+
+    def test_abs_download_rate_increases_with_xi(self, gifted_params):
+        assert abs_download_rate(gifted_params, 1, xi=0.02) > abs_download_rate(
+            gifted_params, 1, xi=0.0
+        )
+
+
+class TestBranchingSimulation:
+    def test_simulated_mean_close_to_formula(self, rng):
+        branching = BranchingParameters(num_pieces=2, mu_over_gamma=0.4, xi=0.0)
+        _m_b, m_f = branching.mean_descendants()
+        result = simulate_total_progeny(
+            branching, root_type="f", num_replications=3000, rng=rng
+        )
+        assert result.mean_progeny == pytest.approx(m_f, rel=0.15)
+
+    def test_supercritical_runs_hit_cap(self, rng):
+        branching = BranchingParameters(num_pieces=2, mu_over_gamma=1.5, xi=0.0)
+        result = simulate_total_progeny(
+            branching,
+            root_type="f",
+            num_replications=50,
+            rng=rng,
+            max_population=2000,
+        )
+        assert result.extinction_fraction < 1.0
+
+    def test_invalid_root_type(self, rng):
+        with pytest.raises(ValueError):
+            simulate_total_progeny(
+                BranchingParameters(2, 0.4), root_type="x", rng=rng
+            )

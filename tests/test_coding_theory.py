@@ -1,0 +1,152 @@
+"""Unit tests for the Theorem-15 network-coding stability conditions."""
+
+import math
+
+import pytest
+
+from repro.core.coding_theory import (
+    CodedArrivalClass,
+    coded_stability,
+    gifted_example_report,
+    gifted_fraction_thresholds,
+    gifted_fraction_thresholds_exact,
+    mu_tilde,
+    paper_example_table,
+    uncoded_gifted_is_transient,
+    useful_probability,
+)
+
+
+class TestBasics:
+    def test_mu_tilde(self):
+        assert mu_tilde(1.0, 2) == pytest.approx(0.5)
+        assert mu_tilde(2.0, 64) == pytest.approx(2.0 * 63 / 64)
+        with pytest.raises(ValueError):
+            mu_tilde(1.0, 1)
+        with pytest.raises(ValueError):
+            mu_tilde(0.0, 4)
+
+    def test_useful_probability(self):
+        # V_B not contained in V_A: probability at least 1 - 1/q.
+        assert useful_probability(0, 1, 2) == pytest.approx(0.5)
+        assert useful_probability(1, 2, 4) == pytest.approx(1 - 0.25)
+        # V_B contained in V_A: never useful.
+        assert useful_probability(2, 2, 4) == 0.0
+        assert useful_probability(0, 0, 4) == 0.0
+        with pytest.raises(ValueError):
+            useful_probability(3, 2, 4)
+
+    def test_arrival_class_validation(self):
+        with pytest.raises(ValueError):
+            CodedArrivalClass(rate=-1.0, dimension=0, outside_worst_hyperplane_fraction=0.0)
+        with pytest.raises(ValueError):
+            CodedArrivalClass(rate=1.0, dimension=-1, outside_worst_hyperplane_fraction=0.0)
+        with pytest.raises(ValueError):
+            CodedArrivalClass(rate=1.0, dimension=0, outside_worst_hyperplane_fraction=1.5)
+
+
+class TestWorkedExample:
+    def test_paper_numbers_q64_k200(self):
+        """The paper quotes thresholds 1.014/K and 1.032/K for q=64, K=200."""
+        table = paper_example_table(q=64, num_pieces=200)
+        assert table["transient_below_times_K"] == pytest.approx(1.0159, abs=2e-3)
+        assert table["recurrent_above_times_K"] == pytest.approx(1.0321, abs=2e-3)
+        assert table["transient_below"] == pytest.approx(0.00507, abs=5e-5)
+        assert table["recurrent_above"] == pytest.approx(0.00516, abs=5e-5)
+
+    def test_thresholds_ordering(self):
+        for num_pieces, q in ((10, 2), (50, 7), (200, 64)):
+            lower, upper = gifted_fraction_thresholds(num_pieces, q)
+            assert 0 < lower < upper < 1
+
+    def test_gap_shrinks_with_q(self):
+        gaps = []
+        for q in (2, 8, 64, 1024):
+            lower, upper = gifted_fraction_thresholds(100, q)
+            gaps.append(upper - lower)
+        assert all(later <= earlier for earlier, later in zip(gaps, gaps[1:]))
+
+    def test_exact_thresholds_close_to_paper_form(self):
+        lower, upper = gifted_fraction_thresholds(200, 64)
+        lower_exact, upper_exact = gifted_fraction_thresholds_exact(200, 64)
+        assert lower_exact == pytest.approx(lower, rel=1e-9)
+        assert upper_exact == pytest.approx(upper, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gifted_fraction_thresholds(0, 4)
+        with pytest.raises(ValueError):
+            gifted_fraction_thresholds_exact(10, 1)
+
+    def test_report_transient_below_threshold(self):
+        lower, _ = gifted_fraction_thresholds(50, 8)
+        report = gifted_example_report(50, 8, gifted_fraction=lower * 0.5)
+        assert report.is_transient
+        assert not report.is_positive_recurrent
+
+    def test_report_recurrent_above_threshold(self):
+        _, upper = gifted_fraction_thresholds_exact(50, 8)
+        report = gifted_example_report(50, 8, gifted_fraction=min(1.0, upper * 1.5))
+        assert report.is_positive_recurrent
+        assert not report.is_transient
+
+    def test_report_fraction_validation(self):
+        with pytest.raises(ValueError):
+            gifted_example_report(10, 4, gifted_fraction=1.5)
+
+    def test_uncoded_always_transient_below_one(self):
+        assert uncoded_gifted_is_transient(0.99)
+        assert uncoded_gifted_is_transient(0.0)
+        assert not uncoded_gifted_is_transient(1.0)
+
+
+class TestGeneralConditions:
+    def test_coded_stability_with_seed_only(self):
+        """With only empty arrivals, the coded thresholds mirror Theorem 1."""
+        classes = (
+            CodedArrivalClass(rate=1.0, dimension=0, outside_worst_hyperplane_fraction=0.0),
+        )
+        report = coded_stability(
+            num_pieces=4, q=16, seed_rate=2.0, mu=1.0, gamma=math.inf, arrival_classes=classes
+        )
+        assert report.transience_threshold == pytest.approx(2.0)
+        # Recurrence threshold shrinks by the (1 - 1/q) factor.
+        assert report.recurrence_threshold == pytest.approx(2.0 * (1 - 1 / 16))
+        assert report.recurrence_threshold < report.transience_threshold
+
+    def test_thresholds_scale_with_gifted_rate(self):
+        def make(rate):
+            return coded_stability(
+                num_pieces=10,
+                q=8,
+                seed_rate=0.0,
+                mu=1.0,
+                gamma=math.inf,
+                arrival_classes=(
+                    CodedArrivalClass(rate=1.0, dimension=0, outside_worst_hyperplane_fraction=0.0),
+                    CodedArrivalClass(
+                        rate=rate, dimension=1, outside_worst_hyperplane_fraction=1 - 1 / 8
+                    ),
+                ),
+            )
+
+        small = make(0.1)
+        large = make(0.4)
+        assert large.recurrence_threshold > small.recurrence_threshold
+        assert large.transience_threshold > small.transience_threshold
+
+    def test_gamma_le_mu_tilde_degenerates(self):
+        classes = (
+            CodedArrivalClass(rate=1.0, dimension=0, outside_worst_hyperplane_fraction=0.0),
+        )
+        report = coded_stability(
+            num_pieces=4, q=4, seed_rate=1.0, mu=1.0, gamma=0.5, arrival_classes=classes
+        )
+        assert math.isinf(report.recurrence_threshold)
+        assert report.is_positive_recurrent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coded_stability(0, 4, 1.0, 1.0, math.inf, ())
+        with pytest.raises(ValueError):
+            coded_stability(4, 1, 1.0, 1.0, math.inf, ())

@@ -1,0 +1,134 @@
+"""Unit tests for the exact truncated-chain computations."""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import TruncatedChain, build_truncated_chain, enumerate_states
+from repro.core.parameters import SystemParameters
+from repro.core.state import SystemState
+from repro.core.types import PieceSet
+
+
+@pytest.fixture
+def small_chain(example1_params) -> TruncatedChain:
+    return build_truncated_chain(example1_params, max_peers=6)
+
+
+class TestEnumeration:
+    def test_empty_state_first(self, example1_params):
+        states = enumerate_states(example1_params, max_peers=4)
+        assert states[0] == SystemState.empty(1)
+
+    def test_population_cap_respected(self, example1_params):
+        states = enumerate_states(example1_params, max_peers=4)
+        assert all(s.total_peers <= 4 for s in states)
+
+    def test_single_piece_state_count(self, example1_params):
+        """K=1 with peer seeds: states are (x_empty, x_F) with sum <= n_max."""
+        states = enumerate_states(example1_params, max_peers=5)
+        expected = sum(n + 1 for n in range(6))  # pairs with x0 + xF = n
+        assert len(states) == expected
+
+    def test_flash_crowd_k2_states(self):
+        params = SystemParameters.flash_crowd(2, 1.0, 1.0)
+        states = enumerate_states(params, max_peers=3)
+        # gamma = inf: types are {}, {1}, {2} -> multisets of size <= 3.
+        assert all(s.count(PieceSet.full(2)) == 0 for s in states)
+
+    def test_initial_state_beyond_cap_rejected(self, example1_params):
+        with pytest.raises(ValueError):
+            enumerate_states(
+                example1_params, max_peers=2, initial=SystemState.one_club(1, 5, 1)
+            )
+
+    def test_custom_initial_state_included(self):
+        params = SystemParameters.flash_crowd(2, 1.0, 1.0)
+        start = SystemState({PieceSet((1,), 2): 2}, 2)
+        states = enumerate_states(params, max_peers=3, initial=start)
+        assert start in states
+        assert states[0] == SystemState.empty(2)
+
+
+class TestGeneratorMatrix:
+    def test_rows_sum_to_zero(self, small_chain):
+        sums = np.asarray(small_chain.generator.sum(axis=1)).ravel()
+        assert np.allclose(sums, 0.0, atol=1e-10)
+
+    def test_off_diagonal_nonnegative(self, small_chain):
+        dense = small_chain.generator.toarray()
+        off_diagonal = dense - np.diag(np.diag(dense))
+        assert (off_diagonal >= -1e-12).all()
+
+    def test_index_consistent(self, small_chain):
+        for i, state in enumerate(small_chain.states):
+            assert small_chain.index[state] == i
+
+
+class TestStationaryDistribution:
+    def test_normalised_and_nonnegative(self, small_chain):
+        pi = small_chain.stationary_distribution()
+        assert pi.shape == (small_chain.num_states,)
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= 0).all()
+
+    def test_balance_equations(self, small_chain):
+        pi = small_chain.stationary_distribution()
+        residual = pi @ small_chain.generator.toarray()
+        assert np.allclose(residual, 0.0, atol=1e-8)
+
+    def test_expected_population_monotone_in_arrival_rate(self):
+        populations = []
+        for arrival in (0.5, 1.0, 1.5):
+            params = SystemParameters.single_piece(
+                arrival_rate=arrival, seed_rate=2.0, seed_departure_rate=2.0
+            )
+            chain = build_truncated_chain(params, max_peers=10)
+            populations.append(chain.expected_population())
+        assert populations[0] < populations[1] < populations[2]
+
+    def test_occupancy_by_type_sums_to_population(self, small_chain):
+        pi = small_chain.stationary_distribution()
+        occupancy = small_chain.occupancy_by_type(pi)
+        assert sum(occupancy.values()) == pytest.approx(
+            small_chain.expected_population(pi)
+        )
+
+    def test_k1_matches_simple_birth_death_structure(self):
+        """With Us large and lambda small the system is almost always nearly empty."""
+        params = SystemParameters.single_piece(
+            arrival_rate=0.1, seed_rate=10.0, seed_departure_rate=10.0
+        )
+        chain = build_truncated_chain(params, max_peers=8)
+        pi = chain.stationary_distribution()
+        empty_index = chain.index[SystemState.empty(1)]
+        assert pi[empty_index] > 0.8
+
+
+class TestHittingTimes:
+    def test_time_from_empty_is_zero(self, small_chain):
+        assert small_chain.mean_hitting_time_to_empty(SystemState.empty(1)) == 0.0
+
+    def test_time_positive_from_loaded_state(self, small_chain):
+        state = SystemState({PieceSet.empty(1): 2}, 1)
+        assert small_chain.mean_hitting_time_to_empty(state) > 0.0
+
+    def test_time_monotone_in_load(self, small_chain):
+        light = SystemState({PieceSet.empty(1): 1}, 1)
+        heavy = SystemState({PieceSet.empty(1): 4}, 1)
+        assert small_chain.mean_hitting_time_to_empty(
+            heavy
+        ) > small_chain.mean_hitting_time_to_empty(light)
+
+    def test_unknown_state_rejected(self, small_chain):
+        with pytest.raises(ValueError):
+            small_chain.mean_hitting_time_to_empty(SystemState.one_club(1, 50, 1))
+
+    def test_unstable_parameters_give_longer_recovery(self):
+        stable = SystemParameters.single_piece(1.0, seed_rate=2.0, seed_departure_rate=2.0)
+        unstable = SystemParameters.single_piece(6.0, seed_rate=2.0, seed_departure_rate=2.0)
+        start_stable = SystemState({PieceSet.empty(1): 5}, 1)
+        chain_stable = build_truncated_chain(stable, max_peers=12)
+        chain_unstable = build_truncated_chain(unstable, max_peers=12)
+        time_stable = chain_stable.mean_hitting_time_to_empty(start_stable)
+        time_unstable = chain_unstable.mean_hitting_time_to_empty(start_stable)
+        assert time_unstable > time_stable

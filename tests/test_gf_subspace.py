@@ -1,0 +1,193 @@
+"""Unit tests for GF(p) arithmetic and subspace representations."""
+
+import numpy as np
+import pytest
+
+from repro.coding.gf import PrimeField, is_prime
+from repro.coding.subspace import Subspace, random_subspace, rref
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        assert [p for p in range(2, 30) if is_prime(p)] == [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+        ]
+
+    def test_non_primes(self):
+        for value in (0, 1, 4, 9, 15, 21, 25, 27):
+            assert not is_prime(value)
+
+
+class TestPrimeField:
+    def test_rejects_non_prime_order(self):
+        with pytest.raises(ValueError):
+            PrimeField(4)
+        with pytest.raises(ValueError):
+            PrimeField(1)
+
+    def test_inverse(self):
+        field = PrimeField(7)
+        for a in range(1, 7):
+            assert (a * field.inverse(a)) % 7 == 1
+        with pytest.raises(ZeroDivisionError):
+            field.inverse(0)
+
+    def test_reduce_add_scale_dot(self):
+        field = PrimeField(5)
+        left = np.array([1, 2, 3, 4])
+        right = np.array([4, 4, 4, 4])
+        assert list(field.add(left, right)) == [0, 1, 2, 3]
+        assert list(field.scale(left, 3)) == [3, 1, 4, 2]
+        assert field.dot(left, right) == (1 * 4 + 2 * 4 + 3 * 4 + 4 * 4) % 5
+
+    def test_random_vector_range(self, rng):
+        field = PrimeField(3)
+        vector = field.random_vector(50, rng)
+        assert vector.min() >= 0 and vector.max() <= 2
+
+    def test_random_nonzero_vector(self, rng):
+        field = PrimeField(2)
+        for _ in range(20):
+            assert field.random_vector(3, rng, nonzero=True).any()
+
+    def test_random_combination_in_span(self, rng):
+        field = PrimeField(5)
+        basis = np.array([[1, 0, 2], [0, 1, 3]])
+        combo = field.random_combination(basis, rng)
+        subspace = Subspace(field, 3, basis)
+        assert subspace.contains(combo)
+
+    def test_equality_and_hash(self):
+        assert PrimeField(5) == PrimeField(5)
+        assert PrimeField(5) != PrimeField(7)
+        assert hash(PrimeField(5)) == hash(PrimeField(5))
+
+
+class TestRref:
+    def test_identity_unchanged(self):
+        field = PrimeField(2)
+        identity = np.eye(3, dtype=np.int64)
+        assert np.array_equal(rref(identity, field), identity)
+
+    def test_dependent_rows_dropped(self):
+        field = PrimeField(5)
+        matrix = np.array([[1, 2, 3], [2, 4, 6], [0, 1, 1]])
+        reduced = rref(matrix, field)
+        assert reduced.shape[0] == 2
+
+    def test_rref_is_idempotent(self, rng):
+        field = PrimeField(7)
+        matrix = rng.integers(0, 7, size=(4, 5))
+        once = rref(matrix, field)
+        twice = rref(once, field)
+        assert np.array_equal(once, twice)
+
+    def test_leading_entries_are_one(self, rng):
+        field = PrimeField(5)
+        matrix = rng.integers(0, 5, size=(3, 4))
+        reduced = rref(matrix, field)
+        for row in reduced:
+            nonzero = np.nonzero(row)[0]
+            assert row[nonzero[0]] == 1
+
+
+class TestSubspace:
+    def test_zero_and_full(self):
+        field = PrimeField(3)
+        zero = Subspace.zero(field, 4)
+        full = Subspace.full(field, 4)
+        assert zero.dimension == 0 and zero.is_zero
+        assert full.dimension == 4 and full.is_full
+        assert full.contains_subspace(zero)
+
+    def test_contains_vector(self):
+        field = PrimeField(2)
+        subspace = Subspace(field, 3, [[1, 0, 1]])
+        assert subspace.contains([1, 0, 1])
+        assert subspace.contains([0, 0, 0])
+        assert not subspace.contains([1, 1, 0])
+
+    def test_is_useful(self):
+        field = PrimeField(2)
+        subspace = Subspace(field, 3, [[1, 0, 0]])
+        assert subspace.is_useful([0, 1, 0])
+        assert not subspace.is_useful([1, 0, 0])
+
+    def test_add_vector_increases_dimension_only_when_useful(self):
+        field = PrimeField(5)
+        subspace = Subspace(field, 3, [[1, 0, 0]])
+        grown = subspace.add_vector([0, 1, 0])
+        assert grown.dimension == 2
+        same = subspace.add_vector([3, 0, 0])
+        assert same.dimension == 1
+
+    def test_dimension_formula(self, rng):
+        field = PrimeField(3)
+        a = random_subspace(field, 5, 3, rng)
+        b = random_subspace(field, 5, 2, rng)
+        total = a.sum(b)
+        assert total.dimension == a.dimension + b.dimension - a.intersection_dimension(b)
+        assert total.dimension <= 5
+
+    def test_contains_subspace(self):
+        field = PrimeField(2)
+        small = Subspace(field, 3, [[1, 0, 0]])
+        big = Subspace(field, 3, [[1, 0, 0], [0, 1, 0]])
+        assert big.contains_subspace(small)
+        assert not small.contains_subspace(big)
+
+    def test_random_vector_is_member(self, rng):
+        field = PrimeField(7)
+        subspace = random_subspace(field, 4, 2, rng)
+        for _ in range(10):
+            assert subspace.contains(subspace.random_vector(rng))
+
+    def test_useful_probability_lower_bound(self, rng):
+        """When B is not contained in A, usefulness probability >= 1 - 1/q."""
+        field = PrimeField(5)
+        receiver = Subspace(field, 3, [[1, 0, 0]])
+        sender = Subspace(field, 3, [[0, 1, 0], [0, 0, 1]])
+        probability = sender.useful_probability_for(receiver)
+        assert probability >= 1 - 1 / 5
+
+    def test_useful_probability_zero_when_contained(self):
+        field = PrimeField(3)
+        receiver = Subspace.full(field, 3)
+        sender = Subspace(field, 3, [[1, 1, 1]])
+        assert sender.useful_probability_for(receiver) == 0.0
+
+    def test_useful_probability_empirical(self, rng):
+        """The formula matches the empirical innovation frequency."""
+        field = PrimeField(3)
+        receiver = Subspace(field, 4, [[1, 0, 0, 0], [0, 1, 0, 0]])
+        sender = Subspace.full(field, 4)
+        expected = sender.useful_probability_for(receiver)
+        hits = sum(
+            1 for _ in range(2000) if receiver.is_useful(sender.random_vector(rng))
+        )
+        assert hits / 2000 == pytest.approx(expected, abs=0.05)
+
+    def test_equality_and_hash(self):
+        field = PrimeField(2)
+        a = Subspace(field, 3, [[1, 1, 0], [0, 1, 1]])
+        b = Subspace(field, 3, [[1, 0, 1], [0, 1, 1]])  # same span
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_incompatible_spaces_rejected(self):
+        a = Subspace(PrimeField(2), 3, [[1, 0, 0]])
+        b = Subspace(PrimeField(3), 3, [[1, 0, 0]])
+        with pytest.raises(ValueError):
+            a.sum(b)
+
+    def test_wrong_vector_length_rejected(self):
+        subspace = Subspace(PrimeField(2), 3, [[1, 0, 0]])
+        with pytest.raises(ValueError):
+            subspace.contains([1, 0])
+
+    def test_random_subspace_dimension(self, rng):
+        field = PrimeField(2)
+        for dim in range(4):
+            assert random_subspace(field, 4, dim, rng).dimension == dim
+        with pytest.raises(ValueError):
+            random_subspace(field, 4, 5, rng)

@@ -1,0 +1,171 @@
+"""Integration tests: cross-checks between theory, the exact chain, and the simulators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.generator import build_truncated_chain
+from repro.core.parameters import SystemParameters
+from repro.core.stability import Stability, analyze
+from repro.core.state import SystemState
+from repro.core.transitions import outgoing_transitions
+from repro.core.types import PieceSet
+from repro.markov.classify import TrajectoryVerdict, classify_trajectory
+from repro.simulation.ctmc import MarkovChainSimulator
+from repro.swarm.swarm import SwarmSimulator, run_swarm
+
+
+class TestSimulatorConsistency:
+    """The jump-chain simulator and the peer-level simulator realise the same model."""
+
+    def test_mean_population_agreement_small_system(self):
+        """CTMC simulation, swarm simulation, and the exact truncation agree on E[N]."""
+        params = SystemParameters.single_piece(
+            arrival_rate=0.8, seed_rate=2.0, peer_rate=1.0, seed_departure_rate=2.0
+        )
+        # Exact value from a generous truncation.
+        chain = build_truncated_chain(params, max_peers=25)
+        exact = chain.expected_population()
+
+        ctmc_means = []
+        swarm_means = []
+        for seed in range(4):
+            ctmc = MarkovChainSimulator(params).run(horizon=800.0, seed=seed)
+            values = ctmc.sample_values()
+            ctmc_means.append(values[len(values) // 4 :].mean())
+            swarm = run_swarm(params, horizon=800.0, seed=100 + seed)
+            population = np.asarray(swarm.metrics.population, dtype=float)
+            swarm_means.append(population[len(population) // 4 :].mean())
+        assert np.mean(ctmc_means) == pytest.approx(exact, rel=0.2)
+        assert np.mean(swarm_means) == pytest.approx(exact, rel=0.2)
+
+    def test_swarm_state_transitions_match_model_reachability(self, gifted_params):
+        """Every type observed in the swarm is reachable in the exact model."""
+        result = run_swarm(gifted_params, horizon=60.0, seed=5)
+        reachable_types = set(gifted_params.arrival_rates)
+        # Closure under adding pieces (uploads only add pieces).
+        frontier = list(reachable_types)
+        while frontier:
+            current = frontier.pop()
+            for piece in current.missing():
+                bigger = current.add(piece)
+                if bigger not in reachable_types:
+                    reachable_types.add(bigger)
+                    frontier.append(bigger)
+        for peer_type, _ in result.final_state.items():
+            assert peer_type in reachable_types
+
+    def test_exit_rates_match_between_model_and_swarm_census(self, flash_crowd_stable):
+        """The swarm's aggregate event rates match the model's total exit rate."""
+        simulator = SwarmSimulator(flash_crowd_stable, seed=3)
+        simulator.seed_population(
+            SystemState({PieceSet.empty(3): 3, PieceSet((1, 2), 3): 2}, 3)
+        )
+        state = simulator.current_state()
+        model_rate = sum(t.rate for t in outgoing_transitions(state, flash_crowd_stable))
+        arrival, seed_tick, peer_tick, seed_departure = simulator._event_rates()
+        # The swarm's raw event rate counts wasted contacts too, so it upper
+        # bounds the model's exit rate (which only counts useful transfers).
+        assert arrival + seed_tick + peer_tick + seed_departure >= model_rate - 1e-9
+        # Arrival components match exactly.
+        assert arrival == pytest.approx(flash_crowd_stable.lambda_total)
+
+
+class TestTheoremOneEndToEnd:
+    """Theory vs. simulation on both sides of the stability boundary."""
+
+    @pytest.mark.parametrize(
+        "params, expected",
+        [
+            (SystemParameters.flash_crowd(3, 1.0, 2.0), Stability.STABLE),
+            (SystemParameters.flash_crowd(3, 5.0, 1.0), Stability.UNSTABLE),
+            (
+                SystemParameters.single_piece(6.0, seed_rate=1.0, seed_departure_rate=2.0),
+                Stability.UNSTABLE,
+            ),
+            (
+                SystemParameters.one_piece_arrivals((1.0, 1.0, 1.0), seed_departure_rate=2.0),
+                Stability.STABLE,
+            ),
+        ],
+    )
+    def test_simulation_matches_theory(self, params, expected):
+        report = analyze(params)
+        assert report.verdict is expected
+        result = run_swarm(params, horizon=200.0, seed=7, max_population=3000)
+        classification = classify_trajectory(
+            result.metrics.sample_times,
+            result.metrics.population,
+            arrival_rate=params.lambda_total,
+        )
+        if expected is Stability.STABLE:
+            assert classification.verdict is TrajectoryVerdict.STABLE
+        else:
+            assert classification.verdict is TrajectoryVerdict.UNSTABLE
+
+    def test_missing_piece_syndrome_mechanism(self):
+        """In the transient regime the rare piece stays rare while the club grows."""
+        params = SystemParameters.flash_crowd(3, arrival_rate=4.0, seed_rate=0.5)
+        simulator = SwarmSimulator(params, seed=8, track_groups=True)
+        result = simulator.run(
+            horizon=120.0,
+            initial_state=SystemState.one_club(3, 50),
+            max_population=3000,
+        )
+        snapshots = result.metrics.group_snapshots
+        final = snapshots[-1]
+        # The one club plus former one-club peers dominate the population.
+        assert final.one_club_fraction > 0.8
+        # The one club grew compared to the start.
+        assert final.one_club > 50
+
+    def test_peer_seed_dwell_rescues_system(self):
+        """The headline corollary, end to end: gamma <= mu stabilises the swarm."""
+        base = SystemParameters.flash_crowd(3, arrival_rate=2.5, seed_rate=0.2)
+        assert analyze(base).verdict is Stability.UNSTABLE
+        rescued = base.with_departure_rate(0.5)
+        assert analyze(rescued).verdict is Stability.STABLE
+        grown = run_swarm(base, horizon=200.0, seed=9, max_population=3000)
+        contained = run_swarm(rescued, horizon=200.0, seed=9, max_population=3000)
+        assert grown.final_population > 4 * max(contained.final_population, 1)
+
+    def test_policy_choice_does_not_change_verdict(self):
+        """Theorem 14 end to end, on one stable and one unstable point."""
+        from repro.swarm.policies import make_policy
+
+        points = {
+            Stability.STABLE: SystemParameters.flash_crowd(3, 0.8, 1.5),
+            Stability.UNSTABLE: SystemParameters.flash_crowd(3, 4.0, 1.0),
+        }
+        for expected, params in points.items():
+            for policy_name in ("random-useful", "rarest-first", "sequential"):
+                result = run_swarm(
+                    params,
+                    horizon=150.0,
+                    seed=11,
+                    policy=make_policy(policy_name),
+                    max_population=2500,
+                )
+                classification = classify_trajectory(
+                    result.metrics.sample_times,
+                    result.metrics.population,
+                    arrival_rate=params.lambda_total,
+                )
+                if expected is Stability.STABLE:
+                    assert classification.verdict is TrajectoryVerdict.STABLE
+                else:
+                    assert classification.verdict is TrajectoryVerdict.UNSTABLE
+
+    def test_truncated_chain_recovery_time_tracks_stability_margin(self):
+        """Exact recovery times grow sharply as the boundary is approached."""
+        arrivals = (0.5, 1.5, 2.5)
+        times = []
+        for arrival in arrivals:
+            params = SystemParameters.single_piece(
+                arrival_rate=arrival, seed_rate=2.0, seed_departure_rate=2.0
+            )
+            chain = build_truncated_chain(params, max_peers=14)
+            start = SystemState({PieceSet.empty(1): 8}, 1)
+            times.append(chain.mean_hitting_time_to_empty(start))
+        assert times[0] < times[1] < times[2]

@@ -1,0 +1,183 @@
+"""Unit tests for the Lyapunov functions of Section VII."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.lyapunov import (
+    LyapunovConfig,
+    LyapunovFunction,
+    check_negative_drift,
+    phi,
+    phi_prime,
+    sample_heavy_load_states,
+)
+from repro.core.parameters import SystemParameters
+from repro.core.state import SystemState
+from repro.core.types import PieceSet
+
+
+class TestPhi:
+    def test_piecewise_values(self):
+        d, beta = 5.0, 0.1
+        assert phi(0.0, d, beta) == pytest.approx(2 * d + 1 / (2 * beta))
+        assert phi(2 * d, d, beta) == pytest.approx(1 / (2 * beta))
+        assert phi(2 * d + 1 / beta, d, beta) == 0.0
+        assert phi(1000.0, d, beta) == 0.0
+
+    def test_phi_is_continuous_at_knees(self):
+        d, beta = 3.0, 0.05
+        for knee in (2 * d, 2 * d + 1 / beta):
+            left = phi(knee - 1e-9, d, beta)
+            right = phi(knee + 1e-9, d, beta)
+            assert left == pytest.approx(right, abs=1e-6)
+
+    def test_phi_nonincreasing(self):
+        d, beta = 4.0, 0.02
+        values = [phi(x, d, beta) for x in np.linspace(0, 2 * d + 2 / beta, 200)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_phi_negative_argument_raises(self):
+        with pytest.raises(ValueError):
+            phi(-1.0, 5.0, 0.1)
+
+    def test_phi_prime_range_and_regions(self):
+        d, beta = 5.0, 0.1
+        assert phi_prime(0.0, d, beta) == -1.0
+        assert phi_prime(2 * d, d, beta) == pytest.approx(-1.0)
+        assert phi_prime(2 * d + 1 / beta, d, beta) == pytest.approx(0.0)
+        assert phi_prime(1e6, d, beta) == 0.0
+        for x in np.linspace(0, 2 * d + 2 / beta, 100):
+            assert -1.0 <= phi_prime(x, d, beta) <= 0.0
+
+    def test_phi_prime_is_lipschitz_with_constant_beta(self):
+        d, beta = 5.0, 0.07
+        xs = np.linspace(0, 2 * d + 2 / beta, 500)
+        derivatives = np.array([phi_prime(x, d, beta) for x in xs])
+        slopes = np.abs(np.diff(derivatives) / np.diff(xs))
+        assert slopes.max() <= beta + 1e-9
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LyapunovConfig(r=0.6)
+        with pytest.raises(ValueError):
+            LyapunovConfig(d=0.5)
+        with pytest.raises(ValueError):
+            LyapunovConfig(beta=0.7)
+        with pytest.raises(ValueError):
+            LyapunovConfig(alpha=0.4)
+        with pytest.raises(ValueError):
+            LyapunovConfig(p=0.0)
+
+    def test_default_satisfies_constraints(self, example3_params):
+        config = LyapunovConfig.default_for(example3_params)
+        ratio = example3_params.mu_over_gamma
+        jump = (example3_params.num_pieces + ratio) / (1 - ratio)
+        assert config.beta * jump * jump <= 1.0 / config.alpha - 1.0 + 1e-9
+        assert config.d > (1 + ratio) / (1 - ratio)
+
+    def test_default_for_gamma_le_mu(self):
+        params = SystemParameters.flash_crowd(
+            3, 2.0, 0.5, peer_rate=1.0, seed_departure_rate=0.5
+        )
+        config = LyapunovConfig.default_for(params)
+        assert config.p >= 1.0
+
+
+class TestLyapunovFunction:
+    def test_variant_selection(self, example3_params):
+        assert LyapunovFunction(example3_params).variant == "W"
+        params = example3_params.with_departure_rate(0.5)
+        assert LyapunovFunction(params).variant == "Wprime"
+
+    def test_variant_w_requires_mu_less_than_gamma(self, example3_params):
+        params = example3_params.with_departure_rate(0.5)
+        with pytest.raises(ValueError):
+            LyapunovFunction(params, variant="W")
+
+    def test_invalid_variant(self, example3_params):
+        with pytest.raises(ValueError):
+            LyapunovFunction(example3_params, variant="X")
+
+    def test_value_zero_at_empty_state(self, example3_params):
+        lyapunov = LyapunovFunction(example3_params)
+        value = lyapunov(SystemState.empty(3))
+        # Only the phi(0) terms contribute with E_C = 0, so W(empty) has no
+        # quadratic part; the value is finite and small relative to any load.
+        assert value == pytest.approx(0.0)
+
+    def test_value_grows_quadratically_with_one_club(self, example3_params):
+        lyapunov = LyapunovFunction(example3_params)
+        small = lyapunov(SystemState.one_club(3, 300))
+        large = lyapunov(SystemState.one_club(3, 600))
+        assert large > 3.0 * small  # super-linear (quadratic-dominated) growth
+
+    def test_value_nonnegative_on_random_states(self, example3_params, rng):
+        lyapunov = LyapunovFunction(example3_params)
+        for state in sample_heavy_load_states(example3_params, 40, 10, rng=rng):
+            assert lyapunov(state) >= 0.0
+
+    def test_drift_negative_on_large_one_club_when_stable(self, example3_params):
+        lyapunov = LyapunovFunction(example3_params)
+        state = SystemState.one_club(3, 400)
+        assert lyapunov.drift_per_peer(state) < 0.0
+
+    def test_drift_positive_on_large_one_club_when_unstable(self):
+        params = SystemParameters.one_piece_arrivals(
+            (4.0, 4.0, 0.5), seed_departure_rate=2.0
+        )
+        lyapunov = LyapunovFunction(params)
+        # The one club missing piece 3 is the one that grows.
+        club = SystemState({PieceSet((1, 2), 3): 400}, 3)
+        assert lyapunov.drift(club) > 0.0
+
+    def test_drift_negative_for_wprime_variant(self):
+        """gamma <= mu: W' has negative drift on heavy one-club states."""
+        params = SystemParameters.flash_crowd(
+            3, arrival_rate=2.0, seed_rate=0.5, peer_rate=1.0, seed_departure_rate=0.5
+        )
+        lyapunov = LyapunovFunction(params)
+        assert lyapunov.variant == "Wprime"
+        state = SystemState.one_club(3, 400)
+        assert lyapunov.drift_per_peer(state) < 0.0
+
+    def test_drift_matches_manual_sum(self, example3_params):
+        from repro.core.transitions import outgoing_transitions
+
+        lyapunov = LyapunovFunction(example3_params)
+        state = SystemState.one_club(3, 20)
+        here = lyapunov(state)
+        manual = sum(
+            t.rate * (lyapunov(t.target) - here)
+            for t in outgoing_transitions(state, example3_params)
+        )
+        assert lyapunov.drift(state) == pytest.approx(manual)
+
+
+class TestHeavyLoadSampling:
+    def test_population_is_exact(self, example3_params, rng):
+        states = sample_heavy_load_states(example3_params, population=77, num_states=8, rng=rng)
+        assert len(states) == 8
+        assert all(s.total_peers == 77 for s in states)
+
+    def test_one_club_states_included_first(self, example3_params, rng):
+        states = sample_heavy_load_states(example3_params, 30, 3, rng=rng)
+        for piece, state in zip((1, 2, 3), states):
+            assert state.one_club_size(piece) == 30
+
+    def test_no_full_type_when_gamma_infinite(self, rng):
+        params = SystemParameters.flash_crowd(3, 1.0, 1.0)
+        states = sample_heavy_load_states(params, 50, 20, rng=rng)
+        full = PieceSet.full(3)
+        assert all(state.count(full) == 0 for state in states)
+
+    def test_check_negative_drift_summary(self, example3_params, rng):
+        lyapunov = LyapunovFunction(example3_params)
+        states = sample_heavy_load_states(example3_params, 400, 5, rng=rng)
+        result = check_negative_drift(lyapunov, states)
+        assert result.num_states == 5
+        assert 0 <= result.num_negative <= 5
+        assert result.min_drift_per_peer <= result.max_drift_per_peer

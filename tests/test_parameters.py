@@ -1,0 +1,210 @@
+"""Unit tests for SystemParameters and its constructors."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import (
+    SystemParameters,
+    uniform_single_piece_rates,
+    validate_policy_support,
+)
+from repro.core.types import PieceSet
+
+
+class TestValidation:
+    def test_requires_positive_arrivals(self):
+        with pytest.raises(ValueError):
+            SystemParameters(
+                num_pieces=2,
+                seed_rate=1.0,
+                peer_rate=1.0,
+                seed_departure_rate=1.0,
+                arrival_rates={},
+            )
+
+    def test_rejects_negative_rates(self):
+        empty = PieceSet.empty(2)
+        with pytest.raises(ValueError):
+            SystemParameters(2, -1.0, 1.0, 1.0, {empty: 1.0})
+        with pytest.raises(ValueError):
+            SystemParameters(2, 1.0, 0.0, 1.0, {empty: 1.0})
+        with pytest.raises(ValueError):
+            SystemParameters(2, 1.0, 1.0, 0.0, {empty: 1.0})
+        with pytest.raises(ValueError):
+            SystemParameters(2, 1.0, 1.0, 1.0, {empty: -1.0})
+
+    def test_rejects_full_arrivals_when_gamma_infinite(self):
+        with pytest.raises(ValueError):
+            SystemParameters(
+                num_pieces=2,
+                seed_rate=1.0,
+                peer_rate=1.0,
+                seed_departure_rate=math.inf,
+                arrival_rates={PieceSet.full(2): 1.0},
+            )
+
+    def test_full_arrivals_allowed_with_finite_gamma(self):
+        params = SystemParameters(
+            num_pieces=2,
+            seed_rate=1.0,
+            peer_rate=1.0,
+            seed_departure_rate=1.0,
+            arrival_rates={PieceSet.full(2): 0.5, PieceSet.empty(2): 0.5},
+        )
+        assert params.lambda_total == pytest.approx(1.0)
+
+    def test_mismatched_type_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            SystemParameters(
+                num_pieces=3,
+                seed_rate=1.0,
+                peer_rate=1.0,
+                seed_departure_rate=1.0,
+                arrival_rates={PieceSet.empty(2): 1.0},
+            )
+
+    def test_non_pieceset_key_rejected(self):
+        with pytest.raises(TypeError):
+            SystemParameters(
+                num_pieces=2,
+                seed_rate=1.0,
+                peer_rate=1.0,
+                seed_departure_rate=1.0,
+                arrival_rates={"empty": 1.0},
+            )
+
+    def test_zero_rate_entries_are_dropped(self):
+        params = SystemParameters(
+            num_pieces=2,
+            seed_rate=1.0,
+            peer_rate=1.0,
+            seed_departure_rate=1.0,
+            arrival_rates={PieceSet.empty(2): 1.0, PieceSet((1,), 2): 0.0},
+        )
+        assert PieceSet((1,), 2) not in params.arrival_rates
+
+    def test_invalid_num_pieces(self):
+        with pytest.raises(ValueError):
+            SystemParameters(0, 1.0, 1.0, 1.0, {})
+
+
+class TestAggregates:
+    def test_lambda_total(self, gifted_params):
+        assert gifted_params.lambda_total == pytest.approx(1.75)
+
+    def test_mu_over_gamma(self):
+        params = SystemParameters.flash_crowd(2, 1.0, 1.0, peer_rate=2.0, seed_departure_rate=4.0)
+        assert params.mu_over_gamma == pytest.approx(0.5)
+
+    def test_mu_over_gamma_infinite_departure(self):
+        params = SystemParameters.flash_crowd(2, 1.0, 1.0)
+        assert params.immediate_departure
+        assert params.mu_over_gamma == 0.0
+        assert params.mean_dwell_time == 0.0
+
+    def test_mean_dwell_time(self, example1_params):
+        assert example1_params.mean_dwell_time == pytest.approx(0.5)
+
+    def test_arrival_rate_lookup(self, gifted_params):
+        assert gifted_params.arrival_rate(PieceSet.empty(3)) == pytest.approx(1.0)
+        assert gifted_params.arrival_rate(PieceSet((2,), 3)) == 0.0
+
+    def test_arrival_rate_with_piece(self, gifted_params):
+        # Types containing piece 1: {1} at 0.5 and {1,2} at 0.25.
+        assert gifted_params.arrival_rate_with_piece(1) == pytest.approx(0.75)
+        assert gifted_params.arrival_rate_with_piece(2) == pytest.approx(0.25)
+        assert gifted_params.arrival_rate_with_piece(3) == 0.0
+
+    def test_arrival_rate_missing_piece(self, gifted_params):
+        assert gifted_params.arrival_rate_missing_piece(1) == pytest.approx(1.0)
+        assert gifted_params.arrival_rate_missing_piece(3) == pytest.approx(1.75)
+
+    def test_piece_injection_and_can_enter(self, gifted_params):
+        assert gifted_params.piece_injection_rate(1) == pytest.approx(1.25)
+        assert gifted_params.piece_can_enter(3)  # via the fixed seed
+        assert gifted_params.all_pieces_can_enter()
+
+    def test_piece_cannot_enter_without_seed(self):
+        params = SystemParameters(
+            num_pieces=2,
+            seed_rate=0.0,
+            peer_rate=1.0,
+            seed_departure_rate=math.inf,
+            arrival_rates={PieceSet((1,), 2): 1.0},
+        )
+        assert params.piece_can_enter(1)
+        assert not params.piece_can_enter(2)
+        assert not params.all_pieces_can_enter()
+        with pytest.raises(ValueError):
+            validate_policy_support(params)
+
+    def test_arriving_types_sorted(self, gifted_params):
+        types = gifted_params.arriving_types()
+        assert list(types) == sorted(types)
+
+
+class TestCopies:
+    def test_with_seed_rate(self, flash_crowd_stable):
+        modified = flash_crowd_stable.with_seed_rate(5.0)
+        assert modified.seed_rate == 5.0
+        assert flash_crowd_stable.seed_rate == 2.0
+
+    def test_with_departure_rate(self, flash_crowd_stable):
+        modified = flash_crowd_stable.with_departure_rate(3.0)
+        assert modified.seed_departure_rate == 3.0
+        assert modified.arrival_rates == flash_crowd_stable.arrival_rates
+
+    def test_with_arrival_rates(self, flash_crowd_stable):
+        modified = flash_crowd_stable.with_arrival_rates(
+            {PieceSet.empty(3): 7.0}
+        )
+        assert modified.lambda_total == pytest.approx(7.0)
+
+    def test_scaled_arrivals(self, gifted_params):
+        doubled = gifted_params.scaled_arrivals(2.0)
+        assert doubled.lambda_total == pytest.approx(2 * gifted_params.lambda_total)
+        with pytest.raises(ValueError):
+            gifted_params.scaled_arrivals(0.0)
+
+    def test_describe_mentions_rates(self, gifted_params):
+        text = gifted_params.describe()
+        assert "K=3" in text
+        assert "lambda" in text
+
+
+class TestExampleConstructors:
+    def test_single_piece(self):
+        params = SystemParameters.single_piece(arrival_rate=2.0, seed_rate=1.0)
+        assert params.num_pieces == 1
+        assert params.lambda_total == pytest.approx(2.0)
+        assert PieceSet.empty(1) in params.arrival_rates
+
+    def test_two_class_four_pieces(self):
+        params = SystemParameters.two_class_four_pieces(3.0, 1.5)
+        assert params.num_pieces == 4
+        assert params.seed_rate == 0.0
+        assert params.immediate_departure
+        assert params.arrival_rate(PieceSet((1, 2), 4)) == pytest.approx(3.0)
+        assert params.arrival_rate(PieceSet((3, 4), 4)) == pytest.approx(1.5)
+
+    def test_one_piece_arrivals(self):
+        params = SystemParameters.one_piece_arrivals((1.0, 2.0, 3.0))
+        assert params.num_pieces == 3
+        assert params.arrival_rate(PieceSet.single(2, 3)) == pytest.approx(2.0)
+
+    def test_one_piece_arrivals_drops_zero_rates(self):
+        params = SystemParameters.one_piece_arrivals((1.0, 0.0, 3.0))
+        assert PieceSet.single(2, 3) not in params.arrival_rates
+
+    def test_flash_crowd(self):
+        params = SystemParameters.flash_crowd(5, 2.0, 1.0)
+        assert params.num_pieces == 5
+        assert params.immediate_departure
+        assert params.arrival_rate(PieceSet.empty(5)) == pytest.approx(2.0)
+
+    def test_uniform_single_piece_rates(self):
+        rates = uniform_single_piece_rates(4, 0.5)
+        assert len(rates) == 4
+        assert all(rate == 0.5 for rate in rates.values())
+        assert all(len(t) == 1 for t in rates)

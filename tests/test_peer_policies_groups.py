@@ -1,0 +1,238 @@
+"""Unit tests for Peer, the piece-selection policies, and the Figure-2 groups."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import PieceSet
+from repro.swarm.groups import GroupSnapshot, PeerGroup, classify_peer, group_counts
+from repro.swarm.peer import Peer
+from repro.swarm.policies import (
+    CallablePolicy,
+    MostCommonFirstSelection,
+    RandomUsefulSelection,
+    RarestFirstSelection,
+    SequentialSelection,
+    SwarmView,
+    make_policy,
+    registered_policies,
+)
+
+
+def make_view(num_pieces=3, piece_counts=None, total_peers=10, time=0.0) -> SwarmView:
+    counts = piece_counts if piece_counts is not None else {k: 1 for k in range(1, num_pieces + 1)}
+    return SwarmView(num_pieces=num_pieces, piece_counts=counts, total_peers=total_peers, time=time)
+
+
+class TestPeer:
+    def make_peer(self, pieces=(), num_pieces=3, time=0.0) -> Peer:
+        return Peer(peer_id=0, pieces=PieceSet(pieces, num_pieces), arrival_time=time)
+
+    def test_initial_flags(self):
+        peer = self.make_peer((1,))
+        assert peer.is_gifted
+        assert peer.infected_at is None
+        assert not peer.is_seed
+        assert peer.in_system
+
+    def test_receive_piece_updates_collection(self):
+        peer = self.make_peer(())
+        peer.receive_piece(2, time=1.0)
+        assert 2 in peer.pieces
+        assert peer.downloads == 1
+
+    def test_receiving_held_piece_raises(self):
+        peer = self.make_peer((1,))
+        with pytest.raises(ValueError):
+            peer.receive_piece(1, time=1.0)
+
+    def test_infection_flag_set_when_rare_piece_obtained_young(self):
+        peer = self.make_peer(())  # missing all three pieces
+        peer.receive_piece(1, time=2.0)
+        assert peer.infected_at == 2.0
+
+    def test_no_infection_for_gifted_peer(self):
+        peer = self.make_peer((1,))
+        peer.receive_piece(2, time=2.0)
+        assert peer.infected_at is None
+
+    def test_no_infection_when_completing_from_one_club(self):
+        peer = self.make_peer((2, 3))  # one-club peer
+        peer.receive_piece(1, time=3.0)
+        assert peer.infected_at is None
+        assert peer.was_one_club
+        assert peer.is_seed
+        assert peer.completed_at == 3.0
+
+    def test_one_club_detection(self):
+        peer = self.make_peer((2, 3))
+        assert peer.is_one_club()
+        assert not peer.is_one_club(rare_piece=2)
+
+    def test_sojourn_and_download_time(self):
+        peer = self.make_peer((), time=1.0)
+        for piece, t in ((1, 2.0), (2, 3.0), (3, 5.0)):
+            peer.receive_piece(piece, time=t)
+        assert peer.download_time() == pytest.approx(4.0)
+        peer.depart(6.0)
+        assert peer.sojourn_time() == pytest.approx(5.0)
+        assert not peer.in_system
+
+    def test_double_departure_raises(self):
+        peer = self.make_peer(())
+        peer.depart(1.0)
+        with pytest.raises(ValueError):
+            peer.depart(2.0)
+
+    def test_sojourn_requires_time_when_still_present(self):
+        peer = self.make_peer((), time=1.0)
+        with pytest.raises(ValueError):
+            peer.sojourn_time()
+        assert peer.sojourn_time(now=4.0) == pytest.approx(3.0)
+
+    def test_useful_from(self):
+        peer = self.make_peer((1,))
+        assert sorted(peer.useful_from(PieceSet((1, 2), 3))) == [2]
+        assert peer.needs(3)
+
+
+class TestPolicies:
+    def test_registry(self):
+        names = registered_policies()
+        assert "random-useful" in names and "rarest-first" in names
+        for name in names:
+            assert make_policy(name).name == name
+        with pytest.raises(KeyError):
+            make_policy("no-such-policy")
+
+    def test_all_policies_respect_usefulness(self, rng):
+        downloader = PieceSet((1,), 4)
+        uploader = PieceSet((1, 2, 4), 4)
+        view = make_view(num_pieces=4)
+        for name in registered_policies():
+            policy = make_policy(name)
+            piece = policy.select_piece(downloader, uploader, view, rng)
+            assert piece in (2, 4)
+
+    def test_no_useful_piece_returns_none(self, rng):
+        downloader = PieceSet((1, 2), 3)
+        uploader = PieceSet((1,), 3)
+        view = make_view()
+        for name in registered_policies():
+            assert make_policy(name).select_piece(downloader, uploader, view, rng) is None
+
+    def test_random_useful_covers_all_choices(self, rng):
+        policy = RandomUsefulSelection()
+        downloader = PieceSet((), 3)
+        uploader = PieceSet((1, 2, 3), 3)
+        chosen = {
+            policy.select_piece(downloader, uploader, make_view(), rng) for _ in range(100)
+        }
+        assert chosen == {1, 2, 3}
+
+    def test_rarest_first_picks_globally_rarest(self, rng):
+        policy = RarestFirstSelection()
+        downloader = PieceSet((), 3)
+        uploader = PieceSet((1, 2, 3), 3)
+        view = make_view(piece_counts={1: 10, 2: 1, 3: 5})
+        assert policy.select_piece(downloader, uploader, view, rng) == 2
+
+    def test_rarest_first_breaks_ties_randomly(self, rng):
+        policy = RarestFirstSelection()
+        downloader = PieceSet((), 2)
+        uploader = PieceSet((1, 2), 2)
+        view = make_view(num_pieces=2, piece_counts={1: 3, 2: 3})
+        chosen = {policy.select_piece(downloader, uploader, view, rng) for _ in range(50)}
+        assert chosen == {1, 2}
+
+    def test_most_common_first(self, rng):
+        policy = MostCommonFirstSelection()
+        downloader = PieceSet((), 3)
+        uploader = PieceSet((1, 2, 3), 3)
+        view = make_view(piece_counts={1: 10, 2: 1, 3: 5})
+        assert policy.select_piece(downloader, uploader, view, rng) == 1
+
+    def test_sequential_selects_lowest_index(self, rng):
+        policy = SequentialSelection()
+        downloader = PieceSet((1,), 4)
+        uploader = PieceSet.full(4)
+        assert policy.select_piece(downloader, uploader, make_view(num_pieces=4), rng) == 2
+
+    def test_callable_policy_wraps_function(self, rng):
+        policy = CallablePolicy(
+            lambda down, up, view, rng_: max(down.useful_from(up)), name="highest"
+        )
+        downloader = PieceSet((1,), 3)
+        uploader = PieceSet.full(3)
+        assert policy.select_piece(downloader, uploader, make_view(), rng) == 3
+
+    def test_callable_policy_rejects_useless_choice(self, rng):
+        policy = CallablePolicy(lambda down, up, view, rng_: 1, name="bad")
+        downloader = PieceSet((1,), 3)
+        uploader = PieceSet.full(3)
+        with pytest.raises(ValueError):
+            policy.select_piece(downloader, uploader, make_view(), rng)
+
+
+class TestGroups:
+    def make_peer(self, pieces, arrived_with=None, num_pieces=3) -> Peer:
+        peer = Peer(
+            peer_id=0,
+            pieces=PieceSet(pieces, num_pieces),
+            arrival_time=0.0,
+            arrived_with=PieceSet(arrived_with if arrived_with is not None else pieces, num_pieces),
+        )
+        return peer
+
+    def test_normal_young(self):
+        assert classify_peer(self.make_peer(())) is PeerGroup.NORMAL_YOUNG
+        assert classify_peer(self.make_peer((2,))) is PeerGroup.NORMAL_YOUNG
+
+    def test_one_club(self):
+        assert classify_peer(self.make_peer((2, 3))) is PeerGroup.ONE_CLUB
+
+    def test_gifted_is_sticky(self):
+        gifted = self.make_peer((1,), arrived_with=(1,))
+        assert classify_peer(gifted) is PeerGroup.GIFTED
+        gifted.receive_piece(2, 1.0)
+        gifted.receive_piece(3, 2.0)
+        assert gifted.is_seed
+        assert classify_peer(gifted) is PeerGroup.GIFTED
+
+    def test_infected_classification(self):
+        peer = self.make_peer(())
+        peer.receive_piece(1, 1.0)  # infected: got the rare piece while young
+        assert classify_peer(peer) is PeerGroup.INFECTED
+        peer.receive_piece(2, 2.0)
+        peer.receive_piece(3, 3.0)
+        assert classify_peer(peer) is PeerGroup.INFECTED
+
+    def test_former_one_club(self):
+        peer = self.make_peer((2, 3))
+        peer.receive_piece(1, 1.0)
+        assert classify_peer(peer) is PeerGroup.FORMER_ONE_CLUB
+
+    def test_group_counts_and_snapshot(self):
+        peers = [
+            self.make_peer(()),
+            self.make_peer((2, 3)),
+            self.make_peer((2, 3)),
+            self.make_peer((1,), arrived_with=(1,)),
+        ]
+        counts = group_counts(peers)
+        assert counts[PeerGroup.NORMAL_YOUNG] == 1
+        assert counts[PeerGroup.ONE_CLUB] == 2
+        assert counts[PeerGroup.GIFTED] == 1
+        snapshot = GroupSnapshot.from_peers(time=1.0, peers=peers)
+        assert snapshot.total == 4
+        assert snapshot.one_club_fraction == pytest.approx(0.5)
+
+    def test_snapshot_empty(self):
+        snapshot = GroupSnapshot.from_peers(0.0, [])
+        assert snapshot.total == 0
+        assert snapshot.one_club_fraction == 0.0
+
+    def test_other_rare_piece(self):
+        peer = self.make_peer((1, 3))
+        assert classify_peer(peer, rare_piece=2) is PeerGroup.ONE_CLUB
+        gifted = self.make_peer((2,), arrived_with=(2,))
+        assert classify_peer(gifted, rare_piece=2) is PeerGroup.GIFTED

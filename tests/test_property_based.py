@@ -1,0 +1,299 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.coding.gf import PrimeField
+from repro.coding.subspace import Subspace
+from repro.core.branching import one_club_drift
+from repro.core.parameters import SystemParameters
+from repro.core.stability import analyze, delta_s, piece_threshold, Stability
+from repro.core.state import SystemState
+from repro.core.transitions import outgoing_transitions, total_exit_rate
+from repro.core.types import PieceSet, all_types
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+MAX_K = 4
+
+
+@st.composite
+def piece_sets(draw, num_pieces=None):
+    k = num_pieces if num_pieces is not None else draw(st.integers(1, MAX_K))
+    mask = draw(st.integers(0, (1 << k) - 1))
+    return PieceSet.from_mask(mask, k)
+
+
+@st.composite
+def piece_set_pairs(draw):
+    k = draw(st.integers(1, MAX_K))
+    return draw(piece_sets(k)), draw(piece_sets(k))
+
+
+@st.composite
+def system_parameters(draw):
+    k = draw(st.integers(1, 3))
+    seed_rate = draw(st.floats(0.0, 5.0))
+    peer_rate = draw(st.floats(0.1, 3.0))
+    gamma = draw(st.one_of(st.floats(0.2, 5.0), st.just(math.inf)))
+    num_arrival_types = draw(st.integers(1, 3))
+    arrival_rates = {}
+    for _ in range(num_arrival_types):
+        type_c = draw(piece_sets(k))
+        if type_c.is_complete and math.isinf(gamma):
+            continue
+        arrival_rates[type_c] = draw(st.floats(0.05, 4.0))
+    assume(arrival_rates)
+    return SystemParameters(
+        num_pieces=k,
+        seed_rate=seed_rate,
+        peer_rate=peer_rate,
+        seed_departure_rate=gamma,
+        arrival_rates=arrival_rates,
+    )
+
+
+@st.composite
+def system_states(draw, max_count=6):
+    k = draw(st.integers(1, 3))
+    counts = {}
+    for type_c in all_types(k):
+        value = draw(st.integers(0, max_count))
+        if value:
+            counts[type_c] = value
+    return SystemState(counts, k)
+
+
+# ---------------------------------------------------------------------------
+# PieceSet lattice properties
+# ---------------------------------------------------------------------------
+
+
+class TestPieceSetProperties:
+    @given(piece_set_pairs())
+    def test_union_is_superset_of_both(self, pair):
+        a, b = pair
+        union = a.union(b)
+        assert a.issubset(union) and b.issubset(union)
+        assert len(union) == len(a) + len(b) - len(a.intersection(b))
+
+    @given(piece_set_pairs())
+    def test_difference_disjoint_from_other(self, pair):
+        a, b = pair
+        assert a.difference(b).intersection(b).is_empty
+
+    @given(piece_sets())
+    def test_missing_is_complement(self, a):
+        missing = a.missing()
+        assert a.intersection(missing).is_empty
+        assert a.union(missing).is_complete
+
+    @given(piece_set_pairs())
+    def test_useful_from_matches_containment(self, pair):
+        a, b = pair
+        useful = a.useful_from(b)
+        assert useful.is_empty == b.issubset(a)
+        assert a.can_be_helped_by(b) == (not useful.is_empty)
+
+    @given(piece_sets(), st.integers(1, MAX_K))
+    def test_add_remove_roundtrip(self, a, piece):
+        assume(piece <= a.num_pieces)
+        assume(piece not in a)
+        assert a.add(piece).remove(piece) == a
+
+    @given(piece_set_pairs())
+    def test_subset_antisymmetry(self, pair):
+        a, b = pair
+        if a.issubset(b) and b.issubset(a):
+            assert a == b
+
+    @given(piece_sets())
+    def test_mask_roundtrip(self, a):
+        assert PieceSet.from_mask(a.mask, a.num_pieces) == a
+
+
+# ---------------------------------------------------------------------------
+# SystemState invariants
+# ---------------------------------------------------------------------------
+
+
+class TestSystemStateProperties:
+    @given(system_states())
+    def test_population_decomposes_over_helpers(self, state):
+        """E_C + x_{H_C} = n for every target C."""
+        for target in all_types(state.num_pieces):
+            assert state.downward_count(target) + state.helper_count(target) == state.total_peers
+
+    @given(system_states(), st.integers(1, 3))
+    def test_piece_counts_consistent(self, state, piece):
+        assume(piece <= state.num_pieces)
+        assert (
+            state.peers_with_piece(piece) + state.peers_missing_piece(piece)
+            == state.total_peers
+        )
+
+    @given(system_states())
+    def test_add_then_remove_is_identity(self, state):
+        type_c = PieceSet.empty(state.num_pieces)
+        assert state.add_peer(type_c).remove_peer(type_c) == state
+
+    @given(system_states())
+    def test_vector_roundtrip(self, state):
+        from repro.core.types import canonical_type_order
+
+        order = canonical_type_order(state.num_pieces)
+        assert SystemState.from_vector(state.to_vector(order), order, state.num_pieces) == state
+
+
+# ---------------------------------------------------------------------------
+# Transition-rate invariants
+# ---------------------------------------------------------------------------
+
+
+class TestTransitionProperties:
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(system_parameters(), system_states())
+    def test_rates_nonnegative_and_population_step_one(self, params, state):
+        assume(state.num_pieces == params.num_pieces)
+        total = 0.0
+        for transition in outgoing_transitions(state, params):
+            assert transition.rate > 0
+            assert abs(transition.target.total_peers - state.total_peers) <= 1
+            total += transition.rate
+        assert total == pytest.approx(total_exit_rate(state, params))
+
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(system_parameters(), system_states())
+    def test_downloads_preserve_piece_monotonicity(self, params, state):
+        """Every non-arrival transition only adds pieces to peers (or removes seeds)."""
+        assume(state.num_pieces == params.num_pieces)
+        before = state.piece_counts()
+        for transition in outgoing_transitions(state, params):
+            after = transition.target.piece_counts()
+            for piece in before:
+                # Counts can only drop by a departure of a complete peer.
+                assert after[piece] >= before[piece] - 1
+
+
+# ---------------------------------------------------------------------------
+# Stability-theory properties
+# ---------------------------------------------------------------------------
+
+
+class TestStabilityProperties:
+    @settings(max_examples=60)
+    @given(system_parameters())
+    def test_eq3_eq4_equivalence(self, params):
+        """The per-piece threshold condition (3) matches the sign of Delta (4)."""
+        assume(params.mu_over_gamma < 1.0)
+        for piece in range(1, params.num_pieces + 1):
+            delta = delta_s(params, PieceSet.full(params.num_pieces).remove(piece))
+            threshold = piece_threshold(params, piece)
+            if params.lambda_total < threshold:
+                assert delta < 1e-9
+            elif params.lambda_total > threshold:
+                assert delta > -1e-9
+
+    @settings(max_examples=60)
+    @given(system_parameters())
+    def test_branching_drift_equals_delta(self, params):
+        assume(params.mu_over_gamma < 1.0)
+        for piece in range(1, params.num_pieces + 1):
+            assert one_club_drift(params, piece) == pytest.approx(
+                delta_s(params, PieceSet.full(params.num_pieces).remove(piece))
+            )
+
+    @settings(max_examples=40)
+    @given(system_parameters(), st.floats(1.2, 4.0))
+    def test_scaling_arrivals_never_helps(self, params, factor):
+        """If a system is already unstable, scaling up arrivals keeps it unstable."""
+        report = analyze(params)
+        assume(report.verdict is Stability.UNSTABLE)
+        scaled = analyze(params.scaled_arrivals(factor))
+        assert scaled.verdict is Stability.UNSTABLE
+
+    @settings(max_examples=40)
+    @given(system_parameters(), st.floats(0.5, 5.0))
+    def test_more_seed_capacity_never_hurts(self, params, extra):
+        """Adding fixed-seed capacity can only enlarge the margin."""
+        assume(params.mu_over_gamma < 1.0)
+        before = analyze(params).margin
+        after = analyze(params.with_seed_rate(params.seed_rate + extra)).margin
+        assert after >= before - 1e-9
+
+    @settings(max_examples=40)
+    @given(system_parameters())
+    def test_gamma_below_mu_always_stable_when_pieces_enter(self, params):
+        assume(params.all_pieces_can_enter())
+        slow = params.with_departure_rate(params.peer_rate * 0.5)
+        assert analyze(slow).verdict is Stability.STABLE
+
+    @settings(max_examples=40)
+    @given(system_parameters())
+    def test_verdict_is_exclusive(self, params):
+        report = analyze(params)
+        assert report.is_stable + report.is_unstable <= 1
+
+
+# ---------------------------------------------------------------------------
+# GF(p) subspace properties
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def subspace_pairs(draw):
+    prime = draw(st.sampled_from([2, 3, 5]))
+    dim = draw(st.integers(2, 4))
+    field = PrimeField(prime)
+    num_vectors_a = draw(st.integers(0, dim))
+    num_vectors_b = draw(st.integers(0, dim))
+    vectors_a = [
+        [draw(st.integers(0, prime - 1)) for _ in range(dim)] for _ in range(num_vectors_a)
+    ]
+    vectors_b = [
+        [draw(st.integers(0, prime - 1)) for _ in range(dim)] for _ in range(num_vectors_b)
+    ]
+    return Subspace(field, dim, vectors_a), Subspace(field, dim, vectors_b)
+
+
+class TestSubspaceProperties:
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    @given(subspace_pairs())
+    def test_dimension_formula(self, pair):
+        a, b = pair
+        total = a.sum(b)
+        intersection_dim = a.intersection_dimension(b)
+        assert total.dimension == a.dimension + b.dimension - intersection_dim
+        assert 0 <= intersection_dim <= min(a.dimension, b.dimension)
+        assert total.contains_subspace(a) and total.contains_subspace(b)
+
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    @given(subspace_pairs())
+    def test_sum_is_commutative(self, pair):
+        a, b = pair
+        assert a.sum(b) == b.sum(a)
+
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    @given(subspace_pairs())
+    def test_containment_iff_sum_unchanged(self, pair):
+        a, b = pair
+        assert a.contains_subspace(b) == (a.sum(b).dimension == a.dimension)
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(subspace_pairs(), st.integers(0, 2**31 - 1))
+    def test_random_vector_membership_and_usefulness(self, pair, seed):
+        a, b = pair
+        rng = np.random.default_rng(seed)
+        vector = a.random_vector(rng)
+        assert a.contains(vector)
+        if b.is_useful(vector):
+            assert not b.contains(vector)
+            assert b.add_vector(vector).dimension == b.dimension + 1
+        else:
+            assert b.add_vector(vector).dimension == b.dimension

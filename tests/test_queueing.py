@@ -1,0 +1,141 @@
+"""Tests for the queueing substrates (M/GI/infinity, appendix bounds)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    CompoundPoissonProcess,
+    MGInfinityQueue,
+    erlang_plus_exponential_mean,
+    erlang_plus_exponential_sampler,
+    kingman_exceedance_bound,
+    maximal_exceedance_bound,
+    stationary_mean,
+)
+
+
+class TestStationaryMean:
+    def test_little_law_identity(self):
+        assert stationary_mean(2.0, 3.0) == pytest.approx(6.0)
+        assert stationary_mean(0.0, 10.0) == 0.0
+        with pytest.raises(ValueError):
+            stationary_mean(-1.0, 1.0)
+
+
+class TestServiceSampler:
+    def test_mean_formula(self):
+        assert erlang_plus_exponential_mean(3, 2.0, 4.0) == pytest.approx(1.5 + 0.25)
+        assert erlang_plus_exponential_mean(2, 1.0, math.inf) == pytest.approx(2.0)
+
+    def test_sampler_matches_mean(self, rng):
+        sampler = erlang_plus_exponential_sampler(3, 2.0, 4.0)
+        samples = sampler(rng, 5000)
+        assert samples.mean() == pytest.approx(1.75, rel=0.1)
+        assert (samples >= 0).all()
+
+    def test_sampler_without_dwell(self, rng):
+        sampler = erlang_plus_exponential_sampler(2, 1.0, math.inf)
+        samples = sampler(rng, 2000)
+        assert samples.mean() == pytest.approx(2.0, rel=0.1)
+
+    def test_sampler_zero_count(self, rng):
+        sampler = erlang_plus_exponential_sampler(2, 1.0, 1.0)
+        assert sampler(rng, 0).size == 0
+
+    def test_sampler_validation(self):
+        with pytest.raises(ValueError):
+            erlang_plus_exponential_sampler(-1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_plus_exponential_sampler(2, 0.0, 1.0)
+
+
+class TestMGInfinityQueue:
+    def test_occupancy_nonnegative_and_consistent(self, rng):
+        queue = MGInfinityQueue(2.0, erlang_plus_exponential_sampler(2, 1.0, 2.0))
+        trajectory = queue.simulate(horizon=100.0, seed=rng)
+        assert (trajectory.occupancy >= 0).all()
+        assert trajectory.arrival_times.size == trajectory.departure_times.size
+
+    def test_mean_occupancy_matches_little_law(self, rng):
+        arrival_rate = 3.0
+        mean_service = erlang_plus_exponential_mean(2, 2.0, 2.0)
+        queue = MGInfinityQueue(arrival_rate, erlang_plus_exponential_sampler(2, 2.0, 2.0))
+        means = []
+        for seed in range(15):
+            trajectory = queue.simulate(horizon=200.0, seed=seed, num_samples=400)
+            # Discard the warm-up half.
+            means.append(trajectory.occupancy[200:].mean())
+        assert np.mean(means) == pytest.approx(
+            stationary_mean(arrival_rate, mean_service), rel=0.1
+        )
+
+    def test_zero_arrival_rate_stays_empty(self, rng):
+        queue = MGInfinityQueue(0.0, erlang_plus_exponential_sampler(1, 1.0, 1.0))
+        trajectory = queue.simulate(horizon=50.0, seed=rng)
+        assert trajectory.peak == 0
+        assert trajectory.mean_occupancy() == 0.0
+
+    def test_invalid_horizon(self, rng):
+        queue = MGInfinityQueue(1.0, erlang_plus_exponential_sampler(1, 1.0, 1.0))
+        with pytest.raises(ValueError):
+            queue.simulate(horizon=0.0, seed=rng)
+
+    def test_negative_arrival_rate_rejected(self):
+        with pytest.raises(ValueError):
+            MGInfinityQueue(-1.0, erlang_plus_exponential_sampler(1, 1.0, 1.0))
+
+
+class TestMaximalBound:
+    def test_bound_properties(self):
+        bound = maximal_exceedance_bound(1.0, 2.0, offset=30.0, slope=1.0)
+        assert 0.0 <= bound <= 1.0
+        tighter = maximal_exceedance_bound(1.0, 2.0, offset=60.0, slope=1.0)
+        assert tighter <= bound
+        assert maximal_exceedance_bound(1.0, 2.0, offset=0.0, slope=1.0) == 1.0
+        assert maximal_exceedance_bound(1.0, 2.0, offset=10.0, slope=0.0) == 1.0
+
+    def test_bound_formula(self):
+        value = maximal_exceedance_bound(1.0, 2.0, offset=20.0, slope=1.0)
+        expected = math.exp(3.0) * 2.0 ** -20 / (1 - 0.5)
+        assert value == pytest.approx(min(1.0, expected))
+
+    def test_empirical_exceedance_below_bound(self):
+        """Lemma 21 holds empirically for the Lemma-5 service law."""
+        arrival_rate = 1.0
+        sampler = erlang_plus_exponential_sampler(3, 1.0, 2.0)
+        mean_service = erlang_plus_exponential_mean(3, 1.0, 2.0)
+        queue = MGInfinityQueue(arrival_rate, sampler)
+        offset, slope = 25.0, 1.0
+        bound = maximal_exceedance_bound(arrival_rate, mean_service, offset, slope)
+        exceed = 0
+        paths = 100
+        for seed in range(paths):
+            trajectory = queue.simulate(horizon=120.0, seed=seed, num_samples=300)
+            if np.any(trajectory.occupancy >= offset + slope * trajectory.sample_times):
+                exceed += 1
+        assert exceed / paths <= bound + 0.05
+
+
+class TestKingmanBound:
+    def test_empirical_exceedance_below_bound(self):
+        """Proposition 20 holds empirically for a geometric compound Poisson."""
+        process = CompoundPoissonProcess(
+            rate=1.0,
+            batch_sampler=lambda rng, n: rng.geometric(0.5, size=n).astype(float),
+            batch_mean=2.0,
+            batch_second_moment=6.0,
+        )
+        offset, slope = 25.0, 3.0
+        bound = kingman_exceedance_bound(1.0, 2.0, 6.0, offset, slope)
+        exceed = 0
+        paths = 100
+        for seed in range(paths):
+            sample = process.sample(horizon=150.0, seed=seed)
+            if sample.arrival_times.size == 0:
+                continue
+            cumulative = np.cumsum(sample.batch_sizes)
+            if np.any(cumulative >= offset + slope * sample.arrival_times):
+                exceed += 1
+        assert exceed / paths <= bound + 0.05

@@ -1,0 +1,41 @@
+"""Tests for the combined experiment report runner / CLI."""
+
+import pytest
+
+from repro.experiments.report import EXPERIMENTS, main, run_experiments
+
+
+class TestRunExperiments:
+    def test_registry_covers_all_ten_experiments(self):
+        assert list(EXPERIMENTS) == [f"E{i}" for i in range(1, 11)]
+        for key, (title, runner) in EXPERIMENTS.items():
+            assert title
+            assert callable(runner)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiments(only=["E99"], quick=True)
+
+    def test_subset_run_and_file_output(self, tmp_path):
+        reports = run_experiments(only=["E5", "E10"], quick=True, output_dir=tmp_path)
+        assert set(reports) == {"E5", "E10"}
+        assert "Figure 3" in reports["E5"]
+        assert (tmp_path / "E5.txt").exists()
+        assert (tmp_path / "E10.txt").read_text().startswith("E10")
+
+    def test_ids_are_case_insensitive(self):
+        reports = run_experiments(only=["e5"], quick=True)
+        assert set(reports) == {"E5"}
+
+
+class TestCli:
+    def test_main_prints_reports(self, capsys, tmp_path):
+        exit_code = main(["--only", "E5", "--quick", "--output-dir", str(tmp_path)])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Figure 3" in captured.out
+        assert (tmp_path / "E5.txt").exists()
+
+    def test_main_rejects_unknown_id(self):
+        with pytest.raises(KeyError):
+            main(["--only", "E42", "--quick"])

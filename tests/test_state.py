@@ -1,0 +1,158 @@
+"""Unit tests for SystemState."""
+
+import pytest
+
+from repro.core.state import SystemState, describe_state
+from repro.core.types import PieceSet
+
+
+class TestConstruction:
+    def test_empty_state(self):
+        state = SystemState.empty(3)
+        assert state.total_peers == 0
+        assert state.num_seeds == 0
+        assert len(state) == 0
+
+    def test_one_club_state(self):
+        state = SystemState.one_club(3, 10)
+        assert state.total_peers == 10
+        assert state.one_club_size() == 10
+        assert state.one_club_fraction() == pytest.approx(1.0)
+
+    def test_one_club_other_missing_piece(self):
+        state = SystemState.one_club(3, 5, missing_piece=2)
+        assert state.one_club_size(missing_piece=2) == 5
+        assert state.one_club_size(missing_piece=1) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SystemState({PieceSet.empty(3): -1}, 3)
+
+    def test_mismatched_type_rejected(self):
+        with pytest.raises(ValueError):
+            SystemState({PieceSet.empty(2): 1}, 3)
+
+    def test_zero_counts_dropped(self):
+        state = SystemState({PieceSet.empty(3): 0, PieceSet((1,), 3): 2}, 3)
+        assert len(state) == 1
+        assert state.count(PieceSet.empty(3)) == 0
+
+    def test_from_pairs_accumulates(self):
+        t = PieceSet((1,), 3)
+        state = SystemState.from_pairs([(t, 1), (t, 2)], 3)
+        assert state.count(t) == 3
+
+    def test_equality_and_hash(self):
+        a = SystemState({PieceSet((1,), 3): 2}, 3)
+        b = SystemState({PieceSet((1,), 3): 2}, 3)
+        c = SystemState({PieceSet((1,), 3): 3}, 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_and_describe(self):
+        state = SystemState({PieceSet((1,), 3): 2}, 3)
+        assert "2" in repr(state)
+        assert describe_state(state).startswith("n=2")
+
+
+class TestAggregates:
+    def test_total_and_seeds(self):
+        state = SystemState(
+            {PieceSet.empty(3): 2, PieceSet.full(3): 3}, 3
+        )
+        assert state.total_peers == 5
+        assert state.num_seeds == 3
+
+    def test_peers_with_and_missing_piece(self):
+        state = SystemState(
+            {PieceSet((1,), 3): 2, PieceSet((2, 3), 3): 4}, 3
+        )
+        assert state.peers_with_piece(1) == 2
+        assert state.peers_missing_piece(1) == 4
+        assert state.peers_with_piece(3) == 4
+
+    def test_piece_counts(self):
+        state = SystemState(
+            {PieceSet((1, 2), 3): 2, PieceSet.full(3): 1}, 3
+        )
+        counts = state.piece_counts()
+        assert counts == {1: 3, 2: 3, 3: 1}
+
+    def test_one_club_fraction_empty(self):
+        assert SystemState.empty(3).one_club_fraction() == 0.0
+
+    def test_downward_count(self):
+        state = SystemState(
+            {PieceSet.empty(3): 1, PieceSet((1,), 3): 2, PieceSet((1, 2), 3): 3,
+             PieceSet((3,), 3): 4},
+            3,
+        )
+        target = PieceSet((1, 2), 3)
+        assert state.downward_count(target) == 6  # empty + {1} + {1,2}
+        assert state.helper_count(target) == 4
+
+    def test_downward_count_of_full_is_population(self):
+        state = SystemState({PieceSet((1,), 3): 2, PieceSet.full(3): 1}, 3)
+        assert state.downward_count(PieceSet.full(3)) == state.total_peers
+
+    def test_helper_potential(self):
+        # One seed helping the one club: H_S = (K - K + mu/gamma) x_F / (1 - mu/gamma)
+        state = SystemState({PieceSet((2, 3), 3): 5, PieceSet.full(3): 2}, 3)
+        target = PieceSet((2, 3), 3)
+        ratio = 0.5
+        expected = (3 - 3 + ratio) * 2 / (1 - ratio)
+        assert state.helper_potential(target, ratio) == pytest.approx(expected)
+
+    def test_helper_potential_requires_valid_ratio(self):
+        state = SystemState.one_club(3, 2)
+        with pytest.raises(ValueError):
+            state.helper_potential(PieceSet((2, 3), 3), 1.5)
+
+    def test_helper_potential_prime(self):
+        state = SystemState({PieceSet((2, 3), 3): 5, PieceSet.full(3): 2}, 3)
+        target = PieceSet((2, 3), 3)
+        assert state.helper_potential_prime(target) == pytest.approx((3 + 1 - 3) * 2)
+
+
+class TestTransformations:
+    def test_add_peer(self):
+        state = SystemState.empty(3).add_peer(PieceSet((1,), 3))
+        assert state.total_peers == 1
+
+    def test_remove_peer(self):
+        t = PieceSet((1,), 3)
+        state = SystemState({t: 2}, 3).remove_peer(t)
+        assert state.count(t) == 1
+
+    def test_remove_absent_peer_raises(self):
+        with pytest.raises(ValueError):
+            SystemState.empty(3).remove_peer(PieceSet((1,), 3))
+
+    def test_move_peer(self):
+        t = PieceSet((1,), 3)
+        u = PieceSet((1, 2), 3)
+        state = SystemState({t: 2}, 3).move_peer(t, u)
+        assert state.count(t) == 1
+        assert state.count(u) == 1
+
+    def test_move_absent_peer_raises(self):
+        with pytest.raises(ValueError):
+            SystemState.empty(3).move_peer(PieceSet((1,), 3), PieceSet((1, 2), 3))
+
+    def test_transformations_do_not_mutate(self):
+        t = PieceSet((1,), 3)
+        state = SystemState({t: 1}, 3)
+        state.add_peer(t)
+        state.move_peer(t, PieceSet((1, 2), 3))
+        assert state.count(t) == 1
+
+    def test_vector_roundtrip(self):
+        from repro.core.types import canonical_type_order
+
+        order = canonical_type_order(2)
+        state = SystemState({PieceSet((1,), 2): 3, PieceSet.full(2): 1}, 2)
+        vector = state.to_vector(order)
+        assert sum(vector) == 4
+        rebuilt = SystemState.from_vector(vector, order, 2)
+        assert rebuilt == state

@@ -1,0 +1,191 @@
+"""Unit tests for the Eq. (1) transition rates."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.core.state import SystemState
+from repro.core.transitions import (
+    Transition,
+    TransitionKind,
+    departure_rate_from_type,
+    flow_between,
+    outgoing_transitions,
+    seed_departure_rate,
+    total_download_rate,
+    total_exit_rate,
+    transition_rate_matrix_row,
+    upgrade_rate,
+)
+from repro.core.types import PieceSet
+
+
+class TestUpgradeRate:
+    def test_single_empty_peer_with_seed_only(self):
+        """One empty peer, fixed seed rate Us, K=2: each piece at rate Us/2."""
+        params = SystemParameters.flash_crowd(2, arrival_rate=1.0, seed_rate=3.0)
+        state = SystemState({PieceSet.empty(2): 1}, 2)
+        rate = upgrade_rate(state, params, PieceSet.empty(2), 1)
+        assert rate == pytest.approx(3.0 / 2)
+
+    def test_peer_uploads_to_peer(self):
+        """A holder of the piece uploads at rate mu scaled by contact probability."""
+        params = SystemParameters.flash_crowd(2, arrival_rate=1.0, seed_rate=0.0, peer_rate=2.0)
+        empty = PieceSet.empty(2)
+        holder = PieceSet((1,), 2)
+        state = SystemState({empty: 1, holder: 1}, 2)
+        # Gamma_{empty, {1}} = (x_empty / n) * mu * x_{1} / |{1} - empty| = (1/2)*2*1
+        assert upgrade_rate(state, params, empty, 1) == pytest.approx(1.0)
+        # The holder cannot receive piece 1 again.
+        assert upgrade_rate(state, params, holder, 1) == 0.0
+
+    def test_useful_piece_divisor(self):
+        """An uploader holding several useful pieces splits its rate among them."""
+        params = SystemParameters.flash_crowd(3, arrival_rate=1.0, seed_rate=0.0, peer_rate=1.0)
+        empty = PieceSet.empty(3)
+        holder = PieceSet((1, 2), 3)
+        state = SystemState({empty: 1, holder: 1}, 3)
+        # |S - C| = 2, so each piece at (1/2)*1*(1/2) = 0.25
+        assert upgrade_rate(state, params, empty, 1) == pytest.approx(0.25)
+        assert upgrade_rate(state, params, empty, 2) == pytest.approx(0.25)
+        assert upgrade_rate(state, params, empty, 3) == 0.0
+
+    def test_zero_when_no_peers_of_type(self):
+        params = SystemParameters.flash_crowd(2, 1.0, 1.0)
+        state = SystemState({PieceSet((1,), 2): 1}, 2)
+        assert upgrade_rate(state, params, PieceSet.empty(2), 1) == 0.0
+
+    def test_zero_when_piece_already_held(self):
+        params = SystemParameters.flash_crowd(2, 1.0, 1.0)
+        state = SystemState({PieceSet((1,), 2): 1}, 2)
+        assert upgrade_rate(state, params, PieceSet((1,), 2), 1) == 0.0
+
+    def test_matches_eq1_closed_form(self, gifted_params):
+        """Direct check of Eq. (1) on a mixed state."""
+        empty = PieceSet.empty(3)
+        g1 = PieceSet((1,), 3)
+        g12 = PieceSet((1, 2), 3)
+        full = PieceSet.full(3)
+        state = SystemState({empty: 4, g1: 2, g12: 1, full: 3}, 3)
+        n = 10
+        params = gifted_params
+        # Rate for an empty peer to obtain piece 1.
+        expected = (4 / n) * (
+            params.seed_rate / 3
+            + params.peer_rate * (2 / 1 + 1 / 2 + 3 / 3)
+        )
+        assert upgrade_rate(state, params, empty, 1) == pytest.approx(expected)
+
+
+class TestOutgoingTransitions:
+    def test_empty_state_only_arrivals(self, flash_crowd_stable):
+        transitions = outgoing_transitions(SystemState.empty(3), flash_crowd_stable)
+        assert len(transitions) == 1
+        assert transitions[0].kind is TransitionKind.ARRIVAL
+        assert transitions[0].rate == pytest.approx(1.0)
+
+    def test_arrival_targets(self, gifted_params):
+        state = SystemState.empty(3)
+        transitions = outgoing_transitions(state, gifted_params)
+        arrival_targets = {
+            t.peer_type for t in transitions if t.kind is TransitionKind.ARRIVAL
+        }
+        assert arrival_targets == set(gifted_params.arrival_rates)
+
+    def test_completion_departure_when_gamma_infinite(self):
+        params = SystemParameters.flash_crowd(2, arrival_rate=1.0, seed_rate=1.0)
+        nearly_done = PieceSet((1,), 2)
+        state = SystemState({nearly_done: 1}, 2)
+        transitions = outgoing_transitions(state, params)
+        kinds = {t.kind for t in transitions}
+        assert TransitionKind.COMPLETION_DEPARTURE in kinds
+        departure = next(
+            t for t in transitions if t.kind is TransitionKind.COMPLETION_DEPARTURE
+        )
+        assert departure.target.total_peers == 0
+
+    def test_upgrade_to_seed_when_gamma_finite(self, example1_params):
+        state = SystemState({PieceSet.empty(1): 1}, 1)
+        transitions = outgoing_transitions(state, example1_params)
+        upgrades = [t for t in transitions if t.kind is TransitionKind.UPGRADE]
+        assert len(upgrades) == 1
+        assert upgrades[0].target.num_seeds == 1
+
+    def test_seed_departure_transition(self, example1_params):
+        state = SystemState({PieceSet.full(1): 3}, 1)
+        transitions = outgoing_transitions(state, example1_params)
+        departures = [t for t in transitions if t.kind is TransitionKind.SEED_DEPARTURE]
+        assert len(departures) == 1
+        assert departures[0].rate == pytest.approx(3 * example1_params.seed_departure_rate)
+
+    def test_rates_are_positive(self, gifted_params):
+        state = SystemState(
+            {PieceSet.empty(3): 3, PieceSet((2, 3), 3): 5, PieceSet.full(3): 1}, 3
+        )
+        for transition in outgoing_transitions(state, gifted_params):
+            assert transition.rate > 0
+
+    def test_population_changes_by_at_most_one(self, gifted_params):
+        state = SystemState(
+            {PieceSet.empty(3): 3, PieceSet((2, 3), 3): 5, PieceSet.full(3): 1}, 3
+        )
+        n = state.total_peers
+        for transition in outgoing_transitions(state, gifted_params):
+            assert abs(transition.target.total_peers - n) <= 1
+
+
+class TestAggregateRates:
+    def test_total_exit_rate_is_sum(self, flash_crowd_stable):
+        state = SystemState({PieceSet.empty(3): 2, PieceSet((1, 2), 3): 1}, 3)
+        transitions = outgoing_transitions(state, flash_crowd_stable)
+        assert total_exit_rate(state, flash_crowd_stable) == pytest.approx(
+            sum(t.rate for t in transitions)
+        )
+
+    def test_seed_departure_rate_zero_when_gamma_infinite(self, flash_crowd_stable):
+        state = SystemState({PieceSet((1, 2), 3): 1}, 3)
+        assert seed_departure_rate(state, flash_crowd_stable) == 0.0
+
+    def test_departure_rate_from_type_sums_pieces(self, flash_crowd_stable):
+        state = SystemState({PieceSet.empty(3): 2}, 3)
+        total = departure_rate_from_type(state, flash_crowd_stable, PieceSet.empty(3))
+        per_piece = [
+            upgrade_rate(state, flash_crowd_stable, PieceSet.empty(3), k)
+            for k in (1, 2, 3)
+        ]
+        assert total == pytest.approx(sum(per_piece))
+
+    def test_departure_rate_from_full_type(self, example1_params):
+        state = SystemState({PieceSet.full(1): 4}, 1)
+        assert departure_rate_from_type(
+            state, example1_params, PieceSet.full(1)
+        ) == pytest.approx(4 * 2.0)
+
+    def test_total_download_rate_conservation(self, gifted_params):
+        """Total download rate equals the sum of per-type departure rates."""
+        state = SystemState(
+            {PieceSet.empty(3): 3, PieceSet((2, 3), 3): 5, PieceSet((1,), 3): 2}, 3
+        )
+        total = total_download_rate(state, gifted_params)
+        manual = sum(
+            departure_rate_from_type(state, gifted_params, t)
+            for t, _ in state.items()
+            if not t.is_complete
+        )
+        assert total == pytest.approx(manual)
+
+    def test_flow_between(self, flash_crowd_stable):
+        empty = PieceSet.empty(3)
+        singles = tuple(PieceSet.single(k, 3) for k in (1, 2, 3))
+        state = SystemState({empty: 2, PieceSet.full(3): 1}, 3)
+        flow = flow_between(state, flash_crowd_stable, (empty,), singles)
+        assert flow == pytest.approx(
+            departure_rate_from_type(state, flash_crowd_stable, empty)
+        )
+
+    def test_transition_rate_matrix_row_sums(self, gifted_params):
+        state = SystemState({PieceSet.empty(3): 2, PieceSet((2, 3), 3): 2}, 3)
+        row = transition_rate_matrix_row(state, gifted_params)
+        assert sum(row.values()) == pytest.approx(total_exit_rate(state, gifted_params))
+        assert state not in row

@@ -1,0 +1,207 @@
+"""Unit tests for the piece-set / peer-type lattice."""
+
+import pytest
+
+from repro.core.types import (
+    PieceSet,
+    all_types,
+    canonical_type_order,
+    downward_closure,
+    format_type,
+    helpers,
+    one_club_type,
+    parse_type,
+    type_index_map,
+    types_of_size,
+)
+
+
+class TestPieceSetBasics:
+    def test_empty_set_has_no_pieces(self):
+        empty = PieceSet.empty(4)
+        assert len(empty) == 0
+        assert empty.is_empty
+        assert not empty.is_complete
+
+    def test_full_set_is_complete(self):
+        full = PieceSet.full(4)
+        assert len(full) == 4
+        assert full.is_complete
+        assert list(full) == [1, 2, 3, 4]
+
+    def test_single_constructor(self):
+        single = PieceSet.single(3, 5)
+        assert list(single) == [3]
+        assert 3 in single
+        assert 2 not in single
+
+    def test_membership_and_iteration(self):
+        pieces = PieceSet((1, 3), 4)
+        assert 1 in pieces
+        assert 2 not in pieces
+        assert 3 in pieces
+        assert sorted(pieces) == [1, 3]
+
+    def test_out_of_range_piece_rejected(self):
+        with pytest.raises(ValueError):
+            PieceSet((5,), 4)
+        with pytest.raises(ValueError):
+            PieceSet((0,), 4)
+
+    def test_invalid_num_pieces_rejected(self):
+        with pytest.raises(ValueError):
+            PieceSet((), 0)
+
+    def test_from_mask_roundtrip(self):
+        original = PieceSet((2, 4), 4)
+        rebuilt = PieceSet.from_mask(original.mask, 4)
+        assert rebuilt == original
+
+    def test_from_mask_out_of_range(self):
+        with pytest.raises(ValueError):
+            PieceSet.from_mask(1 << 4, 4)
+
+    def test_equality_and_hash(self):
+        a = PieceSet((1, 2), 3)
+        b = PieceSet((2, 1), 3)
+        c = PieceSet((1, 2), 4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_ordering_by_cardinality_then_mask(self):
+        small = PieceSet((3,), 3)
+        big = PieceSet((1, 2), 3)
+        assert small < big
+
+    def test_repr_contains_pieces(self):
+        assert "1" in repr(PieceSet((1,), 2))
+
+    def test_membership_out_of_range_is_false(self):
+        assert 10 not in PieceSet((1,), 3)
+
+
+class TestPieceSetAlgebra:
+    def test_subset_and_superset(self):
+        small = PieceSet((1,), 3)
+        big = PieceSet((1, 2), 3)
+        assert small.issubset(big)
+        assert big.issuperset(small)
+        assert not big.issubset(small)
+
+    def test_proper_subset(self):
+        a = PieceSet((1,), 3)
+        assert a.is_proper_subset(PieceSet((1, 2), 3))
+        assert not a.is_proper_subset(a)
+
+    def test_union_intersection_difference(self):
+        a = PieceSet((1, 2), 4)
+        b = PieceSet((2, 3), 4)
+        assert sorted(a.union(b)) == [1, 2, 3]
+        assert sorted(a.intersection(b)) == [2]
+        assert sorted(a.difference(b)) == [1]
+
+    def test_add_and_remove(self):
+        a = PieceSet((1,), 3)
+        assert sorted(a.add(2)) == [1, 2]
+        assert sorted(a.add(2).remove(1)) == [2]
+
+    def test_remove_missing_piece_raises(self):
+        with pytest.raises(KeyError):
+            PieceSet((1,), 3).remove(2)
+
+    def test_add_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            PieceSet((1,), 3).add(4)
+
+    def test_incompatible_files_raise(self):
+        with pytest.raises(ValueError):
+            PieceSet((1,), 3).union(PieceSet((1,), 4))
+
+    def test_missing_pieces(self):
+        a = PieceSet((2,), 3)
+        assert a.missing_pieces() == [1, 3]
+        assert sorted(a.missing()) == [1, 3]
+
+    def test_useful_from(self):
+        downloader = PieceSet((1,), 3)
+        uploader = PieceSet((1, 2), 3)
+        assert sorted(downloader.useful_from(uploader)) == [2]
+        assert downloader.can_be_helped_by(uploader)
+        assert not uploader.can_be_helped_by(downloader)
+
+    def test_seed_helps_everyone_incomplete(self):
+        seed = PieceSet.full(3)
+        for mask in range(7):
+            peer = PieceSet.from_mask(mask, 3)
+            assert peer.can_be_helped_by(seed)
+
+    def test_immutability_of_operations(self):
+        a = PieceSet((1,), 3)
+        a.add(2)
+        assert sorted(a) == [1]
+
+
+class TestLatticeEnumeration:
+    def test_all_types_count(self):
+        assert len(all_types(3)) == 8
+        assert len(all_types(3, include_full=False)) == 7
+
+    def test_all_types_sorted_by_size(self):
+        types = all_types(3)
+        sizes = [len(t) for t in types]
+        assert sizes == sorted(sizes)
+        assert types[0].is_empty
+        assert types[-1].is_complete
+
+    def test_types_of_size(self):
+        pairs = types_of_size(4, 2)
+        assert len(pairs) == 6
+        assert all(len(t) == 2 for t in pairs)
+
+    def test_downward_closure(self):
+        closure = downward_closure(PieceSet((1, 2), 3))
+        assert len(closure) == 4  # {}, {1}, {2}, {1,2}
+        assert PieceSet.empty(3) in closure
+        assert PieceSet((1, 2), 3) in closure
+        assert PieceSet((3,), 3) not in closure
+
+    def test_helpers_complement(self):
+        target = PieceSet((1, 2), 3)
+        helper_set = helpers(target)
+        closure = downward_closure(target)
+        assert len(helper_set) + len(closure) == 8
+        assert all(not h.issubset(target) for h in helper_set)
+
+    def test_full_type_in_helpers(self):
+        target = PieceSet((2, 3), 3)
+        assert PieceSet.full(3) in helpers(target)
+        assert PieceSet.full(3) not in helpers(target, include_full=False)
+
+    def test_one_club_type(self):
+        club = one_club_type(4)
+        assert sorted(club) == [2, 3, 4]
+        club2 = one_club_type(4, missing_piece=3)
+        assert sorted(club2) == [1, 2, 4]
+
+    def test_canonical_type_order_and_index_map(self):
+        order = canonical_type_order(3)
+        index = type_index_map(order)
+        assert len(index) == 8
+        assert index[order[0]] == 0
+        assert index[order[-1]] == 7
+
+
+class TestFormatting:
+    def test_format_special_types(self):
+        assert format_type(PieceSet.empty(3)) == "∅"
+        assert format_type(PieceSet.full(3)) == "F"
+        assert format_type(PieceSet((1, 3), 3)) == "{1,3}"
+
+    def test_parse_roundtrip(self):
+        for text in ("∅", "F", "{1,3}", "2"):
+            parsed = parse_type(text, 3)
+            assert parse_type(format_type(parsed), 3) == parsed
+
+    def test_parse_empty_string(self):
+        assert parse_type("", 3).is_empty
