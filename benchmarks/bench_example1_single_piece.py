@@ -24,7 +24,10 @@ def test_example1_stability_boundary(benchmark, capsys):
         horizon=250.0,
         replications=2,
         seed=11,
-        max_population=2500,
+        # The array kernel sustains a 5x larger population cap than the
+        # object simulator did at the same wall-clock budget.
+        max_population=12_500,
+        backend="array",
     )
     print_report(capsys, "E1  Example 1 (K=1): lambda_0 sweep", result.report())
     # Paper prediction: threshold = Us / (1 - mu/gamma) = 2 / 0.5 = 4.

@@ -17,7 +17,9 @@ def test_example2_stability_boundary(benchmark, capsys):
         horizon=250.0,
         replications=2,
         seed=22,
-        max_population=2500,
+        # 5x the object-simulator population cap at the same wall-clock.
+        max_population=12_500,
+        backend="array",
     )
     print_report(capsys, "E2  Example 2 (K=4): lambda_12 sweep at lambda_34 = 2", result.report())
     # Paper prediction: stable iff lambda_12 in (lambda_34/2, 2*lambda_34) = (1, 4).

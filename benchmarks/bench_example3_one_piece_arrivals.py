@@ -18,7 +18,9 @@ def test_example3_stability_region(benchmark, capsys):
         horizon=250.0,
         replications=2,
         seed=33,
-        max_population=2500,
+        # 5x the object-simulator population cap at the same wall-clock.
+        max_population=12_500,
+        backend="array",
     )
     print_report(capsys, "E3  Example 3 (K=3): arrival-mix sweep", result.report())
     trials = result.sweep.trials

@@ -22,7 +22,9 @@ def test_peer_seed_dwell_sweep(benchmark, capsys):
         horizon=280.0,
         replications=2,
         seed=88,
-        max_population=2500,
+        # 5x the object-simulator population cap at the same wall-clock.
+        max_population=12_500,
+        backend="array",
     )
     print_report(capsys, "E8  Peer-seed dwell time sweep", result.report())
     # Paper prediction: stability for gamma <= gamma* with gamma* >= mu, i.e.

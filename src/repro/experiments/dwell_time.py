@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..analysis.tables import format_table
 from ..core.parameters import SystemParameters
@@ -72,6 +72,8 @@ def run_dwell_time_experiment(
     replications: int = 2,
     seed: SeedLike = 88,
     max_population: int = 4000,
+    backend: str = "object",
+    workers: Optional[int] = None,
 ) -> DwellTimeResult:
     """Sweep the peer-seed departure rate ``γ`` across the critical value."""
     reference = dwell_parameters(
@@ -105,6 +107,8 @@ def run_dwell_time_experiment(
         replications=replications,
         seed=seed,
         max_population=max_population,
+        backend=backend,
+        workers=workers,
     )
     return DwellTimeResult(
         critical_gamma=critical,

@@ -12,7 +12,7 @@ The experiment sweeps ``λ_0`` across the threshold and compares the verdicts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..analysis.tables import format_table
 from ..core.parameters import SystemParameters
@@ -68,8 +68,14 @@ def run_example1(
     replications: int = 2,
     seed: SeedLike = 11,
     max_population: int = 4000,
+    backend: str = "object",
+    workers: Optional[int] = None,
 ) -> Example1Result:
-    """Sweep ``λ_0`` at the given multiples of the theoretical threshold."""
+    """Sweep ``λ_0`` at the given multiples of the theoretical threshold.
+
+    ``backend`` / ``workers`` select the simulation engine and the number of
+    batch-replication processes (see :class:`~repro.experiments.runner.BatchRunner`).
+    """
     reference = example1_parameters(
         arrival_rate=1.0,
         seed_rate=seed_rate,
@@ -98,6 +104,8 @@ def run_example1(
         replications=replications,
         seed=seed,
         max_population=max_population,
+        backend=backend,
+        workers=workers,
     )
     return Example1Result(threshold=threshold, sweep=sweep)
 

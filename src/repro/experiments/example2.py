@@ -10,7 +10,7 @@ The experiment fixes ``λ_34`` and sweeps ``λ_12`` across both boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..analysis.tables import format_table
 from ..core.parameters import SystemParameters
@@ -56,6 +56,8 @@ def run_example2(
     replications: int = 2,
     seed: SeedLike = 22,
     max_population: int = 4000,
+    backend: str = "object",
+    workers: Optional[int] = None,
 ) -> Example2Result:
     """Sweep ``λ_12`` for a fixed ``λ_34`` across the stability boundary."""
     points: List[Tuple[str, SystemParameters]] = [
@@ -72,6 +74,8 @@ def run_example2(
         replications=replications,
         seed=seed,
         max_population=max_population,
+        backend=backend,
+        workers=workers,
     )
     return Example2Result(
         lambda_34=lambda_34,

@@ -13,7 +13,7 @@ mixes and reports the three inequalities alongside the simulation verdicts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..analysis.tables import format_table
 from ..core.parameters import SystemParameters
@@ -79,6 +79,8 @@ def run_example3(
     replications: int = 2,
     seed: SeedLike = 33,
     max_population: int = 4000,
+    backend: str = "object",
+    workers: Optional[int] = None,
 ) -> Example3Result:
     """Evaluate several arrival mixes against the Example-3 boundary."""
     points: List[Tuple[str, SystemParameters]] = []
@@ -101,6 +103,8 @@ def run_example3(
         replications=replications,
         seed=seed,
         max_population=max_population,
+        backend=backend,
+        workers=workers,
     )
     return Example3Result(
         mu=peer_rate,

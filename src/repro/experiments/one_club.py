@@ -24,7 +24,7 @@ from ..core.stability import delta_s
 from ..core.state import SystemState
 from ..core.types import PieceSet
 from ..simulation.rng import SeedLike, spawn_generators
-from ..swarm.swarm import SwarmSimulator
+from .runner import BatchRunner
 
 
 @dataclass
@@ -95,19 +95,26 @@ def _run_configuration(
     seed: SeedLike,
     replications: int,
     max_population: int,
+    backend: str = "object",
+    workers: Optional[int] = None,
 ) -> OneClubRun:
     predicted = delta_s(params, PieceSet.full(params.num_pieces).remove(1))
-    rngs = spawn_generators(seed, replications)
+    runner = BatchRunner(
+        params, backend=backend, workers=workers, track_groups=True
+    )
+    initial = SystemState.one_club(params.num_pieces, initial_club_size)
+    batch = runner.run(
+        horizon,
+        replications,
+        seed=seed,
+        initial_state=initial,
+        max_population=max_population,
+    )
     growths: List[float] = []
     finals_club: List[float] = []
     finals_pop: List[float] = []
     fraction_trajectory: List[Tuple[float, float]] = []
-    for index, rng in enumerate(rngs):
-        simulator = SwarmSimulator(params, seed=rng, track_groups=True)
-        initial = SystemState.one_club(params.num_pieces, initial_club_size)
-        result = simulator.run(
-            horizon, initial_state=initial, max_population=max_population
-        )
+    for index, result in enumerate(batch.results):
         metrics = result.metrics
         growths.append(
             linear_slope(metrics.sample_times, metrics.one_club_size)
@@ -143,6 +150,8 @@ def run_one_club_experiment(
     replications: int = 2,
     seed: SeedLike = 44,
     max_population: int = 4000,
+    backend: str = "object",
+    workers: Optional[int] = None,
 ) -> OneClubResult:
     """Run the Figure-2 experiment in an unstable and a stable configuration.
 
@@ -182,6 +191,8 @@ def run_one_club_experiment(
             seed=config_seed,
             replications=replications,
             max_population=max_population,
+            backend=backend,
+            workers=workers,
         )
         for (label, params), config_seed in zip(configurations, seeds)
     ]

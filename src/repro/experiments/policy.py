@@ -73,6 +73,8 @@ def run_policy_experiment(
     replications: int = 2,
     seed: SeedLike = 77,
     max_population: int = 3000,
+    backend: str = "object",
+    workers: Optional[int] = None,
 ) -> PolicyResult:
     """Run the insensitivity experiment on a stable and an unstable point.
 
@@ -120,6 +122,8 @@ def run_policy_experiment(
                 seed=seeds[seed_index],
                 policy=make_policy(policy_name),
                 max_population=max_population,
+                backend=backend,
+                workers=workers,
             )
             seed_index += 1
             verdicts[policy_name] = trial.empirical_verdict.value

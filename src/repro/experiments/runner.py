@@ -1,15 +1,30 @@
-"""Experiment harness: replicated swarm runs and stability trials.
+"""Experiment harness: batched swarm replications and stability trials.
 
-A *stability trial* compares Theorem 1's verdict with the empirical behaviour
-of the peer-level simulator at a single parameter point: several independent
-replications are run, each trajectory is classified by
-:func:`repro.markov.classify.classify_trajectory`, and the majority verdict is
-reported next to the theoretical one.  Sweeps are lists of trials.
+Two layers live here:
+
+* :class:`BatchRunner` — fans independent swarm replications out across
+  ``multiprocessing`` workers (or runs them serially), derives one child seed
+  per replication via :func:`repro.simulation.rng.spawn_generators`, selects
+  the simulation backend (``"object"`` reference simulator or ``"array"``
+  structure-of-arrays kernel) and aggregates the per-replication
+  :class:`~repro.swarm.metrics.SwarmMetrics` streams into a
+  :class:`BatchSwarmResult`.
+* *Stability trials* — a trial compares Theorem 1's verdict with the
+  empirical behaviour at a single parameter point: several replications are
+  run through a :class:`BatchRunner`, each trajectory is classified by
+  :func:`repro.markov.classify.classify_trajectory`, and the majority verdict
+  is reported next to the theoretical one.  Sweeps are lists of trials.
+
+Backend-selection contract: every entry point takes ``backend="object" |
+"array"`` and threads it through :func:`repro.swarm.swarm.make_simulator`.
+The two backends are trajectory-equivalent under a shared seed, so switching
+backends changes the wall-clock, never the science.
 """
 
 from __future__ import annotations
 
 import math
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,8 +40,130 @@ from ..markov.classify import (
     majority_verdict,
 )
 from ..simulation.rng import SeedLike, spawn_generators
+from ..swarm.metrics import SwarmMetrics
 from ..swarm.policies import PieceSelectionPolicy
-from ..swarm.swarm import SwarmResult, SwarmSimulator
+from ..swarm.swarm import SwarmResult, make_simulator
+
+
+def _run_replication(task) -> SwarmResult:
+    """Top-level worker so batched replications can cross process boundaries."""
+    params, policy, backend, sim_kwargs, horizon, initial_state, run_kwargs, rng = task
+    simulator = make_simulator(
+        params, policy=policy, seed=rng, backend=backend, **sim_kwargs
+    )
+    return simulator.run(horizon, initial_state=initial_state, **run_kwargs)
+
+
+@dataclass
+class BatchSwarmResult:
+    """Aggregated outcome of a batch of independent swarm replications."""
+
+    results: List[SwarmResult]
+    backend: str
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def metrics(self) -> List[SwarmMetrics]:
+        """The per-replication metrics streams, in seed order."""
+        return [result.metrics for result in self.results]
+
+    def final_populations(self) -> np.ndarray:
+        return np.array([result.final_population for result in self.results])
+
+    def mean_final_population(self) -> float:
+        values = self.final_populations()
+        return float(values.mean()) if values.size else 0.0
+
+    def all_horizons_reached(self) -> bool:
+        return all(result.horizon_reached for result in self.results)
+
+    def summary(self) -> Dict[str, float]:
+        """Mean of every per-replication summary statistic (NaN-safe)."""
+        summaries = [result.metrics.summary() for result in self.results]
+        if not summaries:
+            return {}
+        merged: Dict[str, float] = {}
+        for key in summaries[0]:
+            values = np.array([summary[key] for summary in summaries])
+            finite = values[np.isfinite(values)]
+            merged[key] = float(finite.mean()) if finite.size else float("nan")
+        return merged
+
+
+class BatchRunner:
+    """Fan independent swarm replications across processes.
+
+    Parameters
+    ----------
+    params:
+        The system parameters shared by every replication.
+    policy:
+        Piece-selection policy (must be picklable when ``workers > 1``; the
+        built-in policies are).
+    backend:
+        ``"object"`` (reference simulator) or ``"array"`` (SoA kernel), passed
+        to :func:`repro.swarm.swarm.make_simulator`.
+    workers:
+        ``None``, 0 or 1 runs the batch serially in-process; ``n > 1`` uses a
+        ``multiprocessing`` pool of ``n`` workers.  Results are returned in
+        seed order either way, so the outcome is independent of ``workers``.
+    sim_kwargs:
+        Extra simulator-constructor options (``rare_piece``,
+        ``retry_speedup``, ``track_groups``).
+
+    Each replication receives its own child generator from
+    :func:`spawn_generators`, making the whole batch reproducible from one
+    seed while keeping the replications statistically independent.
+    """
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        policy: Optional[PieceSelectionPolicy] = None,
+        backend: str = "object",
+        workers: Optional[int] = None,
+        **sim_kwargs,
+    ):
+        self.params = params
+        self.policy = policy
+        self.backend = backend
+        self.workers = workers
+        self.sim_kwargs = sim_kwargs
+
+    def run(
+        self,
+        horizon: float,
+        replications: int,
+        seed: SeedLike = 0,
+        initial_state: Optional[SystemState] = None,
+        **run_kwargs,
+    ) -> BatchSwarmResult:
+        """Run ``replications`` independent simulations of ``horizon``."""
+        if replications < 1:
+            raise ValueError(f"replications must be >= 1, got {replications}")
+        rngs = spawn_generators(seed, replications)
+        tasks = [
+            (
+                self.params,
+                self.policy,
+                self.backend,
+                self.sim_kwargs,
+                horizon,
+                initial_state,
+                run_kwargs,
+                rng,
+            )
+            for rng in rngs
+        ]
+        workers = self.workers or 0
+        if workers > 1 and replications > 1:
+            with multiprocessing.Pool(min(workers, replications)) as pool:
+                results = pool.map(_run_replication, tasks)
+        else:
+            results = [_run_replication(task) for task in tasks]
+        return BatchSwarmResult(results=results, backend=self.backend)
 
 
 @dataclass
@@ -77,21 +214,24 @@ def run_stability_trial(
     max_population: Optional[int] = 20_000,
     keep_results: bool = False,
     last_fraction: float = 0.5,
+    backend: str = "object",
+    workers: Optional[int] = None,
 ) -> StabilityTrialResult:
     """Run one theory-vs-simulation comparison at a parameter point."""
     theory = analyze(params)
-    rngs = spawn_generators(seed, replications)
+    runner = BatchRunner(params, policy=policy, backend=backend, workers=workers)
+    batch = runner.run(
+        horizon,
+        replications,
+        seed=seed,
+        initial_state=initial_state,
+        max_population=max_population,
+    )
     classifications: List[TrajectoryClassification] = []
     results: List[SwarmResult] = []
     slopes: List[float] = []
     populations: List[float] = []
-    for rng in rngs:
-        simulator = SwarmSimulator(params, policy=policy, seed=rng)
-        result = simulator.run(
-            horizon,
-            initial_state=initial_state,
-            max_population=max_population,
-        )
+    for result in batch.results:
         metrics = result.metrics
         classification = classify_trajectory(
             metrics.sample_times,
@@ -160,6 +300,8 @@ def run_sweep(
     policy: Optional[PieceSelectionPolicy] = None,
     initial_state: Optional[SystemState] = None,
     max_population: Optional[int] = 20_000,
+    backend: str = "object",
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Run a stability trial at each labelled parameter point."""
     rngs = spawn_generators(seed, len(points))
@@ -173,6 +315,8 @@ def run_sweep(
             policy=policy,
             initial_state=initial_state,
             max_population=max_population,
+            backend=backend,
+            workers=workers,
         )
         for (label, params), rng in zip(points, rngs)
     ]
@@ -180,6 +324,8 @@ def run_sweep(
 
 
 __all__ = [
+    "BatchRunner",
+    "BatchSwarmResult",
     "StabilityTrialResult",
     "SweepResult",
     "run_stability_trial",

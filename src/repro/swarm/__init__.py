@@ -1,15 +1,22 @@
 """Peer-level swarm simulators (uncoded and network-coded).
 
-* :mod:`repro.swarm.peer` / :mod:`repro.swarm.swarm` — the discrete-event
-  simulation of the Section-III model;
-* :mod:`repro.swarm.policies` — piece-selection policies (Theorem 14);
+* :mod:`repro.swarm.peer` / :mod:`repro.swarm.swarm` — the object-per-peer
+  reference discrete-event simulation of the Section-III model;
+* :mod:`repro.swarm.kernel` — the structure-of-arrays fast backend,
+  trajectory-equivalent to the reference simulator under a shared seed;
+* :mod:`repro.swarm.policies` — piece-selection policies (Theorem 14), with
+  both ``PieceSet``-level and mask-level entry points;
 * :mod:`repro.swarm.groups` — the Figure-2 group decomposition;
 * :mod:`repro.swarm.metrics` — collected statistics;
 * :mod:`repro.swarm.network_coding` — the random-linear-coding variant
   (Theorem 15).
+
+Backend selection goes through :func:`repro.swarm.swarm.make_simulator` /
+``run_swarm(..., backend="object" | "array")``.
 """
 
 from .groups import GroupSnapshot, PeerGroup, classify_peer, group_counts
+from .kernel import ArraySwarmKernel
 from .metrics import SwarmMetrics
 from .network_coding import (
     CodedArrivalSpec,
@@ -29,9 +36,11 @@ from .policies import (
     make_policy,
     registered_policies,
 )
-from .swarm import SwarmResult, SwarmSimulator, run_swarm
+from .swarm import BACKENDS, SwarmResult, SwarmSimulator, make_simulator, run_swarm
 
 __all__ = [
+    "ArraySwarmKernel",
+    "BACKENDS",
     "CallablePolicy",
     "CodedArrivalSpec",
     "CodedSwarmResult",
@@ -52,6 +61,7 @@ __all__ = [
     "gifted_fraction_arrivals",
     "group_counts",
     "make_policy",
+    "make_simulator",
     "registered_policies",
     "run_swarm",
 ]

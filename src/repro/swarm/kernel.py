@@ -1,0 +1,443 @@
+"""Array-backed swarm kernel: the structure-of-arrays fast path.
+
+:class:`ArraySwarmKernel` simulates exactly the same Section-III dynamics as
+:class:`repro.swarm.swarm.SwarmSimulator`, but stores the population as a
+structure of arrays (SoA) instead of one Python object per peer:
+
+* ``_masks`` — ``numpy.uint64`` piece bitmasks (bit ``i-1`` = piece ``i``),
+  one row per live peer (``K ≤ 64``);
+* ``_arrival_time`` / ``_completed_at`` — float64 lifecycle timestamps
+  (``nan`` marks "never completed");
+* ``_arrived_with_rare`` / ``_infected`` / ``_was_one_club`` — boolean flags
+  of the Figure-2 group decomposition;
+* ``_seed_slot`` / ``_sped_slot`` — int64 back-pointers into the peer-seed
+  and sped-up swap-remove lists (``-1`` when absent).
+
+Rows are dense: peer ``i`` lives in row ``i`` for ``i < population``.  A
+departure swap-removes the last row into the vacated slot (O(1)), with the
+back-pointer columns keeping the seed/sped lists consistent.  All aggregate
+observables — per-piece census, one-club size, seed count, total tick
+weight — are maintained incrementally on every event, so recording a sample
+point is O(K) instead of the object simulator's O(population) rescan, and
+event sampling uses cumulative rates with no per-event array rebuilds.
+
+Equivalence contract
+--------------------
+The aggregate-rate event loop (``run`` / ``step`` / event dispatch) is
+inherited from the shared :class:`~repro.swarm.swarm._SwarmEventLoop` driver,
+so the RNG-consumption contract has a single implementation; the kernel only
+supplies the SoA state representation, the event handlers and the sampling
+hooks, and it consumes the shared :class:`numpy.random.Generator` in
+*exactly* the same order and with the same bounds as the object simulator
+(same swap-remove bookkeeping, same draw per handler).  Running both backends
+from the same seed therefore produces bit-identical trajectories
+(populations, piece censuses, one-club sizes, metrics).
+``tests/test_property_based.py`` asserts this property; any change to a
+handler of either backend must preserve it (or update both).
+
+Piece selection goes through the mask-level
+:meth:`~repro.swarm.policies.PieceSelectionPolicy.select_piece_mask`
+primitive; legacy ``PieceSet``-based policies are supported transparently via
+the base-class shim.
+
+Use :func:`repro.swarm.swarm.run_swarm` with ``backend="array"`` (or
+:func:`repro.swarm.swarm.make_simulator`) rather than instantiating the
+kernel directly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from types import MappingProxyType
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.parameters import SystemParameters
+from ..core.state import SystemState
+from ..core.types import PieceSet
+from ..simulation.rng import SeedLike, make_rng
+from .groups import GroupSnapshot
+from .metrics import SwarmMetrics
+from .policies import PieceSelectionPolicy, RandomUsefulSelection, SwarmView
+from .swarm import _SwarmEventLoop
+
+_MAX_ARRAY_PIECES = 64
+
+
+class ArraySwarmKernel(_SwarmEventLoop):
+    """Structure-of-arrays peer-level simulation of the P2P swarm.
+
+    Drop-in behavioural replacement for
+    :class:`~repro.swarm.swarm.SwarmSimulator` (same constructor, ``run``,
+    and observables), limited to ``num_pieces <= 64`` so that one uint64
+    bitmask per peer suffices.
+    """
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        policy: Optional[PieceSelectionPolicy] = None,
+        seed: SeedLike = None,
+        rare_piece: int = 1,
+        retry_speedup: float = 1.0,
+        track_groups: bool = False,
+        initial_capacity: int = 1024,
+    ):
+        if retry_speedup < 1.0:
+            raise ValueError(f"retry_speedup must be >= 1, got {retry_speedup}")
+        if not 1 <= rare_piece <= params.num_pieces:
+            raise ValueError("rare_piece out of range")
+        if params.num_pieces > _MAX_ARRAY_PIECES:
+            raise ValueError(
+                f"the array backend packs piece sets into uint64 bitmasks and "
+                f"supports at most {_MAX_ARRAY_PIECES} pieces, got "
+                f"{params.num_pieces}; use the object backend instead"
+            )
+        self.params = params
+        self.policy = policy if policy is not None else RandomUsefulSelection()
+        self.rng = make_rng(seed)
+        self.rare_piece = rare_piece
+        self.retry_speedup = retry_speedup
+        self.track_groups = track_groups
+
+        num_pieces = params.num_pieces
+        self._full_mask = (1 << num_pieces) - 1
+        self._rare_bit = 1 << (rare_piece - 1)
+        self._club_mask = self._full_mask & ~self._rare_bit
+
+        capacity = max(int(initial_capacity), 16)
+        self._masks = np.zeros(capacity, dtype=np.uint64)
+        self._arrival_time = np.zeros(capacity, dtype=np.float64)
+        self._completed_at = np.full(capacity, np.nan, dtype=np.float64)
+        self._arrived_with_rare = np.zeros(capacity, dtype=np.bool_)
+        self._infected = np.zeros(capacity, dtype=np.bool_)
+        self._was_one_club = np.zeros(capacity, dtype=np.bool_)
+        self._seed_slot = np.full(capacity, -1, dtype=np.int64)
+        self._sped_slot = np.full(capacity, -1, dtype=np.int64)
+
+        self._n = 0  # live rows: peers occupy rows 0.._n-1
+        self._seeds: List[int] = []  # row indices of peer seeds (gamma < inf)
+        self._sped: List[int] = []  # row indices of sped-up peers
+        self._one_club_count = 0
+        self._piece_counts: Dict[int, int] = {
+            k: 0 for k in range(1, num_pieces + 1)
+        }
+        self._time = 0.0
+        self.metrics = SwarmMetrics()
+
+        self._arrival_types = list(params.arrival_rates)
+        self._arrival_masks = [t.mask for t in self._arrival_types]
+        self._arrival_weights = np.array(
+            [params.arrival_rates[t] for t in self._arrival_types], dtype=float
+        )
+        self._arrival_total = float(self._arrival_weights.sum())
+        self._arrival_probs = self._arrival_weights / self._arrival_total
+        self._single_arrival_mask = (
+            self._arrival_masks[0] if len(self._arrival_masks) == 1 else None
+        )
+        self._view = SwarmView(
+            num_pieces=num_pieces,
+            piece_counts=MappingProxyType(self._piece_counts),
+            total_peers=0,
+            time=0.0,
+        )
+
+    # -- population management -------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._time
+
+    @property
+    def population(self) -> int:
+        return self._n
+
+    @property
+    def num_seeds(self) -> int:
+        return len(self._seeds)
+
+    def current_state(self) -> SystemState:
+        """Aggregate the population into a :class:`SystemState`."""
+        num_pieces = self.params.num_pieces
+        counts = Counter(int(mask) for mask in self._masks[: self._n])
+        return SystemState(
+            {
+                PieceSet.from_mask(mask, num_pieces): count
+                for mask, count in counts.items()
+            },
+            num_pieces,
+        )
+
+    def one_club_size(self) -> int:
+        return self._one_club_count
+
+    def _grow(self) -> None:
+        capacity = len(self._masks) * 2
+        for name in (
+            "_masks",
+            "_arrival_time",
+            "_completed_at",
+            "_arrived_with_rare",
+            "_infected",
+            "_was_one_club",
+            "_seed_slot",
+            "_sped_slot",
+        ):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[: len(old)] = old
+            if name == "_completed_at":
+                grown[len(old) :] = np.nan
+            elif name in ("_seed_slot", "_sped_slot"):
+                grown[len(old) :] = -1
+            else:
+                grown[len(old) :] = 0
+            setattr(self, name, grown)
+
+    def _add_peer(self, mask: int) -> int:
+        if self._n == len(self._masks):
+            self._grow()
+        row = self._n
+        self._n += 1
+        self._masks[row] = mask
+        self._arrival_time[row] = self._time
+        self._completed_at[row] = np.nan
+        self._arrived_with_rare[row] = bool(mask & self._rare_bit)
+        self._infected[row] = False
+        self._was_one_club[row] = False
+        self._seed_slot[row] = -1
+        self._sped_slot[row] = -1
+        bits = mask
+        counts = self._piece_counts
+        while bits:
+            low = bits & -bits
+            counts[low.bit_length()] += 1
+            bits ^= low
+        if mask == self._club_mask:
+            self._one_club_count += 1
+        if mask == self._full_mask and not self.params.immediate_departure:
+            self._add_seed(row)
+        self.metrics.total_arrivals += 1
+        return row
+
+    def _remove_peer(self, row: int) -> None:
+        arrival = float(self._arrival_time[row])
+        sojourn = self._time - arrival
+        completed = float(self._completed_at[row])
+        mask = int(self._masks[row])
+        bits = mask
+        counts = self._piece_counts
+        while bits:
+            low = bits & -bits
+            counts[low.bit_length()] -= 1
+            bits ^= low
+        if mask == self._club_mask:
+            self._one_club_count -= 1
+        if self._seed_slot[row] >= 0:
+            self._remove_seed(row)
+        if self._sped_slot[row] >= 0:
+            self._discard_sped(row)
+        # Swap-remove: the last live row fills the vacated slot; the slot
+        # columns keep the seed/sped lists pointing at the moved row.
+        last = self._n - 1
+        self._n = last
+        if row != last:
+            self._masks[row] = self._masks[last]
+            self._arrival_time[row] = self._arrival_time[last]
+            self._completed_at[row] = self._completed_at[last]
+            self._arrived_with_rare[row] = self._arrived_with_rare[last]
+            self._infected[row] = self._infected[last]
+            self._was_one_club[row] = self._was_one_club[last]
+            seed_slot = int(self._seed_slot[last])
+            self._seed_slot[row] = seed_slot
+            if seed_slot >= 0:
+                self._seeds[seed_slot] = row
+            sped_slot = int(self._sped_slot[last])
+            self._sped_slot[row] = sped_slot
+            if sped_slot >= 0:
+                self._sped[sped_slot] = row
+        self.metrics.record_departure(
+            sojourn=sojourn,
+            download_time=None if math.isnan(completed) else completed - arrival,
+        )
+
+    def _add_seed(self, row: int) -> None:
+        self._seed_slot[row] = len(self._seeds)
+        self._seeds.append(row)
+
+    def _remove_seed(self, row: int) -> None:
+        index = int(self._seed_slot[row])
+        self._seed_slot[row] = -1
+        last_row = self._seeds.pop()
+        if last_row != row:
+            self._seeds[index] = last_row
+            self._seed_slot[last_row] = index
+
+    def _add_sped(self, row: int) -> None:
+        if self._sped_slot[row] < 0:
+            self._sped_slot[row] = len(self._sped)
+            self._sped.append(row)
+
+    def _discard_sped(self, row: int) -> None:
+        index = int(self._sped_slot[row])
+        if index < 0:
+            return
+        self._sped_slot[row] = -1
+        last_row = self._sped.pop()
+        if last_row != row:
+            self._sped[index] = last_row
+            self._sped_slot[last_row] = index
+
+    def seed_population(self, initial_state: SystemState) -> None:
+        """Populate the swarm from a :class:`SystemState` before running."""
+        for type_c, count in initial_state.items():
+            mask = type_c.mask
+            for _ in range(count):
+                self._add_peer(mask)
+        # The pre-seeded peers are not exogenous arrivals.
+        self.metrics.total_arrivals -= initial_state.total_peers
+
+    # -- event mechanics -------------------------------------------------------
+
+    def _total_peer_tick_rate(self) -> float:
+        weight = self._n + (self.retry_speedup - 1.0) * len(self._sped)
+        return weight * self.params.peer_rate
+
+    def _sample_arrival_mask(self) -> int:
+        if self._single_arrival_mask is not None:
+            return self._single_arrival_mask
+        index = self.rng.choice(len(self._arrival_masks), p=self._arrival_probs)
+        return self._arrival_masks[int(index)]
+
+    def _sample_ticking_row(self) -> int:
+        population = self._n
+        sped = len(self._sped)
+        if self.retry_speedup == 1.0 or not sped:
+            return int(self.rng.integers(population))
+        extra = self.retry_speedup - 1.0
+        threshold = self.rng.uniform(0.0, population + extra * sped)
+        if threshold < population:
+            return int(threshold)
+        return self._sped[min(int((threshold - population) / extra), sped - 1)]
+
+    def _refresh_view(self) -> SwarmView:
+        view = self._view
+        view.total_peers = self._n
+        view.time = self._time
+        return view
+
+    def _transfer(self, uploader_mask: int, row: int, from_seed: bool) -> bool:
+        """Attempt a useful upload into the peer at ``row``."""
+        downloader_mask = int(self._masks[row])
+        piece = self.policy.select_piece_mask(
+            downloader_mask, uploader_mask, self._refresh_view(), self.rng
+        )
+        if piece is None:
+            self.metrics.wasted_contacts += 1
+            return False
+        piece_bit = 1 << (piece - 1)
+        if downloader_mask & piece_bit:
+            # Match the object backend, which fails loudly (via
+            # Peer.receive_piece) when a buggy policy violates usefulness.
+            raise ValueError(
+                f"policy {self.policy.name!r} selected piece {piece}, "
+                f"which the downloader already holds"
+            )
+        rare = self.rare_piece
+        if downloader_mask == self._club_mask:
+            self._was_one_club[row] = True
+            self._one_club_count -= 1
+        if (
+            piece == rare
+            and not self._arrived_with_rare[row]
+            and self.params.num_pieces - downloader_mask.bit_count() >= 2
+            and not self._infected[row]
+        ):
+            self._infected[row] = True
+        new_mask = downloader_mask | piece_bit
+        self._masks[row] = new_mask
+        if new_mask == self._club_mask:
+            self._one_club_count += 1
+        self._piece_counts[piece] += 1
+        self.metrics.total_downloads += 1
+        if from_seed:
+            self.metrics.total_seed_uploads += 1
+        if new_mask == self._full_mask:
+            self._completed_at[row] = self._time
+            if self.params.immediate_departure:
+                self._remove_peer(row)
+            else:
+                self._add_seed(row)
+        return True
+
+    def _handle_arrival(self) -> None:
+        self._add_peer(self._sample_arrival_mask())
+
+    def _handle_seed_tick(self) -> None:
+        if self._n == 0:
+            return
+        target = int(self.rng.integers(self._n))
+        self._transfer(self._full_mask, target, from_seed=True)
+
+    def _handle_peer_tick(self) -> None:
+        if self._n == 0:
+            return
+        uploader = self._sample_ticking_row()
+        # A ticking peer's speedup (if any) is consumed by this tick.
+        self._discard_sped(uploader)
+        target = int(self.rng.integers(self._n))
+        if target == uploader:
+            self.metrics.wasted_contacts += 1
+            success = False
+        else:
+            success = self._transfer(
+                int(self._masks[uploader]), target, from_seed=False
+            )
+        if not success and self.retry_speedup > 1.0:
+            self._add_sped(uploader)
+
+    def _handle_seed_departure(self) -> None:
+        if not self._seeds:
+            return
+        index = int(self.rng.integers(len(self._seeds)))
+        self._remove_peer(self._seeds[index])
+
+    # -- sampling ---------------------------------------------------------------
+
+    def _group_snapshot(self, sample_time: float) -> GroupSnapshot:
+        n = self._n
+        masks = self._masks[:n]
+        gifted = self._arrived_with_rare[:n]
+        infected = self._infected[:n] & ~gifted
+        labelled = gifted | infected
+        one_club = (masks == np.uint64(self._club_mask)) & ~labelled
+        labelled = labelled | one_club
+        has_rare = (masks & np.uint64(self._rare_bit)) != 0
+        former = self._was_one_club[:n] & has_rare & ~labelled
+        normal = n - int(gifted.sum()) - int(infected.sum()) - int(
+            one_club.sum()
+        ) - int(former.sum())
+        return GroupSnapshot(
+            time=sample_time,
+            normal_young=normal,
+            infected=int(infected.sum()),
+            gifted=int(gifted.sum()),
+            one_club=int(one_club.sum()),
+            former_one_club=int(former.sum()),
+        )
+
+    def _record_sample(self, sample_time: float) -> None:
+        snapshot = self._group_snapshot(sample_time) if self.track_groups else None
+        self.metrics.record_sample(
+            time=sample_time,
+            population=self._n,
+            num_seeds=len(self._seeds),
+            one_club_size=self._one_club_count,
+            min_piece_count=min(self._piece_counts.values()),
+            group_snapshot=snapshot,
+        )
+
+
+__all__ = ["ArraySwarmKernel"]

@@ -18,6 +18,24 @@ Implemented policies:
   streaming-style download);
 * :class:`CallablePolicy` — wraps an arbitrary ``h(A, B, x)``-style function.
 
+Two equivalent entry points exist on every policy:
+
+* ``select_piece(downloader_pieces, uploader_pieces, view, rng)`` — the
+  original :class:`~repro.core.types.PieceSet`-level interface, kept for the
+  object simulator and for user-defined policies;
+* ``select_piece_mask(downloader_mask, uploader_mask, view, rng)`` — the
+  mask-level primitive used by the array kernel
+  (:mod:`repro.swarm.kernel`).  Masks are plain Python ints with bit ``i-1``
+  set iff piece ``i`` is held.
+
+The built-in policies implement the mask primitive natively (pure integer bit
+twiddling, no allocation) and route ``select_piece`` through it; the abstract
+base class provides the opposite shim, so a legacy policy that only implements
+``select_piece`` (e.g. :class:`CallablePolicy` or a user subclass) works on
+both backends automatically.  Both paths consume the RNG identically, which is
+what makes the two simulation backends trajectory-equivalent under a shared
+seed.
+
 Each policy receives a :class:`SwarmView` giving read-only access to the piece
 census of the current population so that global policies (rarest first) can be
 expressed.
@@ -34,7 +52,7 @@ import numpy as np
 from ..core.types import PieceSet
 
 
-@dataclass(frozen=True)
+@dataclass
 class SwarmView:
     """Read-only snapshot handed to piece-selection policies.
 
@@ -49,12 +67,45 @@ class SwarmView:
         Current population size.
     time:
         Current simulation time.
+
+    Notes
+    -----
+    Policies must treat the view as read-only and must not hold on to it
+    beyond the duration of one ``select_piece`` call: for speed, both
+    simulation backends reuse a single live view whose fields (including the
+    ``piece_counts`` mapping) are updated in place between events.  The
+    simulators hand policies a read-only ``MappingProxyType`` census, so a
+    policy that tries to mutate ``piece_counts`` raises ``TypeError``.
     """
 
     num_pieces: int
     piece_counts: Dict[int, int]
     total_peers: int
     time: float
+
+    def piece_count(self, piece: int) -> int:
+        """Number of peers currently holding ``piece`` (zero if unseen)."""
+        return self.piece_counts.get(piece, 0)
+
+
+def _mask_bits(mask: int) -> List[int]:
+    """1-based indices of the set bits of ``mask``, ascending."""
+    bits = []
+    piece = 1
+    while mask:
+        if mask & 1:
+            bits.append(piece)
+        mask >>= 1
+        piece += 1
+    return bits
+
+
+def _nth_set_bit(mask: int, index: int) -> int:
+    """1-based position of the ``index``-th (0-based) set bit of ``mask``."""
+    while index:
+        mask &= mask - 1
+        index -= 1
+    return (mask & -mask).bit_length()
 
 
 class PieceSelectionPolicy(abc.ABC):
@@ -77,90 +128,131 @@ class PieceSelectionPolicy(abc.ABC):
         returned.
         """
 
+    def select_piece_mask(
+        self,
+        downloader_mask: int,
+        uploader_mask: int,
+        view: SwarmView,
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        """Mask-level variant of :meth:`select_piece`.
+
+        The default implementation wraps the masks into
+        :class:`~repro.core.types.PieceSet` objects and defers to
+        :meth:`select_piece`, so legacy policies work on the array kernel
+        unchanged.  Built-in policies override this with allocation-free bit
+        arithmetic; custom policies may do the same for speed.  Overrides must
+        consume the RNG exactly as their ``select_piece`` counterpart does,
+        otherwise the two backends lose trajectory equivalence.
+        """
+        return self.select_piece(
+            PieceSet.from_mask(downloader_mask, view.num_pieces),
+            PieceSet.from_mask(uploader_mask, view.num_pieces),
+            view,
+            rng,
+        )
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+class _MaskNativePolicy(PieceSelectionPolicy):
+    """Base for built-ins: ``select_piece`` routes through the mask primitive."""
+
+    def select_piece(
+        self,
+        downloader_pieces: PieceSet,
+        uploader_pieces: PieceSet,
+        view: SwarmView,
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        return self.select_piece_mask(
+            downloader_pieces.mask, uploader_pieces.mask, view, rng
+        )
 
 
 def _useful_pieces(downloader_pieces: PieceSet, uploader_pieces: PieceSet) -> List[int]:
     return list(downloader_pieces.useful_from(uploader_pieces))
 
 
-class RandomUsefulSelection(PieceSelectionPolicy):
+class RandomUsefulSelection(_MaskNativePolicy):
     """Uniformly random useful piece (the paper's baseline policy)."""
 
     name = "random-useful"
 
-    def select_piece(
+    def select_piece_mask(
         self,
-        downloader_pieces: PieceSet,
-        uploader_pieces: PieceSet,
+        downloader_mask: int,
+        uploader_mask: int,
         view: SwarmView,
         rng: np.random.Generator,
     ) -> Optional[int]:
-        useful = _useful_pieces(downloader_pieces, uploader_pieces)
+        useful = uploader_mask & ~downloader_mask
         if not useful:
             return None
-        return int(useful[rng.integers(len(useful))])
+        return _nth_set_bit(useful, int(rng.integers(useful.bit_count())))
 
 
-class RarestFirstSelection(PieceSelectionPolicy):
+class RarestFirstSelection(_MaskNativePolicy):
     """Transfer the useful piece with the fewest copies in the population."""
 
     name = "rarest-first"
 
-    def select_piece(
+    def select_piece_mask(
         self,
-        downloader_pieces: PieceSet,
-        uploader_pieces: PieceSet,
+        downloader_mask: int,
+        uploader_mask: int,
         view: SwarmView,
         rng: np.random.Generator,
     ) -> Optional[int]:
-        useful = _useful_pieces(downloader_pieces, uploader_pieces)
+        useful = uploader_mask & ~downloader_mask
         if not useful:
             return None
-        counts = [view.piece_counts.get(piece, 0) for piece in useful]
+        pieces = _mask_bits(useful)
+        counts = [view.piece_count(piece) for piece in pieces]
         rarest = min(counts)
-        candidates = [piece for piece, count in zip(useful, counts) if count == rarest]
+        candidates = [piece for piece, count in zip(pieces, counts) if count == rarest]
         return int(candidates[rng.integers(len(candidates))])
 
 
-class MostCommonFirstSelection(PieceSelectionPolicy):
+class MostCommonFirstSelection(_MaskNativePolicy):
     """Transfer the useful piece with the *most* copies (worst-case diversity)."""
 
     name = "most-common-first"
 
-    def select_piece(
+    def select_piece_mask(
         self,
-        downloader_pieces: PieceSet,
-        uploader_pieces: PieceSet,
+        downloader_mask: int,
+        uploader_mask: int,
         view: SwarmView,
         rng: np.random.Generator,
     ) -> Optional[int]:
-        useful = _useful_pieces(downloader_pieces, uploader_pieces)
+        useful = uploader_mask & ~downloader_mask
         if not useful:
             return None
-        counts = [view.piece_counts.get(piece, 0) for piece in useful]
+        pieces = _mask_bits(useful)
+        counts = [view.piece_count(piece) for piece in pieces]
         most = max(counts)
-        candidates = [piece for piece, count in zip(useful, counts) if count == most]
+        candidates = [piece for piece, count in zip(pieces, counts) if count == most]
         return int(candidates[rng.integers(len(candidates))])
 
 
-class SequentialSelection(PieceSelectionPolicy):
+class SequentialSelection(_MaskNativePolicy):
     """Transfer the lowest-numbered useful piece (in-order download)."""
 
     name = "sequential"
 
-    def select_piece(
+    def select_piece_mask(
         self,
-        downloader_pieces: PieceSet,
-        uploader_pieces: PieceSet,
+        downloader_mask: int,
+        uploader_mask: int,
         view: SwarmView,
         rng: np.random.Generator,
     ) -> Optional[int]:
-        useful = _useful_pieces(downloader_pieces, uploader_pieces)
+        useful = uploader_mask & ~downloader_mask
         if not useful:
             return None
-        return int(min(useful))
+        return (useful & -useful).bit_length()
 
 
 class CallablePolicy(PieceSelectionPolicy):
@@ -170,6 +262,10 @@ class CallablePolicy(PieceSelectionPolicy):
     swarm view and an RNG, and must return a needed piece (or raise).  A
     usefulness check wraps the result so that a buggy function cannot violate
     the Theorem-14 constraint silently.
+
+    On the array kernel the inherited :meth:`select_piece_mask` shim converts
+    the masks back into :class:`PieceSet` objects before calling the wrapped
+    function, so existing callables keep working unmodified.
     """
 
     def __init__(

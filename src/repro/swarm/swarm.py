@@ -21,12 +21,18 @@ O(population) worst case and usually O(1).
 The optional ``retry_speedup`` factor implements the Section VIII-C extension:
 a peer whose contact found no useful piece runs its clock faster by the given
 factor until its next tick.
+
+This module holds the object-per-peer *reference* backend.  The
+structure-of-arrays fast backend lives in :mod:`repro.swarm.kernel`; both are
+trajectory-equivalent under a shared seed and are selected via
+:func:`make_simulator` / ``run_swarm(..., backend="object" | "array")``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -52,144 +58,28 @@ class SwarmResult:
     horizon_reached: bool
 
 
-class SwarmSimulator:
-    """Event-driven peer-level simulation of the P2P swarm."""
+class _SwarmEventLoop:
+    """Shared event-loop driver of the two trajectory-equivalent backends.
 
-    def __init__(
-        self,
-        params: SystemParameters,
-        policy: Optional[PieceSelectionPolicy] = None,
-        seed: SeedLike = None,
-        rare_piece: int = 1,
-        retry_speedup: float = 1.0,
-        track_groups: bool = False,
-    ):
-        if retry_speedup < 1.0:
-            raise ValueError(f"retry_speedup must be >= 1, got {retry_speedup}")
-        if not 1 <= rare_piece <= params.num_pieces:
-            raise ValueError("rare_piece out of range")
-        self.params = params
-        self.policy = policy if policy is not None else RandomUsefulSelection()
-        self.rng = make_rng(seed)
-        self.rare_piece = rare_piece
-        self.retry_speedup = retry_speedup
-        self.track_groups = track_groups
+    Both :class:`SwarmSimulator` and
+    :class:`~repro.swarm.kernel.ArraySwarmKernel` inherit the aggregate-rate
+    event loop from here, so the RNG-consumption contract (which draws happen,
+    in which order, with which bounds) lives in exactly one place.  Subclasses
+    provide the state representation and the four event handlers plus:
 
-        self._peers: Dict[int, Peer] = {}
-        self._order: List[int] = []  # peer ids, for O(1) uniform sampling
-        self._position: Dict[int, int] = {}
-        self._seeds: List[int] = []  # ids of peer seeds (only when gamma < inf)
-        self._seed_position: Dict[int, int] = {}
-        self._speedups: Dict[int, float] = {}  # only peers with multiplier > 1
-        self._piece_counts: Dict[int, int] = {
-            k: 0 for k in range(1, params.num_pieces + 1)
-        }
-        self._next_peer_id = 0
-        self._time = 0.0
-        self.metrics = SwarmMetrics()
-        self._arrival_types = list(params.arrival_rates)
-        self._arrival_weights = np.array(
-            [params.arrival_rates[t] for t in self._arrival_types], dtype=float
-        )
-        self._arrival_total = float(self._arrival_weights.sum())
+    * ``population`` / ``num_seeds`` properties,
+    * ``_total_peer_tick_rate()`` — maintained incrementally,
+    * ``_record_sample(time)`` — metrics recording at grid points,
+    * ``current_state()`` — the final :class:`SystemState` aggregation,
+    * ``_handle_arrival`` / ``_handle_seed_tick`` / ``_handle_peer_tick`` /
+      ``_handle_seed_departure``.
+    """
 
-    # -- population management -------------------------------------------------
-
-    @property
-    def now(self) -> float:
-        return self._time
-
-    @property
-    def population(self) -> int:
-        return len(self._order)
-
-    @property
-    def num_seeds(self) -> int:
-        return len(self._seeds)
-
-    def peers(self) -> Iterable[Peer]:
-        """Iterate over the peers currently in the system."""
-        return (self._peers[pid] for pid in self._order)
-
-    def current_state(self) -> SystemState:
-        """Aggregate the population into a :class:`SystemState`."""
-        counts: Dict[PieceSet, int] = {}
-        for peer in self.peers():
-            counts[peer.pieces] = counts.get(peer.pieces, 0) + 1
-        return SystemState(counts, self.params.num_pieces)
-
-    def one_club_size(self) -> int:
-        return sum(1 for peer in self.peers() if peer.is_one_club(self.rare_piece))
-
-    def _add_peer(self, pieces: PieceSet) -> Peer:
-        peer = Peer(
-            peer_id=self._next_peer_id,
-            pieces=pieces,
-            arrival_time=self._time,
-            arrived_with=pieces,
-        )
-        self._next_peer_id += 1
-        self._peers[peer.peer_id] = peer
-        self._position[peer.peer_id] = len(self._order)
-        self._order.append(peer.peer_id)
-        for piece in pieces:
-            self._piece_counts[piece] += 1
-        if peer.is_seed and not self.params.immediate_departure:
-            self._add_seed(peer.peer_id)
-        self.metrics.total_arrivals += 1
-        return peer
-
-    def _remove_peer(self, peer: Peer) -> None:
-        pid = peer.peer_id
-        index = self._position.pop(pid)
-        last_id = self._order[-1]
-        self._order[index] = last_id
-        self._position[last_id] = index
-        self._order.pop()
-        if pid == last_id and self._order and self._position.get(pid) == len(self._order):
-            # Degenerate case handled by the swap above; nothing further needed.
-            pass
-        del self._peers[pid]
-        self._speedups.pop(pid, None)
-        for piece in peer.pieces:
-            self._piece_counts[piece] -= 1
-        if pid in self._seed_position:
-            self._remove_seed(pid)
-        peer.depart(self._time)
-        self.metrics.record_departure(
-            sojourn=peer.sojourn_time(self._time),
-            download_time=peer.download_time(),
-        )
-
-    def _add_seed(self, peer_id: int) -> None:
-        self._seed_position[peer_id] = len(self._seeds)
-        self._seeds.append(peer_id)
-
-    def _remove_seed(self, peer_id: int) -> None:
-        index = self._seed_position.pop(peer_id)
-        last_id = self._seeds[-1]
-        self._seeds[index] = last_id
-        self._seed_position[last_id] = index
-        self._seeds.pop()
-
-    def seed_population(self, initial_state: SystemState) -> None:
-        """Populate the swarm from a :class:`SystemState` before running."""
-        for type_c, count in initial_state.items():
-            for _ in range(count):
-                self._add_peer(type_c)
-        # The pre-seeded peers are not exogenous arrivals.
-        self.metrics.total_arrivals -= initial_state.total_peers
-
-    # -- event mechanics -------------------------------------------------------------
-
-    def _total_peer_tick_rate(self) -> float:
-        base = self.population * self.params.peer_rate
-        if self.retry_speedup > 1.0 and self._speedups:
-            base += sum(
-                (multiplier - 1.0) * self.params.peer_rate
-                for multiplier in self._speedups.values()
-            )
-        return base
+    params: SystemParameters
+    rng: "np.random.Generator"
+    metrics: SwarmMetrics
+    _time: float
+    _arrival_total: float
 
     def _event_rates(self) -> Tuple[float, float, float, float]:
         """Rates of (arrival, fixed-seed tick, peer tick, seed departure)."""
@@ -201,87 +91,6 @@ class SwarmSimulator:
         else:
             seed_departure = self.params.seed_departure_rate * self.num_seeds
         return arrival, seed_tick, peer_tick, seed_departure
-
-    def _sample_arrival_type(self) -> PieceSet:
-        index = self.rng.choice(len(self._arrival_types), p=self._arrival_weights / self._arrival_total)
-        return self._arrival_types[int(index)]
-
-    def _sample_uniform_peer(self) -> Peer:
-        index = int(self.rng.integers(self.population))
-        return self._peers[self._order[index]]
-
-    def _sample_ticking_peer(self) -> Peer:
-        """Choose which peer's clock ticks (weighted when speedups are active)."""
-        if self.retry_speedup == 1.0 or not self._speedups:
-            return self._sample_uniform_peer()
-        weights = np.array(
-            [self._speedups.get(pid, 1.0) for pid in self._order], dtype=float
-        )
-        probabilities = weights / weights.sum()
-        index = int(self.rng.choice(len(self._order), p=probabilities))
-        return self._peers[self._order[index]]
-
-    def _swarm_view(self) -> SwarmView:
-        return SwarmView(
-            num_pieces=self.params.num_pieces,
-            piece_counts=dict(self._piece_counts),
-            total_peers=self.population,
-            time=self._time,
-        )
-
-    def _transfer(self, uploader_pieces: PieceSet, downloader: Peer, from_seed: bool) -> bool:
-        """Attempt a useful upload into ``downloader``; returns True on success."""
-        piece = self.policy.select_piece(
-            downloader.pieces, uploader_pieces, self._swarm_view(), self.rng
-        )
-        if piece is None:
-            self.metrics.wasted_contacts += 1
-            return False
-        downloader.receive_piece(piece, self._time, rare_piece=self.rare_piece)
-        self._piece_counts[piece] += 1
-        self.metrics.total_downloads += 1
-        if from_seed:
-            self.metrics.total_seed_uploads += 1
-        if downloader.is_seed:
-            if self.params.immediate_departure:
-                self._remove_peer(downloader)
-            else:
-                self._add_seed(downloader.peer_id)
-        return True
-
-    def _handle_arrival(self) -> None:
-        self._add_peer(self._sample_arrival_type())
-
-    def _handle_seed_tick(self) -> None:
-        if self.population == 0:
-            return
-        target = self._sample_uniform_peer()
-        full = PieceSet.full(self.params.num_pieces)
-        self._transfer(full, target, from_seed=True)
-
-    def _handle_peer_tick(self) -> None:
-        if self.population == 0:
-            return
-        uploader = self._sample_ticking_peer()
-        # A ticking peer's speedup (if any) is consumed by this tick.
-        self._speedups.pop(uploader.peer_id, None)
-        target = self._sample_uniform_peer()
-        if target.peer_id == uploader.peer_id:
-            self.metrics.wasted_contacts += 1
-            success = False
-        else:
-            success = self._transfer(uploader.pieces, target, from_seed=False)
-            if success:
-                uploader.record_upload()
-        if not success and self.retry_speedup > 1.0 and uploader.in_system:
-            self._speedups[uploader.peer_id] = self.retry_speedup
-
-    def _handle_seed_departure(self) -> None:
-        if not self._seeds:
-            return
-        index = int(self.rng.integers(len(self._seeds)))
-        peer = self._peers[self._seeds[index]]
-        self._remove_peer(peer)
 
     def _apply_event(self, rates: Tuple[float, float, float, float]) -> None:
         """Apply one event drawn proportionally to the given rates."""
@@ -306,22 +115,6 @@ class SwarmSimulator:
         self._apply_event(rates)
         return True
 
-    def _record_sample(self, sample_time: float) -> None:
-        snapshot = None
-        if self.track_groups:
-            snapshot = GroupSnapshot.from_peers(
-                sample_time, self.peers(), rare_piece=self.rare_piece
-            )
-        occupied = [count for count in self._piece_counts.values()]
-        self.metrics.record_sample(
-            time=sample_time,
-            population=self.population,
-            num_seeds=self.num_seeds,
-            one_club_size=self.one_club_size(),
-            min_piece_count=min(occupied) if occupied else 0,
-            group_snapshot=snapshot,
-        )
-
     def run(
         self,
         horizon: float,
@@ -329,7 +122,7 @@ class SwarmSimulator:
         sample_interval: Optional[float] = None,
         max_events: Optional[int] = None,
         max_population: Optional[int] = None,
-    ) -> SwarmResult:
+    ) -> "SwarmResult":
         """Simulate until ``horizon`` (simulation time units).
 
         ``max_events`` and ``max_population`` provide safety caps for runs in
@@ -382,16 +175,322 @@ class SwarmSimulator:
         )
 
 
+class SwarmSimulator(_SwarmEventLoop):
+    """Event-driven peer-level simulation of the P2P swarm."""
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        policy: Optional[PieceSelectionPolicy] = None,
+        seed: SeedLike = None,
+        rare_piece: int = 1,
+        retry_speedup: float = 1.0,
+        track_groups: bool = False,
+    ):
+        if retry_speedup < 1.0:
+            raise ValueError(f"retry_speedup must be >= 1, got {retry_speedup}")
+        if not 1 <= rare_piece <= params.num_pieces:
+            raise ValueError("rare_piece out of range")
+        self.params = params
+        self.policy = policy if policy is not None else RandomUsefulSelection()
+        self.rng = make_rng(seed)
+        self.rare_piece = rare_piece
+        self.retry_speedup = retry_speedup
+        self.track_groups = track_groups
+
+        self._peers: Dict[int, Peer] = {}
+        self._order: List[int] = []  # peer ids, for O(1) uniform sampling
+        self._position: Dict[int, int] = {}
+        self._seeds: List[int] = []  # ids of peer seeds (only when gamma < inf)
+        self._seed_position: Dict[int, int] = {}
+        # Sped-up peers (Section VIII-C retry extension), kept as a swap-remove
+        # list so the total tick weight and the weighted peer sampling are O(1).
+        self._sped_ids: List[int] = []
+        self._sped_position: Dict[int, int] = {}
+        self._piece_counts: Dict[int, int] = {
+            k: 0 for k in range(1, params.num_pieces + 1)
+        }
+        self._next_peer_id = 0
+        self._time = 0.0
+        self.metrics = SwarmMetrics()
+        self._arrival_types = list(params.arrival_rates)
+        self._arrival_weights = np.array(
+            [params.arrival_rates[t] for t in self._arrival_types], dtype=float
+        )
+        self._arrival_total = float(self._arrival_weights.sum())
+        self._arrival_probs = self._arrival_weights / self._arrival_total
+        self._single_arrival_type = (
+            self._arrival_types[0] if len(self._arrival_types) == 1 else None
+        )
+        # One live view shared across policy calls; piece_counts is a
+        # read-only proxy of the live census dict (zero-copy, but a mutating
+        # policy fails loudly), the scalar fields are refreshed per call.
+        self._view = SwarmView(
+            num_pieces=params.num_pieces,
+            piece_counts=MappingProxyType(self._piece_counts),
+            total_peers=0,
+            time=0.0,
+        )
+
+    # -- population management -------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._time
+
+    @property
+    def population(self) -> int:
+        return len(self._order)
+
+    @property
+    def num_seeds(self) -> int:
+        return len(self._seeds)
+
+    def peers(self) -> Iterable[Peer]:
+        """Iterate over the peers currently in the system."""
+        return (self._peers[pid] for pid in self._order)
+
+    def current_state(self) -> SystemState:
+        """Aggregate the population into a :class:`SystemState`."""
+        counts: Dict[PieceSet, int] = {}
+        for peer in self.peers():
+            counts[peer.pieces] = counts.get(peer.pieces, 0) + 1
+        return SystemState(counts, self.params.num_pieces)
+
+    def one_club_size(self) -> int:
+        return sum(1 for peer in self.peers() if peer.is_one_club(self.rare_piece))
+
+    def _add_peer(self, pieces: PieceSet) -> Peer:
+        peer = Peer(
+            peer_id=self._next_peer_id,
+            pieces=pieces,
+            arrival_time=self._time,
+            arrived_with=pieces,
+        )
+        self._next_peer_id += 1
+        self._peers[peer.peer_id] = peer
+        self._position[peer.peer_id] = len(self._order)
+        self._order.append(peer.peer_id)
+        for piece in pieces:
+            self._piece_counts[piece] += 1
+        if peer.is_seed and not self.params.immediate_departure:
+            self._add_seed(peer.peer_id)
+        self.metrics.total_arrivals += 1
+        return peer
+
+    def _remove_peer(self, peer: Peer) -> None:
+        pid = peer.peer_id
+        index = self._position.pop(pid)
+        last_id = self._order.pop()
+        if last_id != pid:
+            self._order[index] = last_id
+            self._position[last_id] = index
+        del self._peers[pid]
+        self._discard_sped(pid)
+        for piece in peer.pieces:
+            self._piece_counts[piece] -= 1
+        if pid in self._seed_position:
+            self._remove_seed(pid)
+        peer.depart(self._time)
+        self.metrics.record_departure(
+            sojourn=peer.sojourn_time(self._time),
+            download_time=peer.download_time(),
+        )
+
+    def _add_seed(self, peer_id: int) -> None:
+        self._seed_position[peer_id] = len(self._seeds)
+        self._seeds.append(peer_id)
+
+    def _remove_seed(self, peer_id: int) -> None:
+        index = self._seed_position.pop(peer_id)
+        last_id = self._seeds.pop()
+        if last_id != peer_id:
+            self._seeds[index] = last_id
+            self._seed_position[last_id] = index
+
+    def _add_sped(self, peer_id: int) -> None:
+        if peer_id not in self._sped_position:
+            self._sped_position[peer_id] = len(self._sped_ids)
+            self._sped_ids.append(peer_id)
+
+    def _discard_sped(self, peer_id: int) -> None:
+        index = self._sped_position.pop(peer_id, None)
+        if index is None:
+            return
+        last_id = self._sped_ids.pop()
+        if last_id != peer_id:
+            self._sped_ids[index] = last_id
+            self._sped_position[last_id] = index
+
+    def seed_population(self, initial_state: SystemState) -> None:
+        """Populate the swarm from a :class:`SystemState` before running."""
+        for type_c, count in initial_state.items():
+            for _ in range(count):
+                self._add_peer(type_c)
+        # The pre-seeded peers are not exogenous arrivals.
+        self.metrics.total_arrivals -= initial_state.total_peers
+
+    # -- event mechanics -------------------------------------------------------------
+
+    def _total_peer_tick_rate(self) -> float:
+        # Maintained incrementally: every peer contributes weight 1 and every
+        # sped-up peer an extra (retry_speedup - 1), so no O(n) rebuild.
+        weight = self.population + (self.retry_speedup - 1.0) * len(self._sped_ids)
+        return weight * self.params.peer_rate
+
+    def _sample_arrival_type(self) -> PieceSet:
+        if self._single_arrival_type is not None:
+            return self._single_arrival_type
+        index = self.rng.choice(len(self._arrival_types), p=self._arrival_probs)
+        return self._arrival_types[int(index)]
+
+    def _sample_uniform_peer(self) -> Peer:
+        index = int(self.rng.integers(self.population))
+        return self._peers[self._order[index]]
+
+    def _sample_ticking_peer(self) -> Peer:
+        """Choose which peer's clock ticks (weighted when speedups are active).
+
+        Each peer has tick weight 1, plus an extra ``retry_speedup - 1`` when
+        it is in the sped-up list; a single uniform draw over the cumulative
+        weight picks either a uniform peer (base segment) or a uniform sped-up
+        peer (extra segment), with no per-event weight-array rebuild.
+        """
+        population = self.population
+        sped = len(self._sped_ids)
+        if self.retry_speedup == 1.0 or not sped:
+            return self._sample_uniform_peer()
+        extra = self.retry_speedup - 1.0
+        threshold = self.rng.uniform(0.0, population + extra * sped)
+        if threshold < population:
+            return self._peers[self._order[int(threshold)]]
+        index = min(int((threshold - population) / extra), sped - 1)
+        return self._peers[self._sped_ids[index]]
+
+    def _swarm_view(self) -> SwarmView:
+        view = self._view
+        view.total_peers = self.population
+        view.time = self._time
+        return view
+
+    def _transfer(self, uploader_pieces: PieceSet, downloader: Peer, from_seed: bool) -> bool:
+        """Attempt a useful upload into ``downloader``; returns True on success."""
+        piece = self.policy.select_piece(
+            downloader.pieces, uploader_pieces, self._swarm_view(), self.rng
+        )
+        if piece is None:
+            self.metrics.wasted_contacts += 1
+            return False
+        downloader.receive_piece(piece, self._time, rare_piece=self.rare_piece)
+        self._piece_counts[piece] += 1
+        self.metrics.total_downloads += 1
+        if from_seed:
+            self.metrics.total_seed_uploads += 1
+        if downloader.is_seed:
+            if self.params.immediate_departure:
+                self._remove_peer(downloader)
+            else:
+                self._add_seed(downloader.peer_id)
+        return True
+
+    def _handle_arrival(self) -> None:
+        self._add_peer(self._sample_arrival_type())
+
+    def _handle_seed_tick(self) -> None:
+        if self.population == 0:
+            return
+        target = self._sample_uniform_peer()
+        full = PieceSet.full(self.params.num_pieces)
+        self._transfer(full, target, from_seed=True)
+
+    def _handle_peer_tick(self) -> None:
+        if self.population == 0:
+            return
+        uploader = self._sample_ticking_peer()
+        # A ticking peer's speedup (if any) is consumed by this tick.
+        self._discard_sped(uploader.peer_id)
+        target = self._sample_uniform_peer()
+        if target.peer_id == uploader.peer_id:
+            self.metrics.wasted_contacts += 1
+            success = False
+        else:
+            success = self._transfer(uploader.pieces, target, from_seed=False)
+            if success:
+                uploader.record_upload()
+        # No peer is removed on a failed tick, so the uploader is still in
+        # the system here (mirrors ArraySwarmKernel._handle_peer_tick).
+        if not success and self.retry_speedup > 1.0:
+            self._add_sped(uploader.peer_id)
+
+    def _handle_seed_departure(self) -> None:
+        if not self._seeds:
+            return
+        index = int(self.rng.integers(len(self._seeds)))
+        peer = self._peers[self._seeds[index]]
+        self._remove_peer(peer)
+
+    def _record_sample(self, sample_time: float) -> None:
+        snapshot = None
+        if self.track_groups:
+            snapshot = GroupSnapshot.from_peers(
+                sample_time, self.peers(), rare_piece=self.rare_piece
+            )
+        occupied = [count for count in self._piece_counts.values()]
+        self.metrics.record_sample(
+            time=sample_time,
+            population=self.population,
+            num_seeds=self.num_seeds,
+            one_club_size=self.one_club_size(),
+            min_piece_count=min(occupied) if occupied else 0,
+            group_snapshot=snapshot,
+        )
+
+
+#: Names of the available simulation backends (see :func:`make_simulator`).
+BACKENDS = ("object", "array")
+
+
+def make_simulator(
+    params: SystemParameters,
+    policy: Optional[PieceSelectionPolicy] = None,
+    seed: SeedLike = None,
+    backend: str = "object",
+    **kwargs,
+):
+    """Construct a simulator for the requested backend.
+
+    ``backend="object"`` builds the reference :class:`SwarmSimulator`;
+    ``backend="array"`` builds the structure-of-arrays
+    :class:`~repro.swarm.kernel.ArraySwarmKernel` (requires ``K <= 64``).
+    Both backends consume the RNG identically, so a given seed produces the
+    same trajectory on either one; the array kernel is simply much faster on
+    large populations.
+    """
+    if backend == "object":
+        return SwarmSimulator(params, policy=policy, seed=seed, **kwargs)
+    if backend == "array":
+        from .kernel import ArraySwarmKernel
+
+        return ArraySwarmKernel(params, policy=policy, seed=seed, **kwargs)
+    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+
+
 def run_swarm(
     params: SystemParameters,
     horizon: float,
     seed: SeedLike = None,
     policy: Optional[PieceSelectionPolicy] = None,
     initial_state: Optional[SystemState] = None,
+    backend: str = "object",
     **kwargs,
 ) -> SwarmResult:
-    """Convenience wrapper: build a :class:`SwarmSimulator` and run it."""
-    simulator = SwarmSimulator(params, policy=policy, seed=seed, **{
+    """Convenience wrapper: build a simulator and run it.
+
+    ``backend`` selects the simulation engine (``"object"`` or ``"array"``,
+    see :func:`make_simulator`); the remaining keyword arguments are split
+    between the constructor and :meth:`SwarmSimulator.run`.
+    """
+    simulator = make_simulator(params, policy=policy, seed=seed, backend=backend, **{
         key: value
         for key, value in kwargs.items()
         if key in ("rare_piece", "retry_speedup", "track_groups")
@@ -404,4 +503,4 @@ def run_swarm(
     return simulator.run(horizon, initial_state=initial_state, **run_kwargs)
 
 
-__all__ = ["SwarmSimulator", "SwarmResult", "run_swarm"]
+__all__ = ["BACKENDS", "SwarmSimulator", "SwarmResult", "make_simulator", "run_swarm"]

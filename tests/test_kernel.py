@@ -1,0 +1,261 @@
+"""Unit tests for the array-backed swarm kernel, the mask-level policy API
+and the batched replication runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.core.state import SystemState
+from repro.core.types import PieceSet
+from repro.experiments.runner import BatchRunner, BatchSwarmResult
+from repro.swarm.kernel import ArraySwarmKernel
+from repro.swarm.policies import (
+    CallablePolicy,
+    MostCommonFirstSelection,
+    RandomUsefulSelection,
+    RarestFirstSelection,
+    SequentialSelection,
+    SwarmView,
+    make_policy,
+    registered_policies,
+)
+from repro.swarm.swarm import make_simulator, run_swarm
+
+
+def make_view(num_pieces=3, piece_counts=None, total_peers=10, time=0.0) -> SwarmView:
+    counts = piece_counts or {k: 1 for k in range(1, num_pieces + 1)}
+    return SwarmView(
+        num_pieces=num_pieces,
+        piece_counts=counts,
+        total_peers=total_peers,
+        time=time,
+    )
+
+
+class TestMaskPolicyAPI:
+    """select_piece_mask is the primitive; select_piece must agree with it."""
+
+    @pytest.mark.parametrize("name", registered_policies())
+    def test_mask_and_pieceset_paths_agree(self, name):
+        view = make_view(num_pieces=4, piece_counts={1: 5, 2: 1, 3: 3, 4: 1})
+        downloader = PieceSet((1,), 4)
+        uploader = PieceSet((2, 3, 4), 4)
+        for seed in range(20):
+            policy = make_policy(name)
+            from_mask = policy.select_piece_mask(
+                downloader.mask, uploader.mask, view, np.random.default_rng(seed)
+            )
+            from_sets = policy.select_piece(
+                downloader, uploader, view, np.random.default_rng(seed)
+            )
+            assert from_mask == from_sets
+            assert from_mask in (2, 3, 4)
+
+    @pytest.mark.parametrize("name", registered_policies())
+    def test_no_useful_piece_returns_none(self, name):
+        view = make_view()
+        rng = np.random.default_rng(0)
+        policy = make_policy(name)
+        # Uploader's pieces are a subset of the downloader's: nothing useful.
+        assert policy.select_piece_mask(0b111, 0b101, view, rng) is None
+        assert policy.select_piece_mask(0b111, 0b000, view, rng) is None
+
+    def test_random_useful_covers_all_useful_pieces(self):
+        view = make_view()
+        rng = np.random.default_rng(1)
+        policy = RandomUsefulSelection()
+        chosen = {
+            policy.select_piece_mask(0b001, 0b110, view, rng) for _ in range(60)
+        }
+        assert chosen == {2, 3}
+
+    def test_sequential_picks_lowest_useful_bit(self):
+        policy = SequentialSelection()
+        rng = np.random.default_rng(2)
+        assert policy.select_piece_mask(0b0001, 0b1110, make_view(4), rng) == 2
+        assert policy.select_piece_mask(0b0011, 0b1110, make_view(4), rng) == 3
+
+    def test_rarest_first_uses_census(self):
+        view = make_view(num_pieces=3, piece_counts={1: 9, 2: 9, 3: 2})
+        policy = RarestFirstSelection()
+        rng = np.random.default_rng(3)
+        assert policy.select_piece_mask(0b000, 0b111, view, rng) == 3
+
+    def test_most_common_first_uses_census(self):
+        view = make_view(num_pieces=3, piece_counts={1: 9, 2: 1, 3: 2})
+        policy = MostCommonFirstSelection()
+        rng = np.random.default_rng(4)
+        assert policy.select_piece_mask(0b000, 0b111, view, rng) == 1
+
+    def test_callable_policy_works_through_mask_shim(self):
+        policy = CallablePolicy(
+            lambda downloader, uploader, view, rng: max(
+                downloader.useful_from(uploader)
+            ),
+            name="highest-useful",
+        )
+        rng = np.random.default_rng(5)
+        assert policy.select_piece_mask(0b001, 0b110, make_view(), rng) == 3
+
+    def test_callable_policy_mask_shim_enforces_usefulness(self):
+        policy = CallablePolicy(lambda *args: 1, name="broken")
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            policy.select_piece_mask(0b001, 0b110, make_view(), rng)
+
+    def test_view_piece_count_defaults_to_zero(self):
+        view = make_view(piece_counts={1: 4})
+        assert view.piece_count(1) == 4
+        assert view.piece_count(3) == 0
+
+
+class TestArrayKernel:
+    def test_population_bookkeeping(self, flash_crowd_stable):
+        kernel = ArraySwarmKernel(flash_crowd_stable, seed=0)
+        result = kernel.run(horizon=30.0)
+        metrics = result.metrics
+        assert metrics.total_arrivals >= metrics.total_departures
+        assert result.final_population == metrics.total_arrivals - metrics.total_departures
+        assert result.final_state.total_peers == result.final_population
+
+    def test_incremental_aggregates_match_final_state(self, flash_crowd_stable):
+        kernel = ArraySwarmKernel(flash_crowd_stable, seed=1)
+        result = kernel.run(horizon=40.0)
+        state = result.final_state
+        assert kernel.one_club_size() == state.one_club_size()
+        assert kernel.population == state.total_peers
+        census = state.piece_counts()
+        for piece in range(1, flash_crowd_stable.num_pieces + 1):
+            assert kernel._piece_counts[piece] == census[piece]
+
+    def test_capacity_growth_keeps_invariants(self, flash_crowd_unstable):
+        kernel = ArraySwarmKernel(flash_crowd_unstable, seed=2, initial_capacity=16)
+        result = kernel.run(horizon=120.0, max_population=120)
+        assert not result.horizon_reached
+        assert result.final_population >= 120
+        assert result.final_state.total_peers == result.final_population
+
+    def test_group_snapshot_totals(self, flash_crowd_stable):
+        kernel = ArraySwarmKernel(flash_crowd_stable, seed=3, track_groups=True)
+        result = kernel.run(horizon=30.0)
+        assert result.metrics.group_snapshots
+        for snapshot, population in zip(
+            result.metrics.group_snapshots, result.metrics.population
+        ):
+            assert snapshot.total == population
+
+    def test_seeds_dwell_when_gamma_finite(self, example1_params):
+        kernel = ArraySwarmKernel(example1_params, seed=4)
+        result = kernel.run(horizon=100.0)
+        assert max(result.metrics.num_seeds) >= 1
+
+    def test_reproducible_from_seed(self, flash_crowd_stable):
+        first = run_swarm(flash_crowd_stable, horizon=40.0, seed=9, backend="array")
+        second = run_swarm(flash_crowd_stable, horizon=40.0, seed=9, backend="array")
+        assert first.metrics.population == second.metrics.population
+        assert first.final_state == second.final_state
+
+    def test_rejects_more_than_64_pieces(self):
+        params = SystemParameters.flash_crowd(65, arrival_rate=1.0, seed_rate=1.0)
+        with pytest.raises(ValueError, match="64"):
+            ArraySwarmKernel(params)
+
+    def test_rejects_bad_rare_piece_and_speedup(self, flash_crowd_stable):
+        with pytest.raises(ValueError):
+            ArraySwarmKernel(flash_crowd_stable, rare_piece=9)
+        with pytest.raises(ValueError):
+            ArraySwarmKernel(flash_crowd_stable, retry_speedup=0.2)
+
+    def test_make_simulator_backend_dispatch(self, flash_crowd_stable):
+        from repro.swarm.swarm import SwarmSimulator
+
+        assert isinstance(
+            make_simulator(flash_crowd_stable, backend="object"), SwarmSimulator
+        )
+        assert isinstance(
+            make_simulator(flash_crowd_stable, backend="array"), ArraySwarmKernel
+        )
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_simulator(flash_crowd_stable, backend="gpu")
+
+
+class TestBatchRunner:
+    def test_batch_matches_manual_replications(self, flash_crowd_stable):
+        from repro.simulation.rng import spawn_generators
+        from repro.swarm.swarm import SwarmSimulator
+
+        batch = BatchRunner(flash_crowd_stable).run(30.0, 3, seed=21)
+        manual = []
+        for rng in spawn_generators(21, 3):
+            manual.append(SwarmSimulator(flash_crowd_stable, seed=rng).run(30.0))
+        assert [r.final_population for r in batch.results] == [
+            r.final_population for r in manual
+        ]
+        assert [r.final_state for r in batch.results] == [
+            r.final_state for r in manual
+        ]
+
+    def test_backends_agree_within_batch(self, flash_crowd_stable):
+        by_backend = {
+            backend: BatchRunner(flash_crowd_stable, backend=backend).run(
+                25.0, 3, seed=5
+            )
+            for backend in ("object", "array")
+        }
+        assert [r.final_state for r in by_backend["object"].results] == [
+            r.final_state for r in by_backend["array"].results
+        ]
+
+    def test_parallel_workers_match_serial(self, flash_crowd_stable):
+        serial = BatchRunner(flash_crowd_stable, backend="array").run(25.0, 3, seed=8)
+        parallel = BatchRunner(flash_crowd_stable, backend="array", workers=2).run(
+            25.0, 3, seed=8
+        )
+        assert [r.final_population for r in serial.results] == [
+            r.final_population for r in parallel.results
+        ]
+        assert [r.final_state for r in serial.results] == [
+            r.final_state for r in parallel.results
+        ]
+
+    def test_batch_result_aggregation(self, flash_crowd_stable):
+        batch = BatchRunner(flash_crowd_stable, backend="array").run(20.0, 2, seed=3)
+        assert isinstance(batch, BatchSwarmResult)
+        assert len(batch) == 2
+        assert batch.final_populations().shape == (2,)
+        assert batch.mean_final_population() == pytest.approx(
+            batch.final_populations().mean()
+        )
+        assert batch.all_horizons_reached()
+        summary = batch.summary()
+        for key in ("final_population", "mean_population", "total_downloads"):
+            assert key in summary
+        assert len(batch.metrics) == 2
+
+    def test_sim_kwargs_reach_the_simulator(self, flash_crowd_stable):
+        batch = BatchRunner(
+            flash_crowd_stable, backend="array", track_groups=True
+        ).run(15.0, 1, seed=4)
+        assert batch.results[0].metrics.group_snapshots
+
+    def test_invalid_replications(self, flash_crowd_stable):
+        with pytest.raises(ValueError):
+            BatchRunner(flash_crowd_stable).run(10.0, 0, seed=1)
+
+    def test_experiment_backend_passthrough(self):
+        from repro.experiments.runner import run_stability_trial
+
+        params = SystemParameters.flash_crowd(
+            num_pieces=3, arrival_rate=1.0, seed_rate=2.0, peer_rate=1.0
+        )
+        trials = {
+            backend: run_stability_trial(
+                params, horizon=60.0, replications=2, seed=6, backend=backend
+            )
+            for backend in ("object", "array")
+        }
+        assert (
+            trials["object"].mean_normalized_slope
+            == trials["array"].mean_normalized_slope
+        )
+        assert trials["object"].mean_population == trials["array"].mean_population

@@ -15,6 +15,8 @@ from repro.core.stability import analyze, delta_s, piece_threshold, Stability
 from repro.core.state import SystemState
 from repro.core.transitions import outgoing_transitions, total_exit_rate
 from repro.core.types import PieceSet, all_types
+from repro.swarm.policies import make_policy, registered_policies
+from repro.swarm.swarm import run_swarm
 
 # ---------------------------------------------------------------------------
 # Strategies
@@ -239,6 +241,75 @@ class TestStabilityProperties:
     def test_verdict_is_exclusive(self, params):
         report = analyze(params)
         assert report.is_stable + report.is_unstable <= 1
+
+
+# ---------------------------------------------------------------------------
+# Backend equivalence: object simulator vs. array kernel
+# ---------------------------------------------------------------------------
+
+
+class TestBackendEquivalence:
+    """The array kernel and the object simulator share RNG consumption, so a
+    common seed must yield bit-identical trajectories on both backends."""
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        system_parameters(),
+        st.integers(0, 2**31 - 1),
+        st.sampled_from(registered_policies()),
+        st.sampled_from([1.0, 2.5]),
+        st.booleans(),
+    )
+    def test_backends_produce_identical_trajectories(
+        self, params, seed, policy_name, retry_speedup, track_groups
+    ):
+        runs = {}
+        for backend in ("object", "array"):
+            runs[backend] = run_swarm(
+                params,
+                horizon=6.0,
+                seed=seed,
+                policy=make_policy(policy_name),
+                backend=backend,
+                retry_speedup=retry_speedup,
+                track_groups=track_groups,
+                max_events=300,
+            )
+        obj, arr = runs["object"], runs["array"]
+        assert arr.final_population == obj.final_population
+        assert arr.final_state == obj.final_state
+        assert arr.final_state.piece_counts() == obj.final_state.piece_counts()
+        assert arr.final_time == obj.final_time
+        assert arr.horizon_reached == obj.horizon_reached
+        assert arr.metrics.population == obj.metrics.population
+        assert arr.metrics.one_club_size == obj.metrics.one_club_size
+        assert arr.metrics.num_seeds == obj.metrics.num_seeds
+        assert arr.metrics.min_piece_count == obj.metrics.min_piece_count
+        assert arr.metrics.total_downloads == obj.metrics.total_downloads
+        assert arr.metrics.wasted_contacts == obj.metrics.wasted_contacts
+        assert arr.metrics.total_seed_uploads == obj.metrics.total_seed_uploads
+        assert arr.metrics.sojourn_times == obj.metrics.sojourn_times
+        assert arr.metrics.download_times == obj.metrics.download_times
+        assert arr.metrics.group_snapshots == obj.metrics.group_snapshots
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(system_parameters(), st.integers(0, 2**31 - 1), st.integers(1, 30))
+    def test_backends_agree_from_seeded_one_club(self, params, seed, club_size):
+        initial = SystemState.one_club(params.num_pieces, club_size)
+        results = [
+            run_swarm(
+                params,
+                horizon=4.0,
+                seed=seed,
+                backend=backend,
+                initial_state=initial,
+                max_events=200,
+            )
+            for backend in ("object", "array")
+        ]
+        assert results[0].final_state == results[1].final_state
+        assert results[0].metrics.population == results[1].metrics.population
+        assert results[0].metrics.one_club_size == results[1].metrics.one_club_size
 
 
 # ---------------------------------------------------------------------------

@@ -152,8 +152,13 @@ class TestBehaviour:
     def test_missing_piece_becomes_rare_in_unstable_system(self, flash_crowd_unstable):
         result = run_swarm(flash_crowd_unstable, horizon=120.0, seed=12)
         metrics = result.metrics
+        # Which piece the one club forms around is trajectory-dependent, so
+        # check the club with respect to each piece and take the largest.
+        club_sizes = [
+            result.final_state.one_club_size(piece) for piece in (1, 2, 3)
+        ]
         # The one club dominates: min piece count stays far below the population.
-        assert metrics.one_club_size[-1] > 0.5 * metrics.population[-1]
+        assert max(club_sizes) > 0.5 * metrics.population[-1]
         assert metrics.min_piece_count[-1] < 0.2 * metrics.population[-1]
 
     def test_one_club_drains_in_stable_system(self, flash_crowd_stable):
