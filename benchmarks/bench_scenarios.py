@@ -1,0 +1,43 @@
+"""Scenario smoke benchmark: both backends on the heterogeneous flash crowd.
+
+Measures events/second of the object simulator and the array kernel on the
+shared ``SCENARIO_BENCH_WORKLOAD`` (10 000 one-club peers, ``K = 10``, two
+peer classes plus a flash-crowd arrival pulse), asserting the invariants the
+scenario refactor promises: the backends stay trajectory-identical from a
+shared seed on the scenario path, the schedule actually thins events, and
+the array kernel keeps a healthy speedup.  The numbers land in the
+``"scenario"`` section of ``BENCH_swarm.json`` via the session-finish hook
+in ``conftest.py``, so scenario-path regressions are visible per-PR next to
+the homogeneous baseline.
+"""
+
+from conftest import (
+    SCENARIO_BENCH_WORKLOAD,
+    measure_scenario_throughput,
+    run_once,
+)
+
+
+def test_scenario_throughput_smoke(benchmark, capsys):
+    object_run = measure_scenario_throughput("object")
+    array_run = run_once(benchmark, measure_scenario_throughput, backend="array")
+    speedup = array_run["events_per_second"] / object_run["events_per_second"]
+    with capsys.disabled():
+        print()
+        print(
+            f"scenario smoke ({SCENARIO_BENCH_WORKLOAD['initial_one_club']} "
+            f"peers, K={SCENARIO_BENCH_WORKLOAD['num_pieces']}, 2 classes + "
+            f"flash crowd): "
+            f"object {object_run['events_per_second']:,.0f} ev/s, "
+            f"array {array_run['events_per_second']:,.0f} ev/s "
+            f"({speedup:.1f}x)"
+        )
+    # Trajectory equivalence holds on the scenario code path too.
+    assert array_run["final_population"] == object_run["final_population"]
+    assert array_run["thinned_events"] == object_run["thinned_events"]
+    # The pulse schedule must actually thin candidates, otherwise the
+    # workload is not exercising the scenario path at all.
+    assert array_run["thinned_events"] > 0
+    # Same conservative bar as the homogeneous kernel smoke: the SoA kernel
+    # must stay clearly ahead of the object simulator on scenarios.
+    assert speedup >= 3.0

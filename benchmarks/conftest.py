@@ -9,10 +9,13 @@ already aggregates several stochastic replications.
 
 The harness also maintains the swarm-kernel throughput baseline: after any
 benchmark session (and from ``python benchmarks/conftest.py`` directly), the
-events-per-second of both simulation backends on the reference 10k-peer,
-``K = 10`` one-club workload is measured and written to ``BENCH_swarm.json``
-at the repository root, so future PRs can track the performance trajectory of
-the object simulator and the array kernel side by side.
+events-per-second of both simulation backends is measured on two workloads —
+the reference homogeneous 10k-peer, ``K = 10`` one-club workload and a
+scenario workload (heterogeneous fast/slow classes plus a flash-crowd
+arrival pulse) exercising the scenario code path — and written to
+``BENCH_swarm.json`` at the repository root, so future PRs can track the
+performance trajectory of the object simulator and the array kernel side by
+side on both the legacy and the scenario paths.
 """
 
 from __future__ import annotations
@@ -38,12 +41,35 @@ BENCH_WORKLOAD = {
     "seed": 7,
 }
 
+#: The scenario workload of the baseline: two peer classes (a fast minority,
+#: a slow majority) plus a flash-crowd arrival pulse, so both new kernel code
+#: paths (per-class sampling and Poisson thinning) are on the hot path.
+SCENARIO_BENCH_WORKLOAD = {
+    "num_pieces": 10,
+    "initial_one_club": 10_000,
+    "arrival_rate": 5.0,
+    "seed_rate": 1.0,
+    "peer_rate": 1.0,
+    "seed_departure_rate": 2.0,
+    "fast_contact_rate": 2.0,
+    "slow_contact_rate": 0.8,
+    "fast_fraction": 0.3,
+    "surge_start": 1.0,
+    "surge_end": 3.0,
+    "surge_factor": 4.0,
+    "horizon": 5.0,
+    "sample_interval": 0.025,
+    "max_events": 20_000,
+    "seed": 7,
+}
+
 BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_swarm.json"
 
 # Throughput results measured earlier in this session (e.g. by the kernel
-# smoke benchmark), reused by emit_bench_baseline so the recorded baseline
-# matches the asserted numbers and the workload is not simulated twice.
+# smoke benchmarks), reused by emit_bench_baseline so the recorded baseline
+# matches the asserted numbers and the workloads are not simulated twice.
 _session_measurements: dict = {}
+_scenario_measurements: dict = {}
 
 
 def print_report(capsys, title: str, report: str) -> None:
@@ -62,22 +88,32 @@ def run_once(benchmark, func, **kwargs):
     return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)
 
 
-def measure_backend_throughput(backend: str) -> dict:
-    """Events/second of one backend on the reference 10k-peer workload."""
+def _measure_throughput(spec: dict, backend: str, scenario=None) -> dict:
+    """Time one simulator run of ``spec`` and build its measurement record.
+
+    ``spec`` must be stopped by its event cap (events/sec assumes the run was
+    cut off at ``max_events``; a horizon-bound run would silently overstate
+    the throughput).
+    """
     from repro.core.parameters import SystemParameters
     from repro.core.state import SystemState
     from repro.swarm.swarm import make_simulator
 
-    spec = BENCH_WORKLOAD
-    params = SystemParameters.flash_crowd(
-        num_pieces=spec["num_pieces"],
-        arrival_rate=spec["arrival_rate"],
-        seed_rate=spec["seed_rate"],
-        peer_rate=spec["peer_rate"],
-        seed_departure_rate=spec["seed_departure_rate"],
+    params = (
+        scenario.params
+        if scenario is not None
+        else SystemParameters.flash_crowd(
+            num_pieces=spec["num_pieces"],
+            arrival_rate=spec["arrival_rate"],
+            seed_rate=spec["seed_rate"],
+            peer_rate=spec["peer_rate"],
+            seed_departure_rate=spec["seed_departure_rate"],
+        )
     )
     initial = SystemState.one_club(spec["num_pieces"], spec["initial_one_club"])
-    simulator = make_simulator(params, seed=spec["seed"], backend=backend)
+    simulator = make_simulator(
+        params, seed=spec["seed"], backend=backend, scenario=scenario
+    )
     start = time.perf_counter()
     result = simulator.run(
         spec["horizon"],
@@ -87,39 +123,103 @@ def measure_backend_throughput(backend: str) -> dict:
     )
     elapsed = time.perf_counter() - start
     if result.horizon_reached:
-        # events/sec assumes the run was stopped by the event cap; a
-        # horizon-bound run would silently overstate the throughput.
         raise RuntimeError(
             "benchmark workload mis-sized: the run reached horizon "
             f"{spec['horizon']} before max_events={spec['max_events']}"
         )
-    measurement = {
+    return {
         "backend": backend,
         "events": spec["max_events"],
         "elapsed_seconds": round(elapsed, 4),
         "events_per_second": round(spec["max_events"] / elapsed, 1),
         "final_population": result.final_population,
+        "thinned_events": result.metrics.thinned_events,
     }
+
+
+def measure_backend_throughput(backend: str) -> dict:
+    """Events/second of one backend on the reference 10k-peer workload."""
+    measurement = _measure_throughput(BENCH_WORKLOAD, backend)
     _session_measurements[backend] = measurement
     return measurement
 
 
+def _scenario_bench_spec():
+    """The ScenarioSpec of the scenario smoke workload."""
+    from repro.core.parameters import SystemParameters
+    from repro.core.scenario import PeerClass, RateSchedule, ScenarioSpec
+
+    spec = SCENARIO_BENCH_WORKLOAD
+    params = SystemParameters.flash_crowd(
+        num_pieces=spec["num_pieces"],
+        arrival_rate=spec["arrival_rate"],
+        seed_rate=spec["seed_rate"],
+        peer_rate=spec["peer_rate"],
+        seed_departure_rate=spec["seed_departure_rate"],
+    )
+    gamma = spec["seed_departure_rate"]
+    return ScenarioSpec(
+        name="bench-hetero-flash-crowd",
+        params=params,
+        classes=(
+            PeerClass(
+                name="fast",
+                contact_rate=spec["fast_contact_rate"],
+                seed_departure_rate=gamma,
+                arrival_fraction=spec["fast_fraction"],
+            ),
+            PeerClass(
+                name="slow",
+                contact_rate=spec["slow_contact_rate"],
+                seed_departure_rate=gamma,
+                arrival_fraction=1.0 - spec["fast_fraction"],
+            ),
+        ),
+        arrival_schedule=RateSchedule.pulse(
+            spec["surge_start"], spec["surge_end"], spec["surge_factor"]
+        ),
+    )
+
+
+def measure_scenario_throughput(backend: str) -> dict:
+    """Events/second of one backend on the scenario smoke workload."""
+    measurement = _measure_throughput(
+        SCENARIO_BENCH_WORKLOAD, backend, scenario=_scenario_bench_spec()
+    )
+    _scenario_measurements[backend] = measurement
+    return measurement
+
+
 def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
-    """Write the BENCH_swarm.json baseline, measuring any backend not
-    already measured in this session."""
+    """Write the BENCH_swarm.json baseline, measuring any backend/workload
+    combination not already measured in this session."""
     backends = {
         backend: _session_measurements.get(backend)
         or measure_backend_throughput(backend)
+        for backend in ("object", "array")
+    }
+    scenario_backends = {
+        backend: _scenario_measurements.get(backend)
+        or measure_scenario_throughput(backend)
         for backend in ("object", "array")
     }
     speedup = (
         backends["array"]["events_per_second"]
         / backends["object"]["events_per_second"]
     )
+    scenario_speedup = (
+        scenario_backends["array"]["events_per_second"]
+        / scenario_backends["object"]["events_per_second"]
+    )
     baseline = {
         "workload": dict(BENCH_WORKLOAD),
         "backends": backends,
         "array_speedup_over_object": round(speedup, 2),
+        "scenario": {
+            "workload": dict(SCENARIO_BENCH_WORKLOAD),
+            "backends": scenario_backends,
+            "array_speedup_over_object": round(scenario_speedup, 2),
+        },
         "python": platform.python_version(),
     }
     path.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -140,8 +240,11 @@ def pytest_sessionfinish(session, exitstatus):
     baseline = emit_bench_baseline()
     print(
         f"\nBENCH_swarm.json refreshed: array backend at "
-        f"{baseline['backends']['array']['events_per_second']:,.0f} ev/s, "
-        f"{baseline['array_speedup_over_object']:.1f}x over object"
+        f"{baseline['backends']['array']['events_per_second']:,.0f} ev/s "
+        f"({baseline['array_speedup_over_object']:.1f}x over object); "
+        f"scenario workload at "
+        f"{baseline['scenario']['backends']['array']['events_per_second']:,.0f} ev/s "
+        f"({baseline['scenario']['array_speedup_over_object']:.1f}x)"
     )
 
 

@@ -1,0 +1,79 @@
+"""Flash-crowd scenario, end to end: spec -> run -> stability verdict.
+
+A swarm that Theorem 1 certifies as stable at its base arrival rate is hit
+by an 8x arrival surge for 40 time units.  The declarative
+:class:`~repro.core.scenario.ScenarioSpec` drives the surge through the
+simulator (no hand-editing of `SystemParameters` mid-run): the event loop
+runs arrivals at the surge-peak rate and Poisson-thins them back down to
+the instantaneous schedule rate, identically on both backends.
+
+The script prints the scenario description, the theory verdicts at the base
+and peak rates, the measured population/one-club trajectory around the
+surge window, and the empirical trajectory classification.
+
+Run with:  PYTHONPATH=src python examples/flash_crowd_scenario.py
+"""
+
+from repro.core.scenario import make_scenario
+from repro.core.stability import analyze
+from repro.experiments.runner import run_scenario
+from repro.markov.classify import classify_trajectory
+
+SURGE_START, SURGE_END, SURGE_FACTOR = 20.0, 60.0, 8.0
+HORIZON = 100.0
+
+
+def main() -> None:
+    scenario = make_scenario(
+        "flash-crowd",
+        surge_start=SURGE_START,
+        surge_end=SURGE_END,
+        surge_factor=SURGE_FACTOR,
+    )
+    print(scenario.describe())
+    print()
+
+    base = analyze(scenario.params)
+    peak = analyze(scenario.params.scaled_arrivals(SURGE_FACTOR))
+    print(f"theory at base rate (lambda={scenario.params.lambda_total:g}): "
+          f"{base.verdict.value}")
+    print(f"theory at peak rate (lambda={scenario.peak_arrival_rate:g}): "
+          f"{peak.verdict.value}")
+    print()
+
+    batch = run_scenario(
+        scenario,
+        horizon=HORIZON,
+        replications=3,
+        seed=7,
+        backend="array",
+        max_population=50_000,
+    )
+    metrics = batch.results[0].metrics
+
+    print("time    population  one-club  phase")
+    for time, population, club in zip(
+        metrics.sample_times, metrics.population, metrics.one_club_size
+    ):
+        if time % 10.0 < 0.5:  # print roughly every 10 time units
+            phase = "SURGE" if SURGE_START <= time < SURGE_END else "base"
+            print(f"{time:6.1f}  {population:10d}  {club:8d}  {phase}")
+    print()
+
+    classification = classify_trajectory(
+        metrics.sample_times,
+        metrics.population,
+        arrival_rate=scenario.peak_arrival_rate,
+    )
+    print(f"mean final population over {len(batch)} replications: "
+          f"{batch.mean_final_population():.0f}")
+    print(f"thinned candidate events (replication 0): {metrics.thinned_events}")
+    print(f"empirical trajectory verdict: {classification.verdict.value}")
+    print()
+    print("The surge pushes the swarm past the Theorem-1 boundary while it "
+          "lasts; whether the backlog drains afterwards depends on how much "
+          "one-club mass the crowd left behind.")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,10 +13,20 @@ Sub-modules:
   transience proof;
 * :mod:`repro.core.lyapunov` — the Lyapunov functions of the recurrence proof;
 * :mod:`repro.core.coding_theory` — Theorem 15 (network coding);
-* :mod:`repro.core.generator` — exact truncated-chain computations.
+* :mod:`repro.core.generator` — exact truncated-chain computations;
+* :mod:`repro.core.scenario` — declarative workloads: heterogeneous peer
+  classes, time-varying rate schedules, and the named-scenario registry.
 """
 
 from .parameters import SystemParameters, uniform_single_piece_rates
+from .scenario import (
+    PeerClass,
+    RateSchedule,
+    ScenarioSpec,
+    make_scenario,
+    register_scenario,
+    registered_scenarios,
+)
 from .stability import (
     Stability,
     StabilityReport,
@@ -34,7 +44,10 @@ from .state import SystemState
 from .types import PieceSet, all_types, format_type, one_club_type
 
 __all__ = [
+    "PeerClass",
     "PieceSet",
+    "RateSchedule",
+    "ScenarioSpec",
     "SystemParameters",
     "SystemState",
     "Stability",
@@ -47,9 +60,12 @@ __all__ = [
     "format_type",
     "is_stable",
     "is_unstable",
+    "make_scenario",
     "minimum_mean_dwell_time",
     "one_club_type",
     "piece_threshold",
+    "register_scenario",
+    "registered_scenarios",
     "stability_margin",
     "uniform_single_piece_rates",
 ]

@@ -11,10 +11,13 @@ One module per experiment of the DESIGN.md index:
 * E7 :mod:`repro.experiments.policy`    — Theorem 14, policy insensitivity;
 * E8 :mod:`repro.experiments.dwell_time` — the one-extra-piece corollary;
 * E9 :mod:`repro.experiments.lyapunov_exp` — Section VII drift verification;
-* E10 :mod:`repro.experiments.queueing_exp` — appendix bounds.
+* E10 :mod:`repro.experiments.queueing_exp` — appendix bounds;
+* E11 :mod:`repro.experiments.scenarios` — one-club dynamics under scenario
+  workloads (flash crowd, seed outage, heterogeneous classes, ...).
 
 The :mod:`repro.experiments.runner` module provides the shared stability-trial
-harness.
+harness plus the batched :func:`~repro.experiments.runner.run_scenario`
+entry point.
 """
 
 from .coding import CodingResult, run_coding_experiment
@@ -27,7 +30,18 @@ from .mu_infinity_exp import MuInfinityResult, run_mu_infinity_experiment
 from .one_club import OneClubResult, run_one_club_experiment
 from .policy import PolicyResult, run_policy_experiment
 from .queueing_exp import QueueingBoundsResult, run_queueing_bounds_experiment
-from .runner import StabilityTrialResult, SweepResult, run_stability_trial, run_sweep
+from .runner import (
+    StabilityTrialResult,
+    SweepResult,
+    run_scenario,
+    run_stability_trial,
+    run_sweep,
+)
+from .scenarios import (
+    ScenarioDynamicsResult,
+    ScenarioDynamicsRun,
+    run_scenario_dynamics,
+)
 
 __all__ = [
     "CodingResult",
@@ -40,6 +54,8 @@ __all__ = [
     "OneClubResult",
     "PolicyResult",
     "QueueingBoundsResult",
+    "ScenarioDynamicsResult",
+    "ScenarioDynamicsRun",
     "StabilityTrialResult",
     "SweepResult",
     "run_coding_experiment",
@@ -52,6 +68,8 @@ __all__ = [
     "run_one_club_experiment",
     "run_policy_experiment",
     "run_queueing_bounds_experiment",
+    "run_scenario",
+    "run_scenario_dynamics",
     "run_stability_trial",
     "run_sweep",
 ]

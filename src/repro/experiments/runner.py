@@ -15,10 +15,17 @@ Two layers live here:
   :func:`repro.markov.classify.classify_trajectory`, and the majority verdict
   is reported next to the theoretical one.  Sweeps are lists of trials.
 
+Scenario support: :class:`BatchRunner` accepts a declarative
+:class:`~repro.core.scenario.ScenarioSpec` (heterogeneous peer classes,
+time-varying rate schedules) as ``scenario=``, and :func:`run_scenario` is
+the one-call entry point for batched scenario replications — pass either a
+spec or a registered scenario name ("flash-crowd", "seed-outage", ...).
+
 Backend-selection contract: every entry point takes ``backend="object" |
 "array"`` and threads it through :func:`repro.swarm.swarm.make_simulator`.
-The two backends are trajectory-equivalent under a shared seed, so switching
-backends changes the wall-clock, never the science.
+The two backends are trajectory-equivalent under a shared seed — on plain
+parameters and on every scenario — so switching backends changes the
+wall-clock, never the science.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.parameters import SystemParameters
+from ..core.scenario import ScenarioSpec, make_scenario
 from ..core.stability import Stability, StabilityReport, analyze
 from ..core.state import SystemState
 from ..markov.classify import (
@@ -42,7 +50,12 @@ from ..markov.classify import (
 from ..simulation.rng import SeedLike, spawn_generators
 from ..swarm.metrics import SwarmMetrics
 from ..swarm.policies import PieceSelectionPolicy
-from ..swarm.swarm import SwarmResult, make_simulator
+from ..swarm.swarm import _RUN_KWARGS, _SIM_KWARGS, SwarmResult, make_simulator
+
+#: Same keyword split as :func:`repro.swarm.swarm.run_swarm`, except that
+#: ``scenario`` is an explicit parameter of :func:`run_scenario`, not a
+#: passthrough.
+_SCENARIO_SIM_KWARGS = tuple(key for key in _SIM_KWARGS if key != "scenario")
 
 
 def _run_replication(task) -> SwarmResult:
@@ -111,7 +124,10 @@ class BatchRunner:
         seed order either way, so the outcome is independent of ``workers``.
     sim_kwargs:
         Extra simulator-constructor options (``rare_piece``,
-        ``retry_speedup``, ``track_groups``).
+        ``retry_speedup``, ``track_groups``, ``scenario``).  Passing a
+        :class:`~repro.core.scenario.ScenarioSpec` as ``scenario=`` runs
+        every replication under that workload (or use :func:`run_scenario`,
+        which also resolves registered scenario names).
 
     Each replication receives its own child generator from
     :func:`spawn_generators`, making the whole batch reproducible from one
@@ -164,6 +180,60 @@ class BatchRunner:
         else:
             results = [_run_replication(task) for task in tasks]
         return BatchSwarmResult(results=results, backend=self.backend)
+
+
+def run_scenario(
+    scenario: "ScenarioSpec | str",
+    horizon: float,
+    replications: int = 1,
+    seed: SeedLike = 0,
+    policy: Optional[PieceSelectionPolicy] = None,
+    initial_state: Optional[SystemState] = None,
+    backend: str = "object",
+    workers: Optional[int] = None,
+    scenario_kwargs: Optional[Dict] = None,
+    **kwargs,
+) -> BatchSwarmResult:
+    """Run batched replications of a declarative scenario.
+
+    ``scenario`` is either a :class:`~repro.core.scenario.ScenarioSpec` or
+    the name of a registered scenario (resolved via
+    :func:`repro.core.scenario.make_scenario`, with ``scenario_kwargs``
+    forwarded to the factory).  The remaining keyword arguments are split
+    between the simulator constructor (``rare_piece``, ``retry_speedup``,
+    ``track_groups``) and ``run`` (``sample_interval``, ``max_events``,
+    ``max_population``), exactly as in :func:`repro.swarm.swarm.run_swarm`.
+    """
+    if isinstance(scenario, str):
+        scenario = make_scenario(scenario, **(scenario_kwargs or {}))
+    elif scenario_kwargs:
+        raise ValueError(
+            "scenario_kwargs only applies when scenario is a registered name"
+        )
+    sim_kwargs = {
+        key: value for key, value in kwargs.items() if key in _SCENARIO_SIM_KWARGS
+    }
+    run_kwargs = {
+        key: value for key, value in kwargs.items() if key in _RUN_KWARGS
+    }
+    unknown = set(kwargs) - set(_SCENARIO_SIM_KWARGS) - set(_RUN_KWARGS)
+    if unknown:
+        raise TypeError(f"unknown run_scenario arguments: {sorted(unknown)}")
+    runner = BatchRunner(
+        scenario.params,
+        policy=policy,
+        backend=backend,
+        workers=workers,
+        scenario=scenario,
+        **sim_kwargs,
+    )
+    return runner.run(
+        horizon,
+        replications,
+        seed=seed,
+        initial_state=initial_state,
+        **run_kwargs,
+    )
 
 
 @dataclass
@@ -328,6 +398,7 @@ __all__ = [
     "BatchSwarmResult",
     "StabilityTrialResult",
     "SweepResult",
+    "run_scenario",
     "run_stability_trial",
     "run_sweep",
 ]

@@ -36,11 +36,19 @@ from .policies import (
     make_policy,
     registered_policies,
 )
-from .swarm import BACKENDS, SwarmResult, SwarmSimulator, make_simulator, run_swarm
+from .swarm import (
+    BACKENDS,
+    MAX_ARRAY_BACKEND_PIECES,
+    SwarmResult,
+    SwarmSimulator,
+    make_simulator,
+    run_swarm,
+)
 
 __all__ = [
     "ArraySwarmKernel",
     "BACKENDS",
+    "MAX_ARRAY_BACKEND_PIECES",
     "CallablePolicy",
     "CodedArrivalSpec",
     "CodedSwarmResult",

@@ -35,6 +35,12 @@ from the same seed therefore produces bit-identical trajectories
 ``tests/test_property_based.py`` asserts this property; any change to a
 handler of either backend must preserve it (or update both).
 
+The contract extends to declarative scenarios
+(:class:`~repro.core.scenario.ScenarioSpec`): rate schedules thin in the
+shared driver, and heterogeneous peer classes add a ``_class_idx`` column
+plus per-class member/seed/sped row lists mirroring the object simulator's
+per-class id lists, so scenario runs stay bit-identical across backends too.
+
 Piece selection goes through the mask-level
 :meth:`~repro.swarm.policies.PieceSelectionPolicy.select_piece_mask`
 primitive; legacy ``PieceSet``-based policies are supported transparently via
@@ -55,6 +61,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.parameters import SystemParameters
+from ..core.scenario import ScenarioSpec
 from ..core.state import SystemState
 from ..core.types import PieceSet
 from ..simulation.rng import SeedLike, make_rng
@@ -83,6 +90,7 @@ class ArraySwarmKernel(_SwarmEventLoop):
         rare_piece: int = 1,
         retry_speedup: float = 1.0,
         track_groups: bool = False,
+        scenario: Optional[ScenarioSpec] = None,
         initial_capacity: int = 1024,
     ):
         if retry_speedup < 1.0:
@@ -137,6 +145,19 @@ class ArraySwarmKernel(_SwarmEventLoop):
         self._single_arrival_mask = (
             self._arrival_masks[0] if len(self._arrival_masks) == 1 else None
         )
+        self._init_scenario(scenario)
+        # Heterogeneous mode mirrors the object simulator's per-class
+        # bookkeeping at the row level: _class_idx holds each row's class,
+        # _member_slot its index in the per-class membership list, and the
+        # per-class seed/sped lists replace the flat ones (the _seed_slot /
+        # _sped_slot columns then index into the row's class list).
+        if self._classes is not None:
+            self._class_type_masks = tuple(
+                tuple(type_c.mask for type_c in types)
+                for types in self._class_types
+            )
+            self._class_idx = np.zeros(capacity, dtype=np.int32)
+            self._member_slot = np.full(capacity, -1, dtype=np.int64)
         self._view = SwarmView(
             num_pieces=num_pieces,
             piece_counts=MappingProxyType(self._piece_counts),
@@ -156,7 +177,9 @@ class ArraySwarmKernel(_SwarmEventLoop):
 
     @property
     def num_seeds(self) -> int:
-        return len(self._seeds)
+        if self._classes is None:
+            return len(self._seeds)
+        return sum(len(seeds) for seeds in self._class_seeds)
 
     def current_state(self) -> SystemState:
         """Aggregate the population into a :class:`SystemState`."""
@@ -175,7 +198,7 @@ class ArraySwarmKernel(_SwarmEventLoop):
 
     def _grow(self) -> None:
         capacity = len(self._masks) * 2
-        for name in (
+        names = [
             "_masks",
             "_arrival_time",
             "_completed_at",
@@ -184,19 +207,22 @@ class ArraySwarmKernel(_SwarmEventLoop):
             "_was_one_club",
             "_seed_slot",
             "_sped_slot",
-        ):
+        ]
+        if self._classes is not None:
+            names += ["_class_idx", "_member_slot"]
+        for name in names:
             old = getattr(self, name)
             grown = np.empty(capacity, dtype=old.dtype)
             grown[: len(old)] = old
             if name == "_completed_at":
                 grown[len(old) :] = np.nan
-            elif name in ("_seed_slot", "_sped_slot"):
+            elif name in ("_seed_slot", "_sped_slot", "_member_slot"):
                 grown[len(old) :] = -1
             else:
                 grown[len(old) :] = 0
             setattr(self, name, grown)
 
-    def _add_peer(self, mask: int) -> int:
+    def _add_peer(self, mask: int, class_index: int = 0) -> int:
         if self._n == len(self._masks):
             self._grow()
         row = self._n
@@ -209,6 +235,11 @@ class ArraySwarmKernel(_SwarmEventLoop):
         self._was_one_club[row] = False
         self._seed_slot[row] = -1
         self._sped_slot[row] = -1
+        if self._classes is not None:
+            self._class_idx[row] = class_index
+            members = self._class_members[class_index]
+            self._member_slot[row] = len(members)
+            members.append(row)
         bits = mask
         counts = self._piece_counts
         while bits:
@@ -217,7 +248,9 @@ class ArraySwarmKernel(_SwarmEventLoop):
             bits ^= low
         if mask == self._club_mask:
             self._one_club_count += 1
-        if mask == self._full_mask and not self.params.immediate_departure:
+        if mask == self._full_mask and not self._class_departs_immediately(
+            class_index
+        ):
             self._add_seed(row)
         self.metrics.total_arrivals += 1
         return row
@@ -239,8 +272,17 @@ class ArraySwarmKernel(_SwarmEventLoop):
             self._remove_seed(row)
         if self._sped_slot[row] >= 0:
             self._discard_sped(row)
+        hetero = self._classes is not None
+        if hetero:
+            members = self._class_members[int(self._class_idx[row])]
+            member_index = int(self._member_slot[row])
+            self._member_slot[row] = -1
+            last_member = members.pop()
+            if last_member != row:
+                members[member_index] = last_member
+                self._member_slot[last_member] = member_index
         # Swap-remove: the last live row fills the vacated slot; the slot
-        # columns keep the seed/sped lists pointing at the moved row.
+        # columns keep the seed/sped/member lists pointing at the moved row.
         last = self._n - 1
         self._n = last
         if row != last:
@@ -250,44 +292,66 @@ class ArraySwarmKernel(_SwarmEventLoop):
             self._arrived_with_rare[row] = self._arrived_with_rare[last]
             self._infected[row] = self._infected[last]
             self._was_one_club[row] = self._was_one_club[last]
+            if hetero:
+                last_class = int(self._class_idx[last])
+                self._class_idx[row] = last_class
+                member_slot = int(self._member_slot[last])
+                self._member_slot[row] = member_slot
+                self._member_slot[last] = -1
+                if member_slot >= 0:
+                    self._class_members[last_class][member_slot] = row
             seed_slot = int(self._seed_slot[last])
             self._seed_slot[row] = seed_slot
             if seed_slot >= 0:
-                self._seeds[seed_slot] = row
+                self._seed_list_of(last)[seed_slot] = row
             sped_slot = int(self._sped_slot[last])
             self._sped_slot[row] = sped_slot
             if sped_slot >= 0:
-                self._sped[sped_slot] = row
+                self._sped_list_of(last)[sped_slot] = row
         self.metrics.record_departure(
             sojourn=sojourn,
             download_time=None if math.isnan(completed) else completed - arrival,
         )
 
+    def _seed_list_of(self, row: int) -> List[int]:
+        if self._classes is None:
+            return self._seeds
+        return self._class_seeds[int(self._class_idx[row])]
+
+    def _sped_list_of(self, row: int) -> List[int]:
+        if self._classes is None:
+            return self._sped
+        return self._class_sped[int(self._class_idx[row])]
+
     def _add_seed(self, row: int) -> None:
-        self._seed_slot[row] = len(self._seeds)
-        self._seeds.append(row)
+        seeds = self._seed_list_of(row)
+        self._seed_slot[row] = len(seeds)
+        seeds.append(row)
 
     def _remove_seed(self, row: int) -> None:
+        seeds = self._seed_list_of(row)
         index = int(self._seed_slot[row])
         self._seed_slot[row] = -1
-        last_row = self._seeds.pop()
+        last_row = seeds.pop()
         if last_row != row:
-            self._seeds[index] = last_row
+            seeds[index] = last_row
             self._seed_slot[last_row] = index
 
     def _add_sped(self, row: int) -> None:
         if self._sped_slot[row] < 0:
-            self._sped_slot[row] = len(self._sped)
-            self._sped.append(row)
+            sped = self._sped_list_of(row)
+            self._sped_slot[row] = len(sped)
+            sped.append(row)
 
     def _discard_sped(self, row: int) -> None:
         index = int(self._sped_slot[row])
         if index < 0:
             return
+        sped = self._sped_list_of(row)
         self._sped_slot[row] = -1
-        last_row = self._sped.pop()
+        last_row = sped.pop()
         if last_row != row:
-            self._sped[index] = last_row
+            sped[index] = last_row
             self._sped_slot[last_row] = index
 
     def seed_population(self, initial_state: SystemState) -> None:
@@ -302,6 +366,8 @@ class ArraySwarmKernel(_SwarmEventLoop):
     # -- event mechanics -------------------------------------------------------
 
     def _total_peer_tick_rate(self) -> float:
+        if self._classes is not None:
+            return self._hetero_tick_rate()
         weight = self._n + (self.retry_speedup - 1.0) * len(self._sped)
         return weight * self.params.peer_rate
 
@@ -312,6 +378,8 @@ class ArraySwarmKernel(_SwarmEventLoop):
         return self._arrival_masks[int(index)]
 
     def _sample_ticking_row(self) -> int:
+        if self._classes is not None:
+            return self._draw_hetero_ticker()
         population = self._n
         sped = len(self._sped)
         if self.retry_speedup == 1.0 or not sped:
@@ -326,6 +394,8 @@ class ArraySwarmKernel(_SwarmEventLoop):
         view = self._view
         view.total_peers = self._n
         view.time = self._time
+        if self._classes is not None:
+            view.class_counts = tuple(len(m) for m in self._class_members)
         return view
 
     def _transfer(self, uploader_mask: int, row: int, from_seed: bool) -> bool:
@@ -366,14 +436,25 @@ class ArraySwarmKernel(_SwarmEventLoop):
             self.metrics.total_seed_uploads += 1
         if new_mask == self._full_mask:
             self._completed_at[row] = self._time
-            if self.params.immediate_departure:
+            departs = (
+                self.params.immediate_departure
+                if self._classes is None
+                else self._classes[int(self._class_idx[row])].immediate_departure
+            )
+            if departs:
                 self._remove_peer(row)
             else:
                 self._add_seed(row)
         return True
 
     def _handle_arrival(self) -> None:
-        self._add_peer(self._sample_arrival_mask())
+        if self._classes is None:
+            self._add_peer(self._sample_arrival_mask())
+            return
+        class_index, type_index = self._draw_arrival_class_type()
+        self._add_peer(
+            self._class_type_masks[class_index][type_index], class_index=class_index
+        )
 
     def _handle_seed_tick(self) -> None:
         if self._n == 0:
@@ -399,6 +480,11 @@ class ArraySwarmKernel(_SwarmEventLoop):
             self._add_sped(uploader)
 
     def _handle_seed_departure(self) -> None:
+        if self._classes is not None:
+            row = self._draw_hetero_departing_seed()
+            if row is not None:
+                self._remove_peer(row)
+            return
         if not self._seeds:
             return
         index = int(self.rng.integers(len(self._seeds)))
@@ -433,7 +519,7 @@ class ArraySwarmKernel(_SwarmEventLoop):
         self.metrics.record_sample(
             time=sample_time,
             population=self._n,
-            num_seeds=len(self._seeds),
+            num_seeds=self.num_seeds,
             one_club_size=self._one_club_count,
             min_piece_count=min(self._piece_counts.values()),
             group_snapshot=snapshot,

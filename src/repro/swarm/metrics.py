@@ -34,6 +34,9 @@ class SwarmMetrics:
     total_downloads: int = 0
     total_seed_uploads: int = 0
     wasted_contacts: int = 0
+    #: Candidate scheduled events rejected by Poisson thinning (only nonzero
+    #: when a scenario runs a non-constant arrival or seed rate schedule).
+    thinned_events: int = 0
     sojourn_times: List[float] = field(default_factory=list)
     download_times: List[float] = field(default_factory=list)
 

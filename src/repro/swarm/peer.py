@@ -33,6 +33,8 @@ class Peer:
     was_one_club: bool = False
     downloads: int = 0
     uploads: int = 0
+    #: Index into the scenario's peer classes (0 in a homogeneous swarm).
+    class_index: int = 0
 
     def __post_init__(self) -> None:
         if self.arrived_with is None:

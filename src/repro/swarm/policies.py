@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -67,6 +67,10 @@ class SwarmView:
         Current population size.
     time:
         Current simulation time.
+    class_counts:
+        Per-class population sizes when the simulation runs a heterogeneous
+        :class:`~repro.core.scenario.ScenarioSpec` (index ``c`` is the number
+        of live class-``c`` peers); ``None`` in a homogeneous swarm.
 
     Notes
     -----
@@ -82,6 +86,7 @@ class SwarmView:
     piece_counts: Dict[int, int]
     total_peers: int
     time: float
+    class_counts: Optional[Tuple[int, ...]] = None
 
     def piece_count(self, piece: int) -> int:
         """Number of peers currently holding ``piece`` (zero if unseen)."""

@@ -38,6 +38,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.parameters import SystemParameters
+from ..core.scenario import PeerClass, RateSchedule, ScenarioSpec
 from ..core.state import SystemState
 from ..core.types import PieceSet
 from ..simulation.rng import SeedLike, make_rng
@@ -73,6 +74,24 @@ class _SwarmEventLoop:
     * ``current_state()`` — the final :class:`SystemState` aggregation,
     * ``_handle_arrival`` / ``_handle_seed_tick`` / ``_handle_peer_tick`` /
       ``_handle_seed_departure``.
+
+    Scenario support also lives here (see :mod:`repro.core.scenario`):
+
+    * time-varying arrival / fixed-seed rate schedules are realised by
+      *Poisson thinning* — the loop runs the affected process at the
+      schedule's maximum rate and accepts a candidate event with probability
+      ``factor(t) / max_factor``, consuming exactly one extra uniform draw
+      per candidate, in the shared driver, so both backends stay
+      bit-identical per seed;
+    * heterogeneous peer classes are sampled through the shared
+      ``_draw_*`` helpers below, which only require the backends to maintain
+      per-class member / seed / sped-up lists (``_class_members``,
+      ``_class_seeds``, ``_class_sped``) holding backend-native handles
+      (peer ids for the object simulator, row indices for the array kernel)
+      in the same arrival order.
+
+    A ``scenario=None`` (or a trivial scenario) leaves every legacy code
+    path — and therefore every legacy-seed trajectory — untouched.
     """
 
     params: SystemParameters
@@ -80,16 +99,201 @@ class _SwarmEventLoop:
     metrics: SwarmMetrics
     _time: float
     _arrival_total: float
+    scenario: Optional[ScenarioSpec]
+    _classes: Optional[Tuple[PeerClass, ...]]
+
+    # -- scenario plumbing -----------------------------------------------------
+
+    def _init_scenario(self, scenario: Optional[ScenarioSpec]) -> None:
+        """Digest a :class:`ScenarioSpec` into the event loop's fast fields.
+
+        Trivial pieces (constant-1 schedules, a single class equal to the
+        base parameters) are normalised away so that the homogeneous hot
+        path keeps its exact legacy behaviour and RNG consumption.
+        """
+        self.scenario = scenario
+        self._classes = None
+        self._arrival_schedule: Optional[RateSchedule] = None
+        self._seed_schedule: Optional[RateSchedule] = None
+        self._arrival_bound = 1.0
+        self._seed_bound = 1.0
+        self._thin_arrivals = False
+        self._thin_seed = False
+        self._class_cumprobs: Optional[np.ndarray] = None
+        self._class_types: Optional[Tuple[Tuple[PieceSet, ...], ...]] = None
+        self._class_type_cumprobs: Optional[List[np.ndarray]] = None
+        self._class_members: Optional[List[List[int]]] = None
+        self._class_seeds: Optional[List[List[int]]] = None
+        self._class_sped: Optional[List[List[int]]] = None
+        if scenario is None:
+            return
+        if scenario.params != self.params:
+            raise ValueError(
+                "scenario.params does not match the simulator's params; "
+                "construct the simulator with scenario.params (or use "
+                "run_scenario)"
+            )
+        arrival_schedule = scenario.arrival_schedule
+        if not arrival_schedule.is_trivial:
+            self._arrival_schedule = arrival_schedule
+            self._arrival_bound = arrival_schedule.max_value
+            self._thin_arrivals = not arrival_schedule.is_constant
+        seed_schedule = scenario.seed_schedule
+        if not seed_schedule.is_trivial:
+            self._seed_schedule = seed_schedule
+            self._seed_bound = seed_schedule.max_value
+            self._thin_seed = not seed_schedule.is_constant
+        if scenario.is_heterogeneous:
+            self._classes = scenario.effective_classes()
+            # Cumulative probabilities: one uniform draw + searchsorted per
+            # arrival instead of rng.choice's per-call validation overhead.
+            self._class_cumprobs = np.cumsum(
+                np.asarray(scenario.class_fractions(), dtype=float)
+            )
+            type_tables = scenario.class_arrival_types()
+            self._class_types = tuple(
+                tuple(type_c for type_c, _prob in table) for table in type_tables
+            )
+            self._class_type_cumprobs = [
+                np.cumsum([prob for _type_c, prob in table])
+                for table in type_tables
+            ]
+            num_classes = len(self._classes)
+            self._class_members = [[] for _ in range(num_classes)]
+            self._class_seeds = [[] for _ in range(num_classes)]
+            self._class_sped = [[] for _ in range(num_classes)]
+
+    def _class_departs_immediately(self, class_index: int) -> bool:
+        """Whether a completing peer of the given class leaves instantly."""
+        if self._classes is None:
+            return self.params.immediate_departure
+        return self._classes[class_index].immediate_departure
+
+    def _thin_accept(self, schedule: RateSchedule, bound: float) -> bool:
+        """Poisson-thinning acceptance for one candidate scheduled event.
+
+        The candidate process runs at ``bound`` (the schedule's cached
+        maximum); accepting with probability ``value_at(t) / bound``
+        recovers the inhomogeneous process.  The single uniform draw lives
+        here in the shared driver so both backends consume the RNG
+        identically.
+        """
+        accept = float(self.rng.uniform(0.0, bound)) < schedule.value_at(self._time)
+        if not accept:
+            self.metrics.thinned_events += 1
+        return accept
+
+    # -- heterogeneous-class sampling (shared by both backends) ----------------
+
+    def _draw_arrival_class_type(self) -> Tuple[int, int]:
+        """Sample (class index, arrival-type index) for one arriving peer.
+
+        Cumulative-probability tables keep this at one uniform draw (and
+        one ``searchsorted``) per non-degenerate level, with no per-event
+        probability-array validation.
+        """
+        if len(self._classes) == 1:
+            class_index = 0
+        else:
+            cumulative = self._class_cumprobs
+            class_index = min(
+                int(np.searchsorted(cumulative, self.rng.uniform(), side="right")),
+                len(cumulative) - 1,
+            )
+        types = self._class_types[class_index]
+        if len(types) == 1:
+            type_index = 0
+        else:
+            cumulative = self._class_type_cumprobs[class_index]
+            type_index = min(
+                int(np.searchsorted(cumulative, self.rng.uniform(), side="right")),
+                len(cumulative) - 1,
+            )
+        return class_index, type_index
+
+    def _draw_hetero_ticker(self) -> int:
+        """Backend-native handle of the peer whose clock ticks.
+
+        One uniform draw over the cumulative per-class tick weight (base
+        weight ``µ_c`` per member plus ``(retry_speedup - 1) µ_c`` per
+        sped-up member); the handle is read out of the per-class lists by
+        index arithmetic, with no per-event weight-array rebuild.
+        """
+        extra = self.retry_speedup - 1.0
+        segments: List[Tuple[float, List[int]]] = []
+        for cls, members in zip(self._classes, self._class_members):
+            if members:
+                segments.append((cls.contact_rate, members))
+        if extra > 0.0:
+            for cls, sped in zip(self._classes, self._class_sped):
+                if sped:
+                    segments.append((extra * cls.contact_rate, sped))
+        return self._pick_from_segments(segments)
+
+    def _draw_hetero_departing_seed(self) -> Optional[int]:
+        """Backend-native handle of the departing peer seed (γ_c-weighted)."""
+        segments = [
+            (cls.seed_departure_rate, seeds)
+            for cls, seeds in zip(self._classes, self._class_seeds)
+            if seeds and not cls.immediate_departure
+        ]
+        if not segments:
+            return None
+        return self._pick_from_segments(segments)
+
+    def _pick_from_segments(self, segments: List[Tuple[float, List[int]]]) -> int:
+        """One uniform draw over concatenated (unit weight, handles) segments."""
+        total = sum(unit * len(handles) for unit, handles in segments)
+        threshold = float(self.rng.uniform(0.0, total))
+        acc = 0.0
+        for unit, handles in segments[:-1]:
+            width = unit * len(handles)
+            if threshold < acc + width:
+                index = min(int((threshold - acc) / unit), len(handles) - 1)
+                return handles[index]
+            acc += width
+        unit, handles = segments[-1]
+        index = min(int((threshold - acc) / unit), len(handles) - 1)
+        return handles[index]
+
+    def _hetero_tick_rate(self) -> float:
+        """Σ_c µ_c (n_c + (retry_speedup − 1) sped_c) over the peer classes."""
+        extra = self.retry_speedup - 1.0
+        total = 0.0
+        for index, cls in enumerate(self._classes):
+            weight = float(len(self._class_members[index]))
+            if extra > 0.0:
+                weight += extra * len(self._class_sped[index])
+            total += cls.contact_rate * weight
+        return total
+
+    def _total_seed_departure_rate(self) -> float:
+        """Aggregate peer-seed departure rate (γ-weighted in hetero mode)."""
+        if self._classes is None:
+            if self.params.immediate_departure:
+                return 0.0
+            return self.params.seed_departure_rate * self.num_seeds
+        total = 0.0
+        for cls, seeds in zip(self._classes, self._class_seeds):
+            if seeds and not cls.immediate_departure:
+                total += cls.seed_departure_rate * len(seeds)
+        return total
+
+    # -- aggregate-rate event loop ---------------------------------------------
 
     def _event_rates(self) -> Tuple[float, float, float, float]:
-        """Rates of (arrival, fixed-seed tick, peer tick, seed departure)."""
-        arrival = self._arrival_total
-        seed_tick = self.params.seed_rate if self.population > 0 else 0.0
+        """Rates of (arrival, fixed-seed tick, peer tick, seed departure).
+
+        Scheduled processes contribute their *thinning-bound* rate
+        (base rate × maximum schedule factor); `_apply_event` thins the
+        candidates back down to the instantaneous rate.
+        """
+        arrival = self._arrival_total * self._arrival_bound
+        seed_tick = (
+            self.params.seed_rate * self._seed_bound if self.population > 0 else 0.0
+        )
         peer_tick = self._total_peer_tick_rate()
-        if self.params.immediate_departure:
-            seed_departure = 0.0
-        else:
-            seed_departure = self.params.seed_departure_rate * self.num_seeds
+        seed_departure = self._total_seed_departure_rate()
         return arrival, seed_tick, peer_tick, seed_departure
 
     def _apply_event(self, rates: Tuple[float, float, float, float]) -> None:
@@ -97,8 +301,16 @@ class _SwarmEventLoop:
         total = sum(rates)
         threshold = self.rng.uniform(0.0, total)
         if threshold <= rates[0]:
+            if self._thin_arrivals and not self._thin_accept(
+                self._arrival_schedule, self._arrival_bound
+            ):
+                return
             self._handle_arrival()
         elif threshold <= rates[0] + rates[1]:
+            if self._thin_seed and not self._thin_accept(
+                self._seed_schedule, self._seed_bound
+            ):
+                return
             self._handle_seed_tick()
         elif threshold <= rates[0] + rates[1] + rates[2]:
             self._handle_peer_tick()
@@ -186,6 +398,7 @@ class SwarmSimulator(_SwarmEventLoop):
         rare_piece: int = 1,
         retry_speedup: float = 1.0,
         track_groups: bool = False,
+        scenario: Optional[ScenarioSpec] = None,
     ):
         if retry_speedup < 1.0:
             raise ValueError(f"retry_speedup must be >= 1, got {retry_speedup}")
@@ -207,6 +420,12 @@ class SwarmSimulator(_SwarmEventLoop):
         # list so the total tick weight and the weighted peer sampling are O(1).
         self._sped_ids: List[int] = []
         self._sped_position: Dict[int, int] = {}
+        self._init_scenario(scenario)
+        # In heterogeneous mode the seed/sped lists live per class
+        # (self._class_seeds / self._class_sped, ids in arrival order) and the
+        # position dicts index into the peer's class list; _member_pos indexes
+        # the per-class membership lists used for µ_c-weighted tick sampling.
+        self._member_pos: Dict[int, int] = {}
         self._piece_counts: Dict[int, int] = {
             k: 0 for k in range(1, params.num_pieces + 1)
         }
@@ -244,7 +463,9 @@ class SwarmSimulator(_SwarmEventLoop):
 
     @property
     def num_seeds(self) -> int:
-        return len(self._seeds)
+        if self._classes is None:
+            return len(self._seeds)
+        return sum(len(seeds) for seeds in self._class_seeds)
 
     def peers(self) -> Iterable[Peer]:
         """Iterate over the peers currently in the system."""
@@ -260,20 +481,25 @@ class SwarmSimulator(_SwarmEventLoop):
     def one_club_size(self) -> int:
         return sum(1 for peer in self.peers() if peer.is_one_club(self.rare_piece))
 
-    def _add_peer(self, pieces: PieceSet) -> Peer:
+    def _add_peer(self, pieces: PieceSet, class_index: int = 0) -> Peer:
         peer = Peer(
             peer_id=self._next_peer_id,
             pieces=pieces,
             arrival_time=self._time,
             arrived_with=pieces,
+            class_index=class_index,
         )
         self._next_peer_id += 1
         self._peers[peer.peer_id] = peer
         self._position[peer.peer_id] = len(self._order)
         self._order.append(peer.peer_id)
+        if self._classes is not None:
+            members = self._class_members[class_index]
+            self._member_pos[peer.peer_id] = len(members)
+            members.append(peer.peer_id)
         for piece in pieces:
             self._piece_counts[piece] += 1
-        if peer.is_seed and not self.params.immediate_departure:
+        if peer.is_seed and not self._class_departs_immediately(class_index):
             self._add_seed(peer.peer_id)
         self.metrics.total_arrivals += 1
         return peer
@@ -285,41 +511,62 @@ class SwarmSimulator(_SwarmEventLoop):
         if last_id != pid:
             self._order[index] = last_id
             self._position[last_id] = index
-        del self._peers[pid]
+        if self._classes is not None:
+            members = self._class_members[peer.class_index]
+            member_index = self._member_pos.pop(pid)
+            last_member = members.pop()
+            if last_member != pid:
+                members[member_index] = last_member
+                self._member_pos[last_member] = member_index
         self._discard_sped(pid)
         for piece in peer.pieces:
             self._piece_counts[piece] -= 1
         if pid in self._seed_position:
             self._remove_seed(pid)
+        del self._peers[pid]
         peer.depart(self._time)
         self.metrics.record_departure(
             sojourn=peer.sojourn_time(self._time),
             download_time=peer.download_time(),
         )
 
+    def _seed_list_of(self, peer_id: int) -> List[int]:
+        if self._classes is None:
+            return self._seeds
+        return self._class_seeds[self._peers[peer_id].class_index]
+
+    def _sped_list_of(self, peer_id: int) -> List[int]:
+        if self._classes is None:
+            return self._sped_ids
+        return self._class_sped[self._peers[peer_id].class_index]
+
     def _add_seed(self, peer_id: int) -> None:
-        self._seed_position[peer_id] = len(self._seeds)
-        self._seeds.append(peer_id)
+        seeds = self._seed_list_of(peer_id)
+        self._seed_position[peer_id] = len(seeds)
+        seeds.append(peer_id)
 
     def _remove_seed(self, peer_id: int) -> None:
+        seeds = self._seed_list_of(peer_id)
         index = self._seed_position.pop(peer_id)
-        last_id = self._seeds.pop()
+        last_id = seeds.pop()
         if last_id != peer_id:
-            self._seeds[index] = last_id
+            seeds[index] = last_id
             self._seed_position[last_id] = index
 
     def _add_sped(self, peer_id: int) -> None:
         if peer_id not in self._sped_position:
-            self._sped_position[peer_id] = len(self._sped_ids)
-            self._sped_ids.append(peer_id)
+            sped = self._sped_list_of(peer_id)
+            self._sped_position[peer_id] = len(sped)
+            sped.append(peer_id)
 
     def _discard_sped(self, peer_id: int) -> None:
         index = self._sped_position.pop(peer_id, None)
         if index is None:
             return
-        last_id = self._sped_ids.pop()
+        sped = self._sped_list_of(peer_id)
+        last_id = sped.pop()
         if last_id != peer_id:
-            self._sped_ids[index] = last_id
+            sped[index] = last_id
             self._sped_position[last_id] = index
 
     def seed_population(self, initial_state: SystemState) -> None:
@@ -333,6 +580,8 @@ class SwarmSimulator(_SwarmEventLoop):
     # -- event mechanics -------------------------------------------------------------
 
     def _total_peer_tick_rate(self) -> float:
+        if self._classes is not None:
+            return self._hetero_tick_rate()
         # Maintained incrementally: every peer contributes weight 1 and every
         # sped-up peer an extra (retry_speedup - 1), so no O(n) rebuild.
         weight = self.population + (self.retry_speedup - 1.0) * len(self._sped_ids)
@@ -354,8 +603,12 @@ class SwarmSimulator(_SwarmEventLoop):
         Each peer has tick weight 1, plus an extra ``retry_speedup - 1`` when
         it is in the sped-up list; a single uniform draw over the cumulative
         weight picks either a uniform peer (base segment) or a uniform sped-up
-        peer (extra segment), with no per-event weight-array rebuild.
+        peer (extra segment), with no per-event weight-array rebuild.  In
+        heterogeneous mode the µ_c-weighted draw is delegated to the shared
+        driver so both backends consume the RNG identically.
         """
+        if self._classes is not None:
+            return self._peers[self._draw_hetero_ticker()]
         population = self.population
         sped = len(self._sped_ids)
         if self.retry_speedup == 1.0 or not sped:
@@ -371,6 +624,8 @@ class SwarmSimulator(_SwarmEventLoop):
         view = self._view
         view.total_peers = self.population
         view.time = self._time
+        if self._classes is not None:
+            view.class_counts = tuple(len(m) for m in self._class_members)
         return view
 
     def _transfer(self, uploader_pieces: PieceSet, downloader: Peer, from_seed: bool) -> bool:
@@ -387,14 +642,20 @@ class SwarmSimulator(_SwarmEventLoop):
         if from_seed:
             self.metrics.total_seed_uploads += 1
         if downloader.is_seed:
-            if self.params.immediate_departure:
+            if self._class_departs_immediately(downloader.class_index):
                 self._remove_peer(downloader)
             else:
                 self._add_seed(downloader.peer_id)
         return True
 
     def _handle_arrival(self) -> None:
-        self._add_peer(self._sample_arrival_type())
+        if self._classes is None:
+            self._add_peer(self._sample_arrival_type())
+            return
+        class_index, type_index = self._draw_arrival_class_type()
+        self._add_peer(
+            self._class_types[class_index][type_index], class_index=class_index
+        )
 
     def _handle_seed_tick(self) -> None:
         if self.population == 0:
@@ -423,6 +684,11 @@ class SwarmSimulator(_SwarmEventLoop):
             self._add_sped(uploader.peer_id)
 
     def _handle_seed_departure(self) -> None:
+        if self._classes is not None:
+            peer_id = self._draw_hetero_departing_seed()
+            if peer_id is not None:
+                self._remove_peer(self._peers[peer_id])
+            return
         if not self._seeds:
             return
         index = int(self.rng.integers(len(self._seeds)))
@@ -449,6 +715,9 @@ class SwarmSimulator(_SwarmEventLoop):
 #: Names of the available simulation backends (see :func:`make_simulator`).
 BACKENDS = ("object", "array")
 
+#: Hard limit of the array backend: one uint64 bitmask per peer.
+MAX_ARRAY_BACKEND_PIECES = 64
+
 
 def make_simulator(
     params: SystemParameters,
@@ -461,18 +730,34 @@ def make_simulator(
 
     ``backend="object"`` builds the reference :class:`SwarmSimulator`;
     ``backend="array"`` builds the structure-of-arrays
-    :class:`~repro.swarm.kernel.ArraySwarmKernel` (requires ``K <= 64``).
-    Both backends consume the RNG identically, so a given seed produces the
-    same trajectory on either one; the array kernel is simply much faster on
-    large populations.
+    :class:`~repro.swarm.kernel.ArraySwarmKernel` (requires ``K <= 64``; a
+    larger ``K`` raises ``ValueError`` here, at construction).  Both backends
+    consume the RNG identically, so a given seed produces the same trajectory
+    on either one; the array kernel is simply much faster on large
+    populations.  Pass ``scenario=`` (a
+    :class:`~repro.core.scenario.ScenarioSpec`) to run heterogeneous peer
+    classes and time-varying rate schedules on either backend.
     """
     if backend == "object":
         return SwarmSimulator(params, policy=policy, seed=seed, **kwargs)
     if backend == "array":
+        if params.num_pieces > MAX_ARRAY_BACKEND_PIECES:
+            raise ValueError(
+                f"backend='array' packs piece sets into uint64 bitmasks and "
+                f"supports at most {MAX_ARRAY_BACKEND_PIECES} pieces, got "
+                f"K={params.num_pieces}; use backend='object' for larger K"
+            )
         from .kernel import ArraySwarmKernel
 
         return ArraySwarmKernel(params, policy=policy, seed=seed, **kwargs)
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+
+
+#: Keyword arguments consumed by the simulator constructors.
+_SIM_KWARGS = ("rare_piece", "retry_speedup", "track_groups", "scenario")
+
+#: Keyword arguments consumed by ``run``.
+_RUN_KWARGS = ("sample_interval", "max_events", "max_population")
 
 
 def run_swarm(
@@ -488,19 +773,26 @@ def run_swarm(
 
     ``backend`` selects the simulation engine (``"object"`` or ``"array"``,
     see :func:`make_simulator`); the remaining keyword arguments are split
-    between the constructor and :meth:`SwarmSimulator.run`.
+    between the constructor (including ``scenario=``) and
+    :meth:`SwarmSimulator.run`.
     """
+    unknown = set(kwargs) - set(_SIM_KWARGS) - set(_RUN_KWARGS)
+    if unknown:
+        raise TypeError(f"unknown run_swarm arguments: {sorted(unknown)}")
     simulator = make_simulator(params, policy=policy, seed=seed, backend=backend, **{
-        key: value
-        for key, value in kwargs.items()
-        if key in ("rare_piece", "retry_speedup", "track_groups")
+        key: value for key, value in kwargs.items() if key in _SIM_KWARGS
     })
     run_kwargs = {
-        key: value
-        for key, value in kwargs.items()
-        if key in ("sample_interval", "max_events", "max_population")
+        key: value for key, value in kwargs.items() if key in _RUN_KWARGS
     }
     return simulator.run(horizon, initial_state=initial_state, **run_kwargs)
 
 
-__all__ = ["BACKENDS", "SwarmSimulator", "SwarmResult", "make_simulator", "run_swarm"]
+__all__ = [
+    "BACKENDS",
+    "MAX_ARRAY_BACKEND_PIECES",
+    "SwarmSimulator",
+    "SwarmResult",
+    "make_simulator",
+    "run_swarm",
+]

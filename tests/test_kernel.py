@@ -160,6 +160,16 @@ class TestArrayKernel:
         with pytest.raises(ValueError, match="64"):
             ArraySwarmKernel(params)
 
+    def test_make_simulator_rejects_large_k_at_construction(self):
+        """K > 64 must fail fast in make_simulator with an actionable message."""
+        params = SystemParameters.flash_crowd(70, arrival_rate=1.0, seed_rate=1.0)
+        with pytest.raises(ValueError, match=r"at most 64.*K=70"):
+            make_simulator(params, backend="array")
+        with pytest.raises(ValueError, match="backend='object'"):
+            make_simulator(params, backend="array")
+        # The object backend accepts the same parameters.
+        make_simulator(params, backend="object")
+
     def test_rejects_bad_rare_piece_and_speedup(self, flash_crowd_stable):
         with pytest.raises(ValueError):
             ArraySwarmKernel(flash_crowd_stable, rare_piece=9)
@@ -216,6 +226,27 @@ class TestBatchRunner:
         ]
         assert [r.final_state for r in serial.results] == [
             r.final_state for r in parallel.results
+        ]
+
+    @pytest.mark.parametrize("backend", ["object", "array"])
+    def test_worker_count_reproducibility(self, flash_crowd_stable, backend):
+        """One master seed must yield the same multiset of final populations
+        whether the batch runs serially or on a 4-worker pool."""
+        batches = {
+            workers: BatchRunner(
+                flash_crowd_stable, backend=backend, workers=workers
+            ).run(20.0, 8, seed=123)
+            for workers in (1, 4)
+        }
+        populations = {
+            workers: sorted(batch.final_populations().tolist())
+            for workers, batch in batches.items()
+        }
+        assert populations[1] == populations[4]
+        # Results also come back in seed order, so the full per-replication
+        # sequences agree, not just the multiset.
+        assert [r.final_state for r in batches[1].results] == [
+            r.final_state for r in batches[4].results
         ]
 
     def test_batch_result_aggregation(self, flash_crowd_stable):

@@ -11,6 +11,7 @@ from repro.coding.gf import PrimeField
 from repro.coding.subspace import Subspace
 from repro.core.branching import one_club_drift
 from repro.core.parameters import SystemParameters
+from repro.core.scenario import PeerClass, RateSchedule, ScenarioSpec
 from repro.core.stability import analyze, delta_s, piece_threshold, Stability
 from repro.core.state import SystemState
 from repro.core.transitions import outgoing_transitions, total_exit_rate
@@ -58,6 +59,60 @@ def system_parameters(draw):
         peer_rate=peer_rate,
         seed_departure_rate=gamma,
         arrival_rates=arrival_rates,
+    )
+
+
+@st.composite
+def rate_schedules(draw):
+    """Piecewise-constant schedules, biased toward shapes with real thinning."""
+    kind = draw(st.sampled_from(["constant", "pulse", "outage", "step"]))
+    if kind == "constant":
+        return RateSchedule.constant(draw(st.floats(0.5, 3.0)))
+    if kind == "pulse":
+        start = draw(st.floats(0.5, 2.0))
+        return RateSchedule.pulse(start, start + draw(st.floats(0.5, 3.0)), draw(st.floats(2.0, 6.0)))
+    if kind == "outage":
+        start = draw(st.floats(0.5, 2.0))
+        return RateSchedule.outage(start, start + draw(st.floats(0.5, 3.0)))
+    return RateSchedule.step([(0.0, 1.0), (draw(st.floats(0.5, 3.0)), draw(st.floats(0.0, 4.0)))])
+
+
+@st.composite
+def scenario_specs(draw):
+    """Heterogeneous scenarios: 1-3 peer classes plus arrival/seed schedules."""
+    params = draw(system_parameters())
+    num_classes = draw(st.integers(1, 3))
+    classes = []
+    for index in range(num_classes):
+        gamma = draw(st.one_of(st.floats(0.3, 4.0), st.just(math.inf)))
+        mix = None
+        if draw(st.booleans()):
+            types = {}
+            for _ in range(draw(st.integers(1, 2))):
+                type_c = draw(piece_sets(params.num_pieces))
+                if type_c.is_complete and math.isinf(gamma):
+                    continue
+                types[type_c] = draw(st.floats(0.1, 3.0))
+            mix = types or None
+        classes.append(
+            PeerClass(
+                name=f"class-{index}",
+                contact_rate=draw(st.floats(0.2, 3.0)),
+                seed_departure_rate=gamma,
+                arrival_fraction=draw(st.floats(0.1, 2.0)),
+                arrival_mix=mix,
+            )
+        )
+    # The base mix must be valid for any immediate-departure class inheriting it.
+    full = PieceSet.full(params.num_pieces)
+    if any(cls.immediate_departure and cls.arrival_mix is None for cls in classes):
+        assume(params.arrival_rates.get(full, 0.0) == 0.0)
+    return ScenarioSpec(
+        name="hetero-property",
+        params=params,
+        classes=tuple(classes),
+        arrival_schedule=draw(rate_schedules()),
+        seed_schedule=draw(rate_schedules()),
     )
 
 
@@ -310,6 +365,67 @@ class TestBackendEquivalence:
         assert results[0].final_state == results[1].final_state
         assert results[0].metrics.population == results[1].metrics.population
         assert results[0].metrics.one_club_size == results[1].metrics.one_club_size
+        assert results[0].metrics.min_piece_count == results[1].metrics.min_piece_count
+        assert results[0].metrics.num_seeds == results[1].metrics.num_seeds
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(scenario_specs(), st.integers(0, 2**31 - 1), st.sampled_from([1.0, 2.5]))
+    def test_backends_agree_on_heterogeneous_scenarios(
+        self, scenario, seed, retry_speedup
+    ):
+        """Per-class rates, per-class mixes and thinned schedules all go
+        through the shared driver, so the full time series — population,
+        one-club size, min piece count, seeds — must stay bit-identical."""
+        runs = {
+            backend: run_swarm(
+                scenario.params,
+                horizon=6.0,
+                seed=seed,
+                backend=backend,
+                scenario=scenario,
+                retry_speedup=retry_speedup,
+                max_events=300,
+            )
+            for backend in ("object", "array")
+        }
+        obj, arr = runs["object"], runs["array"]
+        assert arr.final_population == obj.final_population
+        assert arr.final_state == obj.final_state
+        assert arr.final_time == obj.final_time
+        assert arr.metrics.population == obj.metrics.population
+        assert arr.metrics.one_club_size == obj.metrics.one_club_size
+        assert arr.metrics.min_piece_count == obj.metrics.min_piece_count
+        assert arr.metrics.num_seeds == obj.metrics.num_seeds
+        assert arr.metrics.total_downloads == obj.metrics.total_downloads
+        assert arr.metrics.thinned_events == obj.metrics.thinned_events
+        assert arr.metrics.wasted_contacts == obj.metrics.wasted_contacts
+        assert arr.metrics.sojourn_times == obj.metrics.sojourn_times
+        assert arr.metrics.download_times == obj.metrics.download_times
+
+    def test_backends_agree_on_named_scenarios(self):
+        """The ISSUE's acceptance pair: flash crowd and heterogeneous classes
+        must be bit-identical across backends from a shared seed."""
+        from repro.core.scenario import make_scenario
+
+        for name in ("flash-crowd", "heterogeneous-classes"):
+            scenario = make_scenario(name)
+            runs = {
+                backend: run_swarm(
+                    scenario.params,
+                    horizon=50.0,
+                    seed=2026,
+                    backend=backend,
+                    scenario=scenario,
+                    max_events=8000,
+                )
+                for backend in ("object", "array")
+            }
+            obj, arr = runs["object"], runs["array"]
+            assert arr.final_state == obj.final_state, name
+            assert arr.metrics.population == obj.metrics.population, name
+            assert arr.metrics.one_club_size == obj.metrics.one_club_size, name
+            assert arr.metrics.min_piece_count == obj.metrics.min_piece_count, name
+            assert arr.metrics.thinned_events == obj.metrics.thinned_events, name
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,505 @@
+"""Unit tests for the scenario subsystem: rate schedules, peer classes,
+scenario specs, the named registry, and the scenario paths through the
+kernels, the batch runner and the scenario-dynamics experiment."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.core.scenario import (
+    PeerClass,
+    RateSchedule,
+    ScenarioSpec,
+    make_scenario,
+    register_scenario,
+    registered_scenarios,
+)
+from repro.core.state import SystemState
+from repro.core.types import PieceSet
+from repro.experiments.runner import BatchRunner, run_scenario
+from repro.experiments.scenarios import run_scenario_dynamics
+from repro.swarm.swarm import make_simulator, run_swarm
+
+
+# ---------------------------------------------------------------------------
+# RateSchedule
+# ---------------------------------------------------------------------------
+
+
+class TestRateSchedule:
+    def test_constant(self):
+        schedule = RateSchedule.constant(2.5)
+        assert schedule.is_constant
+        assert schedule.max_value == 2.5
+        assert schedule.value_at(0.0) == schedule.value_at(1e6) == 2.5
+
+    def test_pulse_lookup(self):
+        schedule = RateSchedule.pulse(10.0, 20.0, 5.0)
+        assert schedule.value_at(0.0) == 1.0
+        assert schedule.value_at(9.999) == 1.0
+        assert schedule.value_at(10.0) == 5.0
+        assert schedule.value_at(19.999) == 5.0
+        assert schedule.value_at(20.0) == 1.0
+        assert schedule.max_value == 5.0
+        assert not schedule.is_constant
+
+    def test_pulse_starting_at_zero(self):
+        schedule = RateSchedule.pulse(0.0, 5.0, 3.0)
+        assert schedule.value_at(0.0) == 3.0
+        assert schedule.value_at(5.0) == 1.0
+
+    def test_outage_is_zero_inside_window(self):
+        schedule = RateSchedule.outage(2.0, 4.0)
+        assert schedule.value_at(3.0) == 0.0
+        assert schedule.value_at(4.0) == 1.0
+
+    def test_square_wave_alternates(self):
+        schedule = RateSchedule.square_wave(period=10.0, high=2.0, low=0.5, horizon=30.0)
+        assert schedule.value_at(0.0) == 2.0
+        assert schedule.value_at(5.0) == 0.5
+        assert schedule.value_at(10.0) == 2.0
+
+    def test_step_constructor(self):
+        schedule = RateSchedule.step([(0.0, 1.0), (3.0, 0.0), (6.0, 2.0)])
+        assert schedule.value_at(2.0) == 1.0
+        assert schedule.value_at(3.5) == 0.0
+        assert schedule.value_at(100.0) == 2.0
+
+    def test_scaled(self):
+        schedule = RateSchedule.pulse(1.0, 2.0, 4.0).scaled(0.5)
+        assert schedule.value_at(1.5) == 2.0
+        assert schedule.value_at(0.0) == 0.5
+
+    @pytest.mark.parametrize(
+        "times, values",
+        [
+            ((1.0,), (1.0,)),  # must start at 0
+            ((0.0, 1.0), (1.0,)),  # length mismatch
+            ((0.0, 0.0), (1.0, 2.0)),  # not strictly increasing
+            ((0.0,), (-1.0,)),  # negative factor
+            ((0.0,), (0.0,)),  # no positive factor at all
+            ((0.0,), (math.inf,)),  # infinite factor
+        ],
+    )
+    def test_invalid_schedules(self, times, values):
+        with pytest.raises(ValueError):
+            RateSchedule(times, values)
+
+
+# ---------------------------------------------------------------------------
+# PeerClass / ScenarioSpec
+# ---------------------------------------------------------------------------
+
+
+class TestPeerClass:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="contact_rate"):
+            PeerClass(name="bad", contact_rate=0.0, seed_departure_rate=1.0)
+        with pytest.raises(ValueError, match="seed_departure_rate"):
+            PeerClass(name="bad", contact_rate=1.0, seed_departure_rate=0.0)
+        with pytest.raises(ValueError, match="arrival_fraction"):
+            PeerClass(
+                name="bad",
+                contact_rate=1.0,
+                seed_departure_rate=1.0,
+                arrival_fraction=-0.1,
+            )
+
+    def test_immediate_departure(self):
+        cls = PeerClass(name="fast", contact_rate=1.0, seed_departure_rate=math.inf)
+        assert cls.immediate_departure
+
+    def test_arrival_mix_cleaning(self):
+        cls = PeerClass(
+            name="mixed",
+            contact_rate=1.0,
+            seed_departure_rate=1.0,
+            arrival_mix={PieceSet.empty(3): 1.0, PieceSet((1,), 3): 0.0},
+        )
+        assert list(cls.arrival_mix) == [PieceSet.empty(3)]
+
+
+class TestScenarioSpec:
+    def make_params(self, **kwargs):
+        defaults = dict(num_pieces=3, arrival_rate=1.0, seed_rate=1.0, peer_rate=1.0)
+        defaults.update(kwargs)
+        return SystemParameters.flash_crowd(**defaults)
+
+    def test_trivial_homogeneous(self):
+        spec = ScenarioSpec.homogeneous(self.make_params())
+        assert spec.is_trivial
+        assert not spec.is_heterogeneous
+        assert not spec.has_schedules
+        assert spec.class_fractions() == (1.0,)
+        assert spec.num_classes == 1
+
+    def test_single_class_equal_to_base_is_homogeneous(self):
+        params = self.make_params()
+        spec = ScenarioSpec(
+            name="one",
+            params=params,
+            classes=(
+                PeerClass(
+                    name="base",
+                    contact_rate=params.peer_rate,
+                    seed_departure_rate=params.seed_departure_rate,
+                ),
+            ),
+        )
+        assert not spec.is_heterogeneous
+
+    def test_differing_class_is_heterogeneous(self):
+        params = self.make_params()
+        spec = ScenarioSpec(
+            name="fast",
+            params=params,
+            classes=(
+                PeerClass(
+                    name="fast",
+                    contact_rate=2.0 * params.peer_rate,
+                    seed_departure_rate=params.seed_departure_rate,
+                ),
+            ),
+        )
+        assert spec.is_heterogeneous
+
+    def test_class_fractions_normalised(self):
+        params = self.make_params()
+        spec = ScenarioSpec(
+            name="two",
+            params=params,
+            classes=(
+                PeerClass(name="a", contact_rate=1.0, seed_departure_rate=2.0,
+                          arrival_fraction=3.0),
+                PeerClass(name="b", contact_rate=2.0, seed_departure_rate=2.0,
+                          arrival_fraction=1.0),
+            ),
+        )
+        assert spec.class_fractions() == (0.75, 0.25)
+
+    def test_duplicate_class_names_rejected(self):
+        params = self.make_params()
+        cls = PeerClass(name="dup", contact_rate=1.0, seed_departure_rate=2.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioSpec(name="bad", params=params, classes=(cls, cls))
+
+    def test_mix_must_match_num_pieces(self):
+        with pytest.raises(ValueError, match="does not match"):
+            ScenarioSpec(
+                name="bad",
+                params=self.make_params(num_pieces=3),
+                classes=(
+                    PeerClass(
+                        name="wrong-k",
+                        contact_rate=1.0,
+                        seed_departure_rate=2.0,
+                        arrival_mix={PieceSet.empty(4): 1.0},
+                    ),
+                ),
+            )
+
+    def test_immediate_class_rejects_full_arrivals(self):
+        params = self.make_params()
+        with pytest.raises(ValueError, match="full-file"):
+            ScenarioSpec(
+                name="bad",
+                params=params,
+                classes=(
+                    PeerClass(
+                        name="leaver",
+                        contact_rate=1.0,
+                        seed_departure_rate=math.inf,
+                        arrival_mix={PieceSet.full(3): 1.0},
+                    ),
+                ),
+            )
+
+    def test_peak_rates(self):
+        spec = ScenarioSpec(
+            name="peaky",
+            params=self.make_params(arrival_rate=2.0, seed_rate=3.0),
+            arrival_schedule=RateSchedule.pulse(1.0, 2.0, 4.0),
+            seed_schedule=RateSchedule.constant(0.5),
+        )
+        assert spec.peak_arrival_rate == pytest.approx(8.0)
+        assert spec.peak_seed_rate == pytest.approx(1.5)
+        assert spec.has_schedules
+
+    def test_describe_mentions_classes_and_schedules(self):
+        spec = make_scenario("heterogeneous-classes")
+        text = spec.describe()
+        assert "fast" in text and "slow" in text
+        assert "schedule" in text
+
+
+class TestRegistry:
+    def test_known_scenarios_registered(self):
+        names = registered_scenarios()
+        for expected in (
+            "flash-crowd",
+            "seed-outage",
+            "heterogeneous-classes",
+            "diurnal",
+            "high-churn",
+        ):
+            assert expected in names
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            make_scenario("no-such-workload")
+
+    def test_overrides_forwarded(self):
+        spec = make_scenario("flash-crowd", surge_factor=3.0, num_pieces=4)
+        assert spec.params.num_pieces == 4
+        assert spec.arrival_schedule.max_value == 3.0
+
+    def test_register_custom(self):
+        def factory(**kwargs):
+            return ScenarioSpec.homogeneous(
+                SystemParameters.flash_crowd(
+                    num_pieces=2, arrival_rate=1.0, seed_rate=1.0
+                ),
+                name="custom-test",
+            )
+
+        register_scenario("custom-test", factory)
+        try:
+            assert make_scenario("custom-test").name == "custom-test"
+        finally:
+            from repro.core import scenario as scenario_module
+
+            scenario_module._SCENARIO_REGISTRY.pop("custom-test")
+
+
+# ---------------------------------------------------------------------------
+# Scenario execution through the kernels
+# ---------------------------------------------------------------------------
+
+
+class TestScenarioSimulation:
+    def test_trivial_scenario_matches_plain_run(self, flash_crowd_stable):
+        plain = run_swarm(flash_crowd_stable, horizon=30.0, seed=11)
+        via_scenario = run_swarm(
+            flash_crowd_stable,
+            horizon=30.0,
+            seed=11,
+            scenario=ScenarioSpec.homogeneous(flash_crowd_stable),
+        )
+        assert via_scenario.final_state == plain.final_state
+        assert via_scenario.metrics.population == plain.metrics.population
+        assert via_scenario.metrics.thinned_events == 0
+
+    @pytest.mark.parametrize("backend", ["object", "array"])
+    def test_scenario_params_mismatch_raises(self, flash_crowd_stable, backend):
+        other = SystemParameters.flash_crowd(
+            num_pieces=3, arrival_rate=9.0, seed_rate=1.0
+        )
+        with pytest.raises(ValueError, match="scenario.params"):
+            make_simulator(
+                flash_crowd_stable,
+                backend=backend,
+                scenario=ScenarioSpec.homogeneous(other),
+            )
+
+    def test_flash_crowd_grows_population_during_surge(self):
+        spec = make_scenario(
+            "flash-crowd", surge_start=10.0, surge_end=60.0, surge_factor=10.0
+        )
+        result = run_swarm(
+            spec.params, horizon=60.0, seed=3, backend="array", scenario=spec
+        )
+        metrics = result.metrics
+        before = [
+            pop
+            for time, pop in zip(metrics.sample_times, metrics.population)
+            if time < 10.0
+        ]
+        assert metrics.total_arrivals > 0
+        assert metrics.thinned_events > 0
+        # Arrivals during the surge run ~10x faster than in the quiet prefix.
+        assert result.final_population > max(before) * 2
+
+    def test_seed_outage_blocks_seed_uploads(self):
+        params = SystemParameters.flash_crowd(
+            num_pieces=3, arrival_rate=1.0, seed_rate=5.0
+        )
+        spec = ScenarioSpec(
+            name="outage-all",
+            params=params,
+            seed_schedule=RateSchedule.step([(0.0, 0.0), (40.0, 1.0)]),
+        )
+        result = run_swarm(
+            params, horizon=39.0, seed=5, backend="array", scenario=spec
+        )
+        # The seed was dark for the whole run: candidates were all thinned.
+        assert result.metrics.total_seed_uploads == 0
+        assert result.metrics.thinned_events > 0
+
+    def test_constant_non_unit_schedule_scales_arrivals(self, flash_crowd_stable):
+        doubled = ScenarioSpec(
+            name="doubled",
+            params=flash_crowd_stable,
+            arrival_schedule=RateSchedule.constant(2.0),
+        )
+        runs = [
+            run_swarm(
+                flash_crowd_stable,
+                horizon=80.0,
+                seed=seed,
+                backend="array",
+                scenario=doubled,
+            )
+            for seed in range(5)
+        ]
+        arrivals = np.mean([run.metrics.total_arrivals for run in runs])
+        # E[arrivals] = 2 * lambda * horizon = 160; no thinning draws burnt.
+        assert 120 < arrivals < 200
+        assert all(run.metrics.thinned_events == 0 for run in runs)
+
+    @pytest.mark.parametrize("backend", ["object", "array"])
+    def test_heterogeneous_classes_bookkeeping(self, backend):
+        spec = make_scenario("heterogeneous-classes")
+        simulator = make_simulator(spec.params, seed=7, backend=backend, scenario=spec)
+        result = simulator.run(60.0, max_events=5000)
+        assert result.final_population == sum(
+            len(members) for members in simulator._class_members
+        )
+        assert result.final_state.total_peers == result.final_population
+
+    def test_high_churn_impatient_peers_never_dwell(self):
+        spec = make_scenario("high-churn", impatient_fraction=1.0)
+        result = run_swarm(
+            spec.params, horizon=80.0, seed=13, backend="array", scenario=spec
+        )
+        # Every completing peer departs instantly, so no peer seeds ever dwell.
+        assert max(result.metrics.num_seeds) == 0
+        assert result.metrics.total_departures > 0
+
+    def test_class_counts_exposed_to_policies(self):
+        from repro.swarm.policies import CallablePolicy
+
+        seen = []
+
+        def spy(downloader, uploader, view, rng):
+            seen.append(view.class_counts)
+            return max(downloader.useful_from(uploader))
+
+        spec = make_scenario("heterogeneous-classes")
+        run_swarm(
+            spec.params,
+            horizon=30.0,
+            seed=1,
+            scenario=spec,
+            policy=CallablePolicy(spy, name="spy"),
+            max_events=2000,
+        )
+        assert seen
+        assert all(counts is not None and len(counts) == 2 for counts in seen)
+
+    def test_initial_state_assigned_to_class_zero(self):
+        spec = make_scenario("heterogeneous-classes")
+        simulator = make_simulator(spec.params, seed=2, backend="array", scenario=spec)
+        simulator.seed_population(SystemState.one_club(spec.params.num_pieces, 25))
+        assert len(simulator._class_members[0]) == 25
+        assert len(simulator._class_members[1]) == 0
+
+
+# ---------------------------------------------------------------------------
+# Runner + experiment surfaces
+# ---------------------------------------------------------------------------
+
+
+class TestScenarioRunner:
+    def test_run_scenario_accepts_name_and_spec(self):
+        by_name = run_scenario(
+            "flash-crowd", horizon=20.0, replications=2, seed=4, max_events=2000
+        )
+        by_spec = run_scenario(
+            make_scenario("flash-crowd"),
+            horizon=20.0,
+            replications=2,
+            seed=4,
+            max_events=2000,
+        )
+        assert [r.final_population for r in by_name.results] == [
+            r.final_population for r in by_spec.results
+        ]
+
+    def test_run_scenario_backends_agree(self):
+        batches = {
+            backend: run_scenario(
+                "heterogeneous-classes",
+                horizon=25.0,
+                replications=3,
+                seed=9,
+                backend=backend,
+                max_events=3000,
+            )
+            for backend in ("object", "array")
+        }
+        assert [r.final_state for r in batches["object"].results] == [
+            r.final_state for r in batches["array"].results
+        ]
+
+    def test_run_scenario_parallel_workers_match_serial(self):
+        batches = {
+            workers: run_scenario(
+                "flash-crowd",
+                horizon=20.0,
+                replications=4,
+                seed=6,
+                backend="array",
+                workers=workers,
+                max_events=2000,
+            )
+            for workers in (1, 4)
+        }
+        assert sorted(batches[1].final_populations().tolist()) == sorted(
+            batches[4].final_populations().tolist()
+        )
+
+    def test_run_scenario_kwargs_validation(self):
+        with pytest.raises(TypeError, match="unknown"):
+            run_scenario("flash-crowd", horizon=10.0, bogus_option=1)
+        with pytest.raises(ValueError, match="scenario_kwargs"):
+            run_scenario(
+                make_scenario("flash-crowd"),
+                horizon=10.0,
+                scenario_kwargs={"surge_factor": 2.0},
+            )
+
+    def test_scenario_kwargs_reach_factory(self):
+        batch = run_scenario(
+            "flash-crowd",
+            horizon=15.0,
+            replications=1,
+            seed=2,
+            scenario_kwargs={"surge_factor": 1.0, "arrival_rate": 0.5},
+            max_events=1000,
+        )
+        assert batch.results[0].metrics.thinned_events == 0
+
+    def test_batch_runner_scenario_passthrough(self):
+        spec = make_scenario("seed-outage")
+        batch = BatchRunner(spec.params, backend="array", scenario=spec).run(
+            20.0, 2, seed=8, max_events=2000
+        )
+        assert len(batch) == 2
+
+    def test_scenario_dynamics_experiment(self):
+        result = run_scenario_dynamics(
+            horizon=40.0,
+            replications=2,
+            initial_club_size=30,
+            backend="array",
+            max_population=3000,
+        )
+        assert len(result.runs) == 2
+        report = result.report()
+        assert "flash-crowd" in report and "seed-outage" in report
+        for run in result.runs:
+            assert run.base_verdict == "stable"
+            assert run.worst_case_verdict == "unstable"
+            assert run.thinned_events > 0
