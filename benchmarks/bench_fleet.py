@@ -1,0 +1,34 @@
+"""Fleet smoke benchmark: 200-swarm / 100k-peer fleet on the array kernel.
+
+Measures the aggregate events/second of the shared ``FLEET_BENCH_WORKLOAD``
+— 200 swarms of 500 one-club peers each (100 000 peers in flight), drawn
+through a mixed plain / flash-crowd / free-rider scenario distribution and
+scheduled through ``repro.fleet`` on the array backend — and asserts the
+invariants the fleet layer promises: every swarm runs its full event budget,
+all three mix entries actually occur, and the sharded scheduler's result is
+identical at a different worker count.  The measurement lands in the
+``"fleet"`` section of ``BENCH_swarm.json`` via the session-finish hook in
+``conftest.py``, so fleet-path regressions are visible per-PR next to the
+kernel baselines.
+"""
+
+from conftest import FLEET_BENCH_WORKLOAD, measure_fleet_throughput, run_once
+
+
+def test_fleet_throughput_smoke(benchmark, capsys):
+    measurement = run_once(benchmark, measure_fleet_throughput)
+    with capsys.disabled():
+        print()
+        print(
+            f"fleet smoke ({measurement['num_swarms']} swarms, "
+            f"{measurement['total_initial_peers']:,} peers, mixed scenarios): "
+            f"{measurement['events_per_second']:,.0f} aggregate ev/s, "
+            f"prevalence {measurement['one_club_prevalence']:.1%}"
+        )
+    spec = FLEET_BENCH_WORKLOAD
+    # Every swarm must be cut off by its event budget (otherwise the
+    # events/sec figure would be computed against a mis-sized workload).
+    assert measurement["events"] == spec["num_swarms"] * spec["max_events_per_swarm"]
+    # The mixed scenario distribution must actually mix.
+    assert set(measurement["scenarios"]) == {"plain", "flash-crowd", "free-rider"}
+    assert all(count > 0 for count in measurement["scenarios"].values())

@@ -12,10 +12,13 @@ benchmark session (and from ``python benchmarks/conftest.py`` directly), the
 events-per-second of both simulation backends is measured on two workloads —
 the reference homogeneous 10k-peer, ``K = 10`` one-club workload and a
 scenario workload (heterogeneous fast/slow classes plus a flash-crowd
-arrival pulse) exercising the scenario code path — and written to
-``BENCH_swarm.json`` at the repository root, so future PRs can track the
-performance trajectory of the object simulator and the array kernel side by
-side on both the legacy and the scenario paths.
+arrival pulse) exercising the scenario code path — plus the *fleet*
+workload: 200 swarms of 500 one-club peers each (100k peers total, mixed
+plain/flash-crowd/free-rider scenario distribution) scheduled through
+``repro.fleet`` on the array backend, recording the aggregate events/sec of
+the whole fleet.  Everything is written to ``BENCH_swarm.json`` at the
+repository root, so future PRs can track the performance trajectory of the
+object simulator, the array kernel and the fleet layer side by side.
 """
 
 from __future__ import annotations
@@ -63,6 +66,25 @@ SCENARIO_BENCH_WORKLOAD = {
     "seed": 7,
 }
 
+#: The fleet workload of the baseline: >= 200 swarms / >= 100k total peers
+#: on the array backend, drawn through a mixed scenario distribution, run
+#: serially through the fleet scheduler (serial keeps the measurement free
+#: of pool-spawn noise; the aggregate events/sec is the fleet figure of
+#: merit).
+FLEET_BENCH_WORKLOAD = {
+    "num_swarms": 200,
+    "num_pieces": 10,
+    "initial_one_club": 500,  # 200 x 500 = 100k peers in flight
+    "arrival_rate": 5.0,
+    "seed_rate": 1.0,
+    "peer_rate": 1.0,
+    "seed_departure_rate": 2.0,
+    "horizon": 5.0,
+    "sample_interval": 0.25,
+    "max_events_per_swarm": 600,  # 120k events across the fleet
+    "seed": 7,
+}
+
 BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_swarm.json"
 
 # Throughput results measured earlier in this session (e.g. by the kernel
@@ -70,6 +92,7 @@ BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_swarm.json"
 # matches the asserted numbers and the workloads are not simulated twice.
 _session_measurements: dict = {}
 _scenario_measurements: dict = {}
+_fleet_measurements: dict = {}
 
 
 def print_report(capsys, title: str, report: str) -> None:
@@ -190,6 +213,62 @@ def measure_scenario_throughput(backend: str) -> dict:
     return measurement
 
 
+def _fleet_bench_spec():
+    """The FleetSpec of the fleet throughput workload."""
+    from repro.fleet import FixedSampler, FleetSpec, ScenarioWeight
+
+    spec = FLEET_BENCH_WORKLOAD
+    return FleetSpec(
+        name="bench-fleet",
+        num_swarms=spec["num_swarms"],
+        sampler=FixedSampler.of(
+            num_pieces=spec["num_pieces"],
+            arrival_rate=spec["arrival_rate"],
+            seed_rate=spec["seed_rate"],
+            peer_rate=spec["peer_rate"],
+            seed_departure_rate=spec["seed_departure_rate"],
+        ),
+        scenario_mix=(
+            ScenarioWeight.of(None, weight=2.0),
+            ScenarioWeight.of(
+                "flash-crowd", weight=1.0, surge_start=1.0, surge_end=3.0
+            ),
+            ScenarioWeight.of("free-rider", weight=1.0, leech_fraction=0.5),
+        ),
+        horizon=spec["horizon"],
+        sample_interval=spec["sample_interval"],
+        max_events=spec["max_events_per_swarm"],
+        backend="array",
+        initial_club_size=spec["initial_one_club"],
+    )
+
+
+def measure_fleet_throughput(workers=None) -> dict:
+    """Aggregate events/second of the 200-swarm / 100k-peer fleet workload."""
+    from repro.fleet import run_fleet
+
+    spec = FLEET_BENCH_WORKLOAD
+    fleet_spec = _fleet_bench_spec()
+    start = time.perf_counter()
+    result = run_fleet(fleet_spec, seed=spec["seed"], workers=workers)
+    elapsed = time.perf_counter() - start
+    measurement = {
+        "backend": "array",
+        "num_swarms": spec["num_swarms"],
+        "total_initial_peers": spec["num_swarms"] * spec["initial_one_club"],
+        "workers": workers or 1,
+        "events": result.total_events,
+        "elapsed_seconds": round(elapsed, 4),
+        "events_per_second": round(result.total_events / elapsed, 1),
+        "one_club_prevalence": round(result.prevalence(), 4),
+        "scenarios": {
+            name: census.swarms for name, census in sorted(result.per_scenario.items())
+        },
+    }
+    _fleet_measurements["array"] = measurement
+    return measurement
+
+
 def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
     """Write the BENCH_swarm.json baseline, measuring any backend/workload
     combination not already measured in this session."""
@@ -211,6 +290,7 @@ def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
         scenario_backends["array"]["events_per_second"]
         / scenario_backends["object"]["events_per_second"]
     )
+    fleet = _fleet_measurements.get("array") or measure_fleet_throughput()
     baseline = {
         "workload": dict(BENCH_WORKLOAD),
         "backends": backends,
@@ -219,6 +299,10 @@ def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
             "workload": dict(SCENARIO_BENCH_WORKLOAD),
             "backends": scenario_backends,
             "array_speedup_over_object": round(scenario_speedup, 2),
+        },
+        "fleet": {
+            "workload": dict(FLEET_BENCH_WORKLOAD),
+            "array": fleet,
         },
         "python": platform.python_version(),
     }
@@ -244,7 +328,10 @@ def pytest_sessionfinish(session, exitstatus):
         f"({baseline['array_speedup_over_object']:.1f}x over object); "
         f"scenario workload at "
         f"{baseline['scenario']['backends']['array']['events_per_second']:,.0f} ev/s "
-        f"({baseline['scenario']['array_speedup_over_object']:.1f}x)"
+        f"({baseline['scenario']['array_speedup_over_object']:.1f}x); "
+        f"fleet ({baseline['fleet']['array']['num_swarms']} swarms, "
+        f"{baseline['fleet']['array']['total_initial_peers'] // 1000}k peers) at "
+        f"{baseline['fleet']['array']['events_per_second']:,.0f} ev/s"
     )
 
 

@@ -39,6 +39,13 @@ from .core import (
     stability_margin,
     uniform_single_piece_rates,
 )
+from .fleet import (
+    FleetResult,
+    FleetScheduler,
+    FleetSpec,
+    resume_fleet,
+    run_fleet,
+)
 from .swarm import (
     RandomUsefulSelection,
     RarestFirstSelection,
@@ -52,6 +59,9 @@ from .swarm import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "FleetResult",
+    "FleetScheduler",
+    "FleetSpec",
     "PieceSet",
     "RandomUsefulSelection",
     "RarestFirstSelection",
@@ -72,6 +82,8 @@ __all__ = [
     "make_policy",
     "minimum_mean_dwell_time",
     "piece_threshold",
+    "resume_fleet",
+    "run_fleet",
     "run_swarm",
     "stability_margin",
     "uniform_single_piece_rates",

@@ -15,7 +15,9 @@ Sub-modules:
 * :mod:`repro.core.coding_theory` — Theorem 15 (network coding);
 * :mod:`repro.core.generator` — exact truncated-chain computations;
 * :mod:`repro.core.scenario` — declarative workloads: heterogeneous peer
-  classes, time-varying rate schedules, and the named-scenario registry.
+  classes, time-varying rate schedules, and the named-scenario registry;
+* :mod:`repro.core.schedule_stability` — scenario-aware Theorem-1 reporting
+  (piecewise verdicts per schedule segment, conservative whole-run verdict).
 """
 
 from .parameters import SystemParameters, uniform_single_piece_rates
@@ -23,9 +25,16 @@ from .scenario import (
     PeerClass,
     RateSchedule,
     ScenarioSpec,
+    base_params,
     make_scenario,
     register_scenario,
     registered_scenarios,
+)
+from .schedule_stability import (
+    OUT_OF_THEORY,
+    ScheduleStabilityReport,
+    SegmentVerdict,
+    piecewise_stability,
 )
 from .stability import (
     Stability,
@@ -44,16 +53,20 @@ from .state import SystemState
 from .types import PieceSet, all_types, format_type, one_club_type
 
 __all__ = [
+    "OUT_OF_THEORY",
     "PeerClass",
     "PieceSet",
     "RateSchedule",
     "ScenarioSpec",
+    "ScheduleStabilityReport",
+    "SegmentVerdict",
     "SystemParameters",
     "SystemState",
     "Stability",
     "StabilityReport",
     "all_types",
     "analyze",
+    "base_params",
     "critical_departure_rate",
     "critical_seed_rate",
     "delta_s",
@@ -64,6 +77,7 @@ __all__ = [
     "minimum_mean_dwell_time",
     "one_club_type",
     "piece_threshold",
+    "piecewise_stability",
     "register_scenario",
     "registered_scenarios",
     "stability_margin",

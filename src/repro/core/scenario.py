@@ -438,16 +438,21 @@ def registered_scenarios() -> List[str]:
     return sorted(_SCENARIO_REGISTRY)
 
 
-def _base_params(
+def base_params(
     num_pieces: int = 5,
     arrival_rate: float = 1.2,
     seed_rate: float = 1.0,
     peer_rate: float = 1.0,
     seed_departure_rate: float = 2.0,
 ) -> SystemParameters:
-    # Defaults sit inside the Theorem-1 stability region (threshold
-    # U_s/(1 - µ/γ) = 2 > λ = 1.2), so the surge/outage scenarios cross the
-    # boundary mid-run rather than starting on it.
+    """The registry's shared base parameter set (empty-handed arrivals).
+
+    Defaults sit inside the Theorem-1 stability region (threshold
+    ``U_s/(1 - µ/γ) = 2 > λ = 1.2``), so the surge/outage scenarios cross
+    the boundary mid-run rather than starting on it.  The fleet layer uses
+    the same constructor for its "plain" (scenario-less) swarms, keeping
+    fleet cells comparable across the scenario mix.
+    """
     return SystemParameters.flash_crowd(
         num_pieces=num_pieces,
         arrival_rate=arrival_rate,
@@ -455,6 +460,11 @@ def _base_params(
         peer_rate=peer_rate,
         seed_departure_rate=seed_departure_rate,
     )
+
+
+#: Backwards-compatible private alias (the factories below predate the
+#: public name).
+_base_params = base_params
 
 
 def flash_crowd_scenario(
@@ -577,11 +587,63 @@ def high_churn_scenario(
     )
 
 
+def free_rider_scenario(
+    leech_fraction: float = 0.6,
+    leech_contact_rate: float = 0.02,
+    leech_departure_rate: Optional[float] = None,
+    **params_kwargs,
+) -> ScenarioSpec:
+    """Free riders: a class that uploads at ``µ_c ≈ 0`` but downloads normally.
+
+    Downloads are driven by *other* peers' contact clocks, so a free rider
+    still fills its collection at the usual pace — it just contributes almost
+    no upload capacity back.  By default free riders also leave the instant
+    they complete the file (``γ_c = ∞``), the classic leeching profile;
+    contributors keep the base rates.  ``leech_fraction`` is the share of
+    arrivals that are free riders.  Enough leeching starves the rare piece's
+    replication and tips an otherwise Theorem-1-stable swarm into the
+    one-club regime.
+
+    The contributor class is listed first so that peers pre-seeded from an
+    ``initial_state`` (class 0 by convention) are contributors, not leeches.
+    """
+    if not 0.0 <= leech_fraction < 1.0:
+        raise ValueError(
+            f"leech_fraction must be in [0, 1), got {leech_fraction}"
+        )
+    params = base_params(**params_kwargs)
+    return ScenarioSpec(
+        name="free-rider",
+        params=params,
+        classes=(
+            PeerClass(
+                name="contributor",
+                contact_rate=params.peer_rate,
+                seed_departure_rate=params.seed_departure_rate,
+                arrival_fraction=1.0 - leech_fraction,
+            ),
+            PeerClass(
+                name="free-rider",
+                contact_rate=leech_contact_rate,
+                seed_departure_rate=(
+                    math.inf if leech_departure_rate is None else leech_departure_rate
+                ),
+                arrival_fraction=leech_fraction,
+            ),
+        ),
+        description=(
+            f"{leech_fraction:.0%} free riders uploading at "
+            f"mu={leech_contact_rate:g} (downloads unimpaired)"
+        ),
+    )
+
+
 register_scenario("flash-crowd", flash_crowd_scenario)
 register_scenario("seed-outage", seed_outage_scenario)
 register_scenario("heterogeneous-classes", heterogeneous_classes_scenario)
 register_scenario("diurnal", diurnal_scenario)
 register_scenario("high-churn", high_churn_scenario)
+register_scenario("free-rider", free_rider_scenario)
 
 
 __all__ = [
@@ -589,11 +651,13 @@ __all__ = [
     "RateSchedule",
     "ScenarioSpec",
     "ScenarioFactory",
+    "base_params",
     "flash_crowd_scenario",
     "seed_outage_scenario",
     "heterogeneous_classes_scenario",
     "diurnal_scenario",
     "high_churn_scenario",
+    "free_rider_scenario",
     "make_scenario",
     "register_scenario",
     "registered_scenarios",

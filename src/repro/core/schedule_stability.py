@@ -1,0 +1,136 @@
+"""Scenario-aware Theorem-1 reporting: piecewise verdicts over schedules.
+
+Theorem 1 assumes constant arrival and seed rates.  A scenario's
+:class:`~repro.core.scenario.RateSchedule`\\ s make both piecewise-constant,
+so the natural extension is a *piecewise* analysis: split time at the union
+of the two schedules' breakpoints, apply Theorem 1 to the effective rates of
+each segment (base rates times the segment's arrival/seed factors), and
+combine the segment verdicts into one conservative whole-run verdict —
+**stable iff every segment is stable**, unstable as soon as any segment is
+unstable, borderline otherwise.
+
+The whole-run verdict is deliberately conservative rather than exact: a
+finite unstable window does not make the process transient in the
+Markov-chain sense (the backlog it builds may drain once the window closes),
+but a run certified "stable" here never leaves the Theorem-1 region at any
+instant.  A segment with arrival factor 0 admits no arrivals at all, so it is
+reported stable regardless of the seed factor.
+
+Heterogeneous peer classes fall outside Theorem 1's homogeneous hypotheses;
+scenarios with classes are reported as ``out-of-theory`` (an explicit
+verdict bucket, used as-is by the fleet layer's confusion census).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from .scenario import ScenarioSpec
+from .stability import Stability, analyze
+
+#: Whole-run verdict for scenarios Theorem 1 does not cover.
+OUT_OF_THEORY = "out-of-theory"
+
+
+@dataclass(frozen=True)
+class SegmentVerdict:
+    """Theorem-1 outcome on one constant-rate segment of a scenario."""
+
+    start: float
+    end: float  # math.inf on the last segment
+    arrival_factor: float
+    seed_factor: float
+    verdict: str  # a Stability value
+    margin: float
+
+    def row(self) -> Tuple[str, float, float, str, float]:
+        span = f"[{self.start:g}, {'inf' if math.isinf(self.end) else f'{self.end:g}'})"
+        return (span, self.arrival_factor, self.seed_factor, self.verdict, self.margin)
+
+
+@dataclass(frozen=True)
+class ScheduleStabilityReport:
+    """Per-segment Theorem-1 verdicts plus the conservative whole-run one."""
+
+    scenario_name: str
+    segments: Tuple[SegmentVerdict, ...]
+    overall: str  # "stable" | "unstable" | "borderline" | OUT_OF_THEORY
+
+    @property
+    def is_piecewise(self) -> bool:
+        """True when the scenario actually varies the rates over time."""
+        return len(self.segments) > 1
+
+    def describe(self) -> str:
+        lines = [f"scenario {self.scenario_name!r}: whole-run verdict {self.overall}"]
+        for segment in self.segments:
+            span, af, sf, verdict, margin = segment.row()
+            lines.append(
+                f"  {span}: arrivals x{af:g}, seed x{sf:g} -> {verdict} "
+                f"(margin {margin:+.4g})"
+            )
+        if not self.segments:
+            lines.append("  (heterogeneous classes: outside Theorem 1)")
+        return "\n".join(lines)
+
+
+def piecewise_stability(scenario: ScenarioSpec) -> ScheduleStabilityReport:
+    """Theorem-1 verdicts per schedule segment, with a conservative summary.
+
+    The whole-run verdict is ``stable`` iff every segment is stable,
+    ``unstable`` when any segment is unstable, ``borderline`` otherwise, and
+    ``out-of-theory`` for heterogeneous (classed) scenarios.
+    """
+    if scenario.is_heterogeneous:
+        return ScheduleStabilityReport(
+            scenario_name=scenario.name, segments=(), overall=OUT_OF_THEORY
+        )
+    breakpoints = sorted(
+        set(scenario.arrival_schedule.times) | set(scenario.seed_schedule.times)
+    )
+    segments = []
+    for index, start in enumerate(breakpoints):
+        end = breakpoints[index + 1] if index + 1 < len(breakpoints) else math.inf
+        arrival_factor = scenario.arrival_schedule.value_at(start)
+        seed_factor = scenario.seed_schedule.value_at(start)
+        if arrival_factor == 0.0:
+            # No arrivals at all during this segment: the population cannot
+            # grow, so the segment is trivially stable.
+            verdict, margin = Stability.STABLE.value, math.inf
+        else:
+            params = scenario.params
+            if arrival_factor != 1.0:
+                params = params.scaled_arrivals(arrival_factor)
+            if seed_factor != 1.0:
+                params = params.with_seed_rate(params.seed_rate * seed_factor)
+            report = analyze(params)
+            verdict, margin = report.verdict.value, report.margin
+        segments.append(
+            SegmentVerdict(
+                start=start,
+                end=end,
+                arrival_factor=arrival_factor,
+                seed_factor=seed_factor,
+                verdict=verdict,
+                margin=margin,
+            )
+        )
+    if any(s.verdict == Stability.UNSTABLE.value for s in segments):
+        overall = Stability.UNSTABLE.value
+    elif all(s.verdict == Stability.STABLE.value for s in segments):
+        overall = Stability.STABLE.value
+    else:
+        overall = Stability.BORDERLINE.value
+    return ScheduleStabilityReport(
+        scenario_name=scenario.name, segments=tuple(segments), overall=overall
+    )
+
+
+__all__ = [
+    "OUT_OF_THEORY",
+    "ScheduleStabilityReport",
+    "SegmentVerdict",
+    "piecewise_stability",
+]

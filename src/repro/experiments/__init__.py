@@ -13,11 +13,13 @@ One module per experiment of the DESIGN.md index:
 * E9 :mod:`repro.experiments.lyapunov_exp` — Section VII drift verification;
 * E10 :mod:`repro.experiments.queueing_exp` — appendix bounds;
 * E11 :mod:`repro.experiments.scenarios` — one-club dynamics under scenario
-  workloads (flash crowd, seed outage, heterogeneous classes, ...).
+  workloads (flash crowd, seed outage, heterogeneous classes, ...);
+* E12 :mod:`repro.experiments.fleet` — fleet phase diagram: one-club capture
+  prevalence over the ``(λ, U_s)`` plane, per-scenario breakdown.
 
 The :mod:`repro.experiments.runner` module provides the shared stability-trial
 harness plus the batched :func:`~repro.experiments.runner.run_scenario`
-entry point.
+entry point; fleets run through :mod:`repro.fleet`.
 """
 
 from .coding import CodingResult, run_coding_experiment
@@ -25,6 +27,11 @@ from .dwell_time import DwellTimeResult, run_dwell_time_experiment
 from .example1 import Example1Result, run_example1
 from .example2 import Example2Result, run_example2
 from .example3 import Example3Result, run_example3
+from .fleet import (
+    FleetPhaseDiagramResult,
+    PhaseCell,
+    run_fleet_phase_diagram,
+)
 from .lyapunov_exp import LyapunovResult, run_lyapunov_experiment
 from .mu_infinity_exp import MuInfinityResult, run_mu_infinity_experiment
 from .one_club import OneClubResult, run_one_club_experiment
@@ -49,7 +56,9 @@ __all__ = [
     "Example1Result",
     "Example2Result",
     "Example3Result",
+    "FleetPhaseDiagramResult",
     "LyapunovResult",
+    "PhaseCell",
     "MuInfinityResult",
     "OneClubResult",
     "PolicyResult",
@@ -63,6 +72,7 @@ __all__ = [
     "run_example1",
     "run_example2",
     "run_example3",
+    "run_fleet_phase_diagram",
     "run_lyapunov_experiment",
     "run_mu_infinity_experiment",
     "run_one_club_experiment",

@@ -1,0 +1,174 @@
+"""Experiment E12 — fleet phase diagram over the Theorem-1 boundary.
+
+Theorem 1 draws a sharp stability boundary in the ``(λ, U_s)`` plane for a
+single swarm; this experiment measures where the *missing-piece capture*
+actually bites across a whole fleet.  A :class:`~repro.fleet.spec.GridSampler`
+cycles a fleet of swarms over a cartesian ``arrival_rate × seed_rate`` grid
+(``swarms_per_cell`` swarms per cell, each drawn through the scenario mix),
+every swarm starts from a modest pre-built one-club, and the fleet census
+reports per cell the fraction of swarms whose one-club survived and captured
+the swarm.  Inside the stable region the club should dissolve (capture
+prevalence ≈ 0); past the boundary the club persists and absorbs the
+population (prevalence → 1); scenarios (free riders, flash crowds, ...)
+shift where the empirical boundary sits relative to the constant-rate
+theory.
+
+Everything runs on one :class:`~repro.fleet.scheduler.FleetScheduler` fleet,
+so ``backend=`` / ``workers=`` / checkpointing behave exactly as everywhere
+else, and the per-scenario breakdown and theory-vs-outcome confusion census
+come straight from the shared :class:`~repro.fleet.result.FleetResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.tables import format_table
+from ..core.scenario import base_params
+from ..core.stability import analyze
+from ..fleet.result import FleetResult
+from ..fleet.scheduler import FleetScheduler
+from ..fleet.spec import FleetSpec, GridSampler, ScenarioWeight
+from ..simulation.rng import SeedLike
+
+#: Default scenario mix: plain swarms next to leech-heavy ones, so the
+#: diagram shows how free riding shifts the empirical boundary.
+DEFAULT_MIX: Tuple[ScenarioWeight, ...] = (
+    ScenarioWeight.of(None, weight=2.0),
+    ScenarioWeight.of("free-rider", weight=1.0, leech_fraction=0.6),
+)
+
+
+@dataclass(frozen=True)
+class PhaseCell:
+    """Capture census of one ``(arrival_rate, seed_rate)`` grid cell."""
+
+    arrival_rate: float
+    seed_rate: float
+    swarms: int
+    captured: int
+    theory: str  # constant-rate Theorem-1 verdict at the cell's base rates
+
+    @property
+    def captured_fraction(self) -> float:
+        return self.captured / self.swarms if self.swarms else 0.0
+
+
+@dataclass
+class FleetPhaseDiagramResult:
+    """The fleet outcome reshaped into the ``(λ, U_s)`` capture grid."""
+
+    arrival_rates: Tuple[float, ...]
+    seed_rates: Tuple[float, ...]
+    cells: Dict[Tuple[float, float], PhaseCell]
+    fleet: FleetResult
+    spec: FleetSpec
+
+    def cell(self, arrival_rate: float, seed_rate: float) -> PhaseCell:
+        return self.cells[(arrival_rate, seed_rate)]
+
+    def report(self) -> str:
+        """Capture-fraction grid (rows: U_s, columns: λ) plus the fleet census.
+
+        Each grid entry shows the captured fraction and the constant-rate
+        Theorem-1 verdict (``S``/``U``/``B``) at the cell's base rates.
+        """
+        headers = ["Us \\ lambda"] + [f"{rate:g}" for rate in self.arrival_rates]
+        rows: List[List[str]] = []
+        for seed_rate in self.seed_rates:
+            row = [f"{seed_rate:g}"]
+            for arrival_rate in self.arrival_rates:
+                cell = self.cells[(arrival_rate, seed_rate)]
+                row.append(f"{cell.captured_fraction:.0%} {cell.theory[0].upper()}")
+            rows.append(row)
+        grid = format_table(
+            headers=headers,
+            rows=rows,
+            title=(
+                "One-club capture prevalence over the Theorem-1 plane "
+                "(S=stable, U=unstable, B=borderline at base rates)"
+            ),
+        )
+        return grid + "\n\n" + self.fleet.report()
+
+
+def run_fleet_phase_diagram(
+    arrival_rates: Sequence[float] = (0.8, 1.6, 2.4, 3.2),
+    seed_rates: Sequence[float] = (0.5, 1.5),
+    swarms_per_cell: int = 4,
+    scenario_mix: Optional[Sequence[ScenarioWeight]] = DEFAULT_MIX,
+    num_pieces: int = 5,
+    horizon: float = 60.0,
+    initial_club_size: int = 30,
+    max_events: Optional[int] = 20_000,
+    max_population: Optional[int] = 5_000,
+    backend: str = "array",
+    workers: Optional[int] = None,
+    seed: SeedLike = 0,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+) -> FleetPhaseDiagramResult:
+    """Run the capture phase diagram as one fleet.
+
+    The grid has ``len(arrival_rates) * len(seed_rates)`` cells with exactly
+    ``swarms_per_cell`` swarms each (the grid sampler cycles over the swarm
+    index).  ``scenario_mix=None`` runs plain homogeneous swarms only.
+    """
+    sampler = GridSampler.of(
+        {"arrival_rate": tuple(arrival_rates), "seed_rate": tuple(seed_rates)},
+        num_pieces=num_pieces,
+    )
+    spec = FleetSpec(
+        name="phase-diagram",
+        num_swarms=sampler.grid_size * swarms_per_cell,
+        sampler=sampler,
+        scenario_mix=tuple(scenario_mix) if scenario_mix else (),
+        horizon=horizon,
+        max_events=max_events,
+        max_population=max_population,
+        backend=backend,
+        initial_club_size=initial_club_size,
+    )
+    scheduler = FleetScheduler(
+        spec, workers=workers, checkpoint_path=checkpoint_path
+    )
+    fleet = scheduler.run(seed=seed)
+    cells: Dict[Tuple[float, float], PhaseCell] = {}
+    for arrival_rate in arrival_rates:
+        for seed_rate in seed_rates:
+            matching = [
+                record
+                for record in fleet.records
+                if record.arrival_rate == arrival_rate
+                and record.seed_rate == seed_rate
+            ]
+            theory = analyze(
+                base_params(
+                    num_pieces=num_pieces,
+                    arrival_rate=arrival_rate,
+                    seed_rate=seed_rate,
+                )
+            ).verdict.value
+            cells[(arrival_rate, seed_rate)] = PhaseCell(
+                arrival_rate=arrival_rate,
+                seed_rate=seed_rate,
+                swarms=len(matching),
+                captured=sum(1 for record in matching if record.captured),
+                theory=theory,
+            )
+    return FleetPhaseDiagramResult(
+        arrival_rates=tuple(arrival_rates),
+        seed_rates=tuple(seed_rates),
+        cells=cells,
+        fleet=fleet,
+        spec=spec,
+    )
+
+
+__all__ = [
+    "DEFAULT_MIX",
+    "FleetPhaseDiagramResult",
+    "PhaseCell",
+    "run_fleet_phase_diagram",
+]

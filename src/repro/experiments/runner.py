@@ -67,6 +67,30 @@ def _run_replication(task) -> SwarmResult:
     return simulator.run(horizon, initial_state=initial_state, **run_kwargs)
 
 
+def map_tasks(function, tasks: Sequence, workers: Optional[int]):
+    """Stream ``function`` over ``tasks``, serially or on a process pool.
+
+    ``workers in (None, 0, 1)`` runs in-process; larger values use a
+    ``multiprocessing`` pool of ``min(workers, len(tasks))`` processes.
+    Results are yielded strictly in task order either way, so callers'
+    outcomes never depend on the worker count.  The pool is torn down when
+    the generator is exhausted *or* closed early (a consumer that stops
+    iterating — e.g. the fleet scheduler hitting a checkpoint stop — cancels
+    the outstanding work).
+
+    This is the one process-fan-out primitive of the experiment stack:
+    :class:`BatchRunner` maps replications through it and
+    :class:`repro.fleet.scheduler.FleetScheduler` maps swarm chunks.
+    """
+    workers = workers or 0
+    if workers > 1 and len(tasks) > 1:
+        with multiprocessing.Pool(min(workers, len(tasks))) as pool:
+            yield from pool.imap(function, tasks)
+    else:
+        for task in tasks:
+            yield function(task)
+
+
 @dataclass
 class BatchSwarmResult:
     """Aggregated outcome of a batch of independent swarm replications."""
@@ -173,12 +197,7 @@ class BatchRunner:
             )
             for rng in rngs
         ]
-        workers = self.workers or 0
-        if workers > 1 and replications > 1:
-            with multiprocessing.Pool(min(workers, replications)) as pool:
-                results = pool.map(_run_replication, tasks)
-        else:
-            results = [_run_replication(task) for task in tasks]
+        results = list(map_tasks(_run_replication, tasks, self.workers))
         return BatchSwarmResult(results=results, backend=self.backend)
 
 
@@ -398,6 +417,7 @@ __all__ = [
     "BatchSwarmResult",
     "StabilityTrialResult",
     "SweepResult",
+    "map_tasks",
     "run_scenario",
     "run_stability_trial",
     "run_sweep",

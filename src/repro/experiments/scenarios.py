@@ -7,10 +7,13 @@ scenarios the paper only gestures at — a flash crowd (arrival-rate surge)
 and a seed outage (the fixed seed goes dark for a window) — plus any other
 registered scenario, and reports for each:
 
-* the Theorem-1 verdict for the *base* rates and for the schedules'
+* the Theorem-1 verdict for the *base* rates, for the schedules'
   *worst case* — peak arrival factor combined with minimum seed factor —
-  since the schedule may carry the system across the stability boundary
-  mid-run;
+  and the *piecewise* whole-run verdict of
+  :func:`repro.core.schedule_stability.piecewise_stability` (stable iff
+  every schedule segment is stable; ``out-of-theory`` for classed
+  scenarios), since the schedule may carry the system across the stability
+  boundary mid-run;
 * the measured one-club growth rate and the empirical trajectory verdict;
 * final population / one-club size and the thinned-event count (a sanity
   check that the schedule actually bit).
@@ -31,6 +34,7 @@ import numpy as np
 from ..analysis.statistics import linear_slope
 from ..analysis.tables import format_table
 from ..core.scenario import ScenarioSpec, make_scenario
+from ..core.schedule_stability import piecewise_stability
 from ..core.stability import analyze
 from ..core.state import SystemState
 from ..markov.classify import classify_trajectory, majority_verdict
@@ -49,17 +53,19 @@ class ScenarioDynamicsRun:
     scenario: ScenarioSpec
     base_verdict: str
     worst_case_verdict: str
+    piecewise_verdict: str
     empirical_verdict: str
     measured_club_growth: float
     mean_final_population: float
     mean_final_one_club: float
     thinned_events: int
 
-    def row(self) -> Tuple[str, str, str, str, float, float, float, int]:
+    def row(self) -> Tuple[str, str, str, str, str, float, float, float, int]:
         return (
             self.scenario.name,
             self.base_verdict,
             self.worst_case_verdict,
+            self.piecewise_verdict,
             self.empirical_verdict,
             self.measured_club_growth,
             self.mean_final_population,
@@ -80,6 +86,7 @@ class ScenarioDynamicsResult:
                 "scenario",
                 "theory (base)",
                 "theory (worst-case)",
+                "theory (piecewise)",
                 "empirical",
                 "club growth",
                 "final population",
@@ -165,6 +172,7 @@ def run_scenario_dynamics(
                 scenario=spec,
                 base_verdict=analyze(spec.params).verdict.value,
                 worst_case_verdict=_worst_case_verdict(spec),
+                piecewise_verdict=piecewise_stability(spec).overall,
                 empirical_verdict=majority_verdict(classifications).value,
                 measured_club_growth=float(np.mean(growths)),
                 mean_final_population=float(

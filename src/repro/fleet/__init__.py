@@ -1,0 +1,65 @@
+"""Fleet layer: many independent swarms as one sharded, resumable workload.
+
+The paper's Theorem 1 answers the stability question *per swarm*; a
+production tracker serves *fleets* of concurrent swarms whose parameters are
+drawn from a population.  This subsystem turns the scenario registry and the
+dual-kernel runner into a phase-diagram machine:
+
+* :mod:`repro.fleet.spec` — :class:`FleetSpec` (swarm count + a parameter
+  sampler + a weighted scenario mix + run controls) and the deterministic
+  per-swarm task materialization;
+* :mod:`repro.fleet.scheduler` — :class:`FleetScheduler` /
+  :func:`run_fleet` / :func:`resume_fleet`: chunked ``multiprocessing``
+  sharding with results independent of the worker count, streaming
+  aggregation, and on-disk checkpoint/resume (including mid-swarm kernel
+  snapshots);
+* :mod:`repro.fleet.result` — :class:`FleetSwarmRecord` and the incremental
+  :class:`FleetResult` census (one-club prevalence, sojourn/download
+  distributions, Theorem-1-vs-outcome confusion counts, per-scenario
+  breakdown);
+* :mod:`repro.fleet.checkpoint` — the atomic pickle checkpoint format.
+
+The fleet-level experiment (a capture phase diagram over the Theorem-1
+boundary) lives in :mod:`repro.experiments.fleet`.
+"""
+
+from .checkpoint import FleetCheckpoint, load_checkpoint, save_checkpoint
+from .result import FleetResult, FleetSwarmRecord, record_from_result, theory_verdict
+from .scheduler import FleetScheduler, resume_fleet, run_fleet
+from .spec import (
+    FixedSampler,
+    FleetSpec,
+    GridSampler,
+    PLAIN_LABEL,
+    ParameterSampler,
+    RandomSampler,
+    SAMPLABLE_FIELDS,
+    ScenarioWeight,
+    SwarmTask,
+    materialize_tasks,
+    normalize_fleet_seed,
+)
+
+__all__ = [
+    "FixedSampler",
+    "FleetCheckpoint",
+    "FleetResult",
+    "FleetScheduler",
+    "FleetSpec",
+    "FleetSwarmRecord",
+    "GridSampler",
+    "PLAIN_LABEL",
+    "ParameterSampler",
+    "RandomSampler",
+    "SAMPLABLE_FIELDS",
+    "ScenarioWeight",
+    "SwarmTask",
+    "load_checkpoint",
+    "materialize_tasks",
+    "normalize_fleet_seed",
+    "record_from_result",
+    "resume_fleet",
+    "run_fleet",
+    "save_checkpoint",
+    "theory_verdict",
+]

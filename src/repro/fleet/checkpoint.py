@@ -1,0 +1,90 @@
+"""On-disk fleet checkpoints: crash-survivable progress for long fleet runs.
+
+A checkpoint freezes a fleet run's progress as pure data: the spec, the
+master seed, the per-swarm records aggregated so far (a strict index
+prefix), and — when the run was stopped mid-swarm — the suspended swarm's
+kernel snapshot from
+:meth:`~repro.swarm.swarm._SwarmEventLoop.capture_state`.  Because swarm
+assignment and simulation seeding are pure functions of ``(spec, seed)``
+(see :func:`repro.fleet.spec.materialize_tasks`) and kernel snapshots resume
+bit-identically, a resumed fleet reproduces the *exact* ``FleetResult`` an
+uninterrupted run would have produced, at any worker count.
+
+Checkpoints are pickled atomically (write to a sibling temp file, then
+``os.replace``), so a crash while checkpointing never corrupts the previous
+checkpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .result import FleetSwarmRecord
+from .spec import FleetSpec
+
+#: Version tag of the checkpoint payload layout.
+CHECKPOINT_FORMAT = 1
+
+
+@dataclass
+class FleetCheckpoint:
+    """Serialized progress of one fleet run."""
+
+    spec: FleetSpec
+    seed: Any
+    records: List[FleetSwarmRecord]
+    #: Index of the next swarm that has not been folded into ``records``.
+    next_index: int
+    #: ``(swarm index, kernel snapshot)`` of a mid-swarm suspension, if any;
+    #: the index always equals ``next_index`` when present.
+    in_flight: Optional[Tuple[int, Dict[str, Any]]] = None
+    format: int = CHECKPOINT_FORMAT
+
+    def __post_init__(self) -> None:
+        if self.next_index != len(self.records):
+            raise ValueError(
+                f"checkpoint prefix mismatch: next_index={self.next_index} but "
+                f"{len(self.records)} records"
+            )
+        if self.in_flight is not None and self.in_flight[0] != self.next_index:
+            raise ValueError(
+                f"in-flight swarm {self.in_flight[0]} does not match "
+                f"next_index={self.next_index}"
+            )
+
+
+def save_checkpoint(path: Union[str, Path], checkpoint: FleetCheckpoint) -> Path:
+    """Atomically pickle ``checkpoint`` to ``path``."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    temp = target.with_name(target.name + ".tmp")
+    with temp.open("wb") as handle:
+        pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(temp, target)
+    return target
+
+
+def load_checkpoint(path: Union[str, Path]) -> FleetCheckpoint:
+    """Load a checkpoint written by :func:`save_checkpoint`."""
+    with Path(path).open("rb") as handle:
+        checkpoint = pickle.load(handle)
+    if not isinstance(checkpoint, FleetCheckpoint):
+        raise ValueError(f"{path} does not contain a FleetCheckpoint")
+    if checkpoint.format != CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"unsupported checkpoint format {checkpoint.format} "
+            f"(expected {CHECKPOINT_FORMAT})"
+        )
+    return checkpoint
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "FleetCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,345 @@
+"""Fleet scheduler: shard swarms over workers, checkpoint, resume.
+
+:class:`FleetScheduler` executes a :class:`~repro.fleet.spec.FleetSpec`:
+
+* **sharding** — the materialized swarm tasks are grouped into chunks of
+  ``chunk_size`` consecutive swarms and mapped over
+  :func:`repro.experiments.runner.map_tasks` (the same process-pool
+  primitive :class:`~repro.experiments.runner.BatchRunner` uses), so many
+  short swarms amortize one worker dispatch;
+* **streaming aggregation** — each finished chunk's
+  :class:`~repro.fleet.result.FleetSwarmRecord`\\ s are folded into the
+  incremental :class:`~repro.fleet.result.FleetResult` strictly in swarm
+  order, so the outcome is a pure function of ``(spec, seed)`` regardless of
+  worker count or chunking;
+* **checkpoint / resume** — with a ``checkpoint_path``, progress is saved
+  after every ``checkpoint_every`` chunks (atomically; see
+  :mod:`repro.fleet.checkpoint`).  :meth:`FleetScheduler.resume` /
+  :func:`resume_fleet` reload a checkpoint and continue to the *exact*
+  ``FleetResult`` of an uninterrupted run.  A run can even stop in the
+  middle of a swarm: the in-flight simulator is suspended through the
+  kernels' ``suspend_after_events`` / ``capture_state`` API and its snapshot
+  rides along in the checkpoint, to be restored and resumed bit-identically.
+
+``run(stop_after_swarms=..., suspend_after_events=...)`` exposes the
+interruption points deterministically, which is how the tests (and the CI
+smoke step) "kill" a fleet mid-run without process signals.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.state import SystemState
+from ..simulation.rng import SeedLike
+from ..swarm.swarm import make_simulator
+from .checkpoint import FleetCheckpoint, load_checkpoint, save_checkpoint
+from .result import FleetResult, FleetSwarmRecord, record_from_result
+from .spec import FleetSpec, SwarmTask, materialize_tasks, normalize_fleet_seed
+
+
+def _build_simulator(spec: FleetSpec, task: SwarmTask):
+    return make_simulator(
+        task.params,
+        seed=np.random.default_rng(task.seed),
+        backend=spec.backend,
+        scenario=task.scenario,
+    )
+
+
+def _run_swarm_task(
+    spec: FleetSpec,
+    task: SwarmTask,
+    suspend_after_events: Optional[int] = None,
+    snapshot: Optional[Dict[str, Any]] = None,
+):
+    """Run (or resume) one swarm; returns a record, or a kernel snapshot
+    when the run suspended at ``suspend_after_events``."""
+    simulator = _build_simulator(spec, task)
+    run_kwargs = dict(
+        sample_interval=spec.sample_interval,
+        max_events=spec.max_events,
+        max_population=spec.max_population,
+    )
+    if snapshot is not None:
+        simulator.restore_state(snapshot)
+        result = simulator.run(spec.horizon, resume=True, **run_kwargs)
+    else:
+        initial = (
+            SystemState.one_club(task.params.num_pieces, spec.initial_club_size)
+            if spec.initial_club_size
+            else None
+        )
+        result = simulator.run(
+            spec.horizon,
+            initial_state=initial,
+            suspend_after_events=suspend_after_events,
+            **run_kwargs,
+        )
+    if result.suspended:
+        return simulator.capture_state()
+    return record_from_result(task, spec, result)
+
+
+def _run_fleet_chunk(job) -> List[FleetSwarmRecord]:
+    """Top-level pool worker: run one chunk of consecutive swarms."""
+    spec, tasks = job
+    return [_run_swarm_task(spec, task) for task in tasks]
+
+
+def _default_chunk_size(num_swarms: int, workers: Optional[int]) -> int:
+    """A few chunks per worker lane: big enough to amortize dispatch, small
+    enough to keep the pool busy and the checkpoint cadence useful."""
+    lanes = max(1, workers or 1)
+    return max(1, min(64, math.ceil(num_swarms / (lanes * 4))))
+
+
+class FleetScheduler:
+    """Execute a fleet spec across processes with checkpointable progress.
+
+    Parameters
+    ----------
+    spec:
+        The frozen fleet description.
+    workers:
+        ``None``/0/1 runs in-process; ``n > 1`` shards chunks over a
+        ``multiprocessing`` pool.  The result is identical either way.
+    chunk_size:
+        Consecutive swarms per worker dispatch (default: a few chunks per
+        worker lane).
+    checkpoint_path:
+        When set, progress is checkpointed here after every
+        ``checkpoint_every`` completed chunks (and at every stop).
+    """
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
+    ):
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        self.spec = spec
+        self.workers = workers
+        self.chunk_size = chunk_size or _default_chunk_size(spec.num_swarms, workers)
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.checkpoint_every = checkpoint_every
+
+    # -- entry points --------------------------------------------------------
+
+    def run(
+        self,
+        seed: SeedLike = 0,
+        stop_after_swarms: Optional[int] = None,
+        suspend_after_events: Optional[int] = None,
+    ) -> FleetResult:
+        """Run the fleet from scratch.
+
+        ``stop_after_swarms`` ends the run (with ``complete=False``) once
+        that many swarms have been folded in — the deterministic equivalent
+        of killing the run.  ``suspend_after_events`` additionally suspends
+        the *next* swarm mid-flight after that many events and stores its
+        kernel snapshot in the checkpoint, exercising the mid-swarm resume
+        path; it requires ``stop_after_swarms`` and a ``checkpoint_path``.
+        """
+        if suspend_after_events is not None and stop_after_swarms is None:
+            raise ValueError(
+                "suspend_after_events requires stop_after_swarms (the swarm "
+                "to suspend is the one right after the stop point)"
+            )
+        if stop_after_swarms is not None and self.checkpoint_path is None:
+            raise ValueError(
+                "stopping early without a checkpoint_path would lose the "
+                "completed work; configure a checkpoint"
+            )
+        # Normalized once up front: the checkpoint then stores a pure,
+        # picklable token, so resume re-derives the identical task list even
+        # when the caller passed a (mutable) SeedSequence or Generator.
+        seed = normalize_fleet_seed(seed)
+        tasks = materialize_tasks(self.spec, seed)
+        result = FleetResult(spec_name=self.spec.name, num_swarms=self.spec.num_swarms)
+        return self._execute(
+            tasks,
+            result,
+            seed,
+            in_flight=None,
+            stop_after_swarms=stop_after_swarms,
+            suspend_after_events=suspend_after_events,
+        )
+
+    def resume(self, checkpoint_path: Optional[Union[str, Path]] = None) -> FleetResult:
+        """Continue a checkpointed run to completion.
+
+        The checkpoint's spec must equal this scheduler's spec; the master
+        seed travels inside the checkpoint.  A mid-swarm snapshot, when
+        present, is restored into a fresh simulator and resumed first.
+        """
+        path = Path(checkpoint_path) if checkpoint_path else self.checkpoint_path
+        if path is None:
+            raise ValueError("no checkpoint_path configured or given")
+        checkpoint = load_checkpoint(path)
+        if checkpoint.spec != self.spec:
+            raise ValueError(
+                "checkpoint spec does not match this scheduler's spec; "
+                "use FleetScheduler.from_checkpoint"
+            )
+        tasks = materialize_tasks(self.spec, checkpoint.seed)
+        result = FleetResult.from_records(
+            self.spec.name, self.spec.num_swarms, list(checkpoint.records)
+        )
+        return self._execute(
+            tasks,
+            result,
+            checkpoint.seed,
+            in_flight=checkpoint.in_flight,
+            stop_after_swarms=None,
+            suspend_after_events=None,
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        checkpoint_path: Union[str, Path],
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        checkpoint_every: int = 1,
+    ) -> "FleetScheduler":
+        """Build a scheduler around the spec stored in a checkpoint."""
+        checkpoint = load_checkpoint(checkpoint_path)
+        return cls(
+            checkpoint.spec,
+            workers=workers,
+            chunk_size=chunk_size,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+
+    # -- core ---------------------------------------------------------------
+
+    def _execute(
+        self,
+        tasks: Sequence[SwarmTask],
+        result: FleetResult,
+        seed: SeedLike,
+        in_flight: Optional[Tuple[int, Dict[str, Any]]],
+        stop_after_swarms: Optional[int],
+        suspend_after_events: Optional[int],
+    ) -> FleetResult:
+        # Deferred: repro.experiments.fleet (the phase-diagram experiment)
+        # sits on top of this module, so a module-level import of the
+        # experiments package here would be circular.
+        from ..experiments.runner import map_tasks
+
+        spec = self.spec
+        if in_flight is not None:
+            index, snapshot = in_flight
+            outcome = _run_swarm_task(spec, tasks[index], snapshot=snapshot)
+            result.add(outcome)
+            self._write_checkpoint(result, seed, in_flight=None)
+        done = len(result.records)
+        target = spec.num_swarms
+        if stop_after_swarms is not None:
+            target = min(target, max(stop_after_swarms, done))
+        to_run = tasks[done:target]
+        chunks = [
+            (spec, to_run[start : start + self.chunk_size])
+            for start in range(0, len(to_run), self.chunk_size)
+        ]
+        since_checkpoint = 0
+        for records in map_tasks(_run_fleet_chunk, chunks, self.workers):
+            for record in records:
+                result.add(record)
+            since_checkpoint += 1
+            if since_checkpoint >= self.checkpoint_every:
+                self._write_checkpoint(result, seed, in_flight=None)
+                since_checkpoint = 0
+        if result.complete:
+            self._write_checkpoint(result, seed, in_flight=None)
+            return result
+        # Early stop: optionally suspend the next swarm mid-flight so the
+        # checkpoint carries a kernel snapshot across the "kill".
+        pending_in_flight = None
+        if suspend_after_events is not None and len(result.records) < spec.num_swarms:
+            task = tasks[len(result.records)]
+            outcome = _run_swarm_task(
+                spec, task, suspend_after_events=suspend_after_events
+            )
+            if isinstance(outcome, FleetSwarmRecord):
+                # The swarm ended before the suspension point; record it.
+                result.add(outcome)
+            else:
+                pending_in_flight = (task.index, outcome)
+        self._write_checkpoint(result, seed, in_flight=pending_in_flight)
+        return result
+
+    def _write_checkpoint(
+        self,
+        result: FleetResult,
+        seed: SeedLike,
+        in_flight: Optional[Tuple[int, Dict[str, Any]]],
+    ) -> None:
+        if self.checkpoint_path is None:
+            return
+        save_checkpoint(
+            self.checkpoint_path,
+            FleetCheckpoint(
+                spec=self.spec,
+                seed=seed,
+                records=list(result.records),
+                next_index=len(result.records),
+                in_flight=in_flight,
+            ),
+        )
+
+
+def run_fleet(
+    spec: FleetSpec,
+    seed: SeedLike = 0,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 1,
+    stop_after_swarms: Optional[int] = None,
+    suspend_after_events: Optional[int] = None,
+) -> FleetResult:
+    """One-call fleet execution (see :class:`FleetScheduler`)."""
+    scheduler = FleetScheduler(
+        spec,
+        workers=workers,
+        chunk_size=chunk_size,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    )
+    return scheduler.run(
+        seed=seed,
+        stop_after_swarms=stop_after_swarms,
+        suspend_after_events=suspend_after_events,
+    )
+
+
+def resume_fleet(
+    checkpoint_path: Union[str, Path],
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    checkpoint_every: int = 1,
+) -> FleetResult:
+    """Resume a checkpointed fleet to completion (see :class:`FleetScheduler`)."""
+    scheduler = FleetScheduler.from_checkpoint(
+        checkpoint_path,
+        workers=workers,
+        chunk_size=chunk_size,
+        checkpoint_every=checkpoint_every,
+    )
+    return scheduler.resume()
+
+
+__all__ = ["FleetScheduler", "resume_fleet", "run_fleet"]

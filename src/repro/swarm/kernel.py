@@ -82,6 +82,8 @@ class ArraySwarmKernel(_SwarmEventLoop):
     bitmask per peer suffices.
     """
 
+    backend_name = "array"
+
     def __init__(
         self,
         params: SystemParameters,
@@ -145,7 +147,7 @@ class ArraySwarmKernel(_SwarmEventLoop):
         self._single_arrival_mask = (
             self._arrival_masks[0] if len(self._arrival_masks) == 1 else None
         )
-        self._init_scenario(scenario)
+        self._init_driver(scenario)
         # Heterogeneous mode mirrors the object simulator's per-class
         # bookkeeping at the row level: _class_idx holds each row's class,
         # _member_slot its index in the per-class membership list, and the
@@ -353,6 +355,54 @@ class ArraySwarmKernel(_SwarmEventLoop):
         if last_row != row:
             sped[index] = last_row
             self._sped_slot[last_row] = index
+
+    # -- snapshot hooks ----------------------------------------------------------
+
+    #: The per-row columns captured by a snapshot (hetero columns added when
+    #: a heterogeneous scenario is active).
+    _SNAPSHOT_COLUMNS = (
+        "masks",
+        "arrival_time",
+        "completed_at",
+        "arrived_with_rare",
+        "infected",
+        "was_one_club",
+        "seed_slot",
+        "sped_slot",
+    )
+
+    def _capture_backend_state(self) -> Dict[str, object]:
+        n = self._n
+        state: Dict[str, object] = {
+            "n": n,
+            "seeds": list(self._seeds),
+            "sped": list(self._sped),
+            "one_club_count": self._one_club_count,
+            "piece_counts": dict(self._piece_counts),
+        }
+        columns = list(self._SNAPSHOT_COLUMNS)
+        if self._classes is not None:
+            columns += ["class_idx", "member_slot"]
+        for name in columns:
+            state[name] = getattr(self, "_" + name)[:n].copy()
+        return state
+
+    def _restore_backend_state(self, state: Dict[str, object]) -> None:
+        n = int(state["n"])
+        while len(self._masks) < n:
+            self._grow()
+        self._n = n
+        columns = list(self._SNAPSHOT_COLUMNS)
+        if self._classes is not None:
+            columns += ["class_idx", "member_slot"]
+        for name in columns:
+            getattr(self, "_" + name)[:n] = state[name]
+        self._seeds[:] = state["seeds"]
+        self._sped[:] = state["sped"]
+        self._one_club_count = state["one_club_count"]
+        # The SwarmView proxies this dict, so update it in place.
+        self._piece_counts.clear()
+        self._piece_counts.update(state["piece_counts"])
 
     def seed_population(self, initial_state: SystemState) -> None:
         """Populate the swarm from a :class:`SystemState` before running."""

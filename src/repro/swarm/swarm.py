@@ -30,10 +30,11 @@ trajectory-equivalent under a shared seed and are selected via
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass
 from types import MappingProxyType
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,13 +51,22 @@ from .policies import PieceSelectionPolicy, RandomUsefulSelection, SwarmView
 
 @dataclass
 class SwarmResult:
-    """Outcome of one swarm simulation run."""
+    """Outcome of one swarm simulation run (or run segment).
+
+    ``suspended`` is True when the run stopped at ``suspend_after_events``
+    and can be continued bit-identically via ``run(..., resume=True)``
+    (possibly on a fresh simulator after ``capture_state`` /
+    ``restore_state``).  ``events_executed`` counts the events applied so
+    far in the current run, cumulatively across resumed segments.
+    """
 
     metrics: SwarmMetrics
     final_time: float
     final_population: int
     final_state: SystemState
     horizon_reached: bool
+    suspended: bool = False
+    events_executed: int = 0
 
 
 class _SwarmEventLoop:
@@ -73,7 +83,24 @@ class _SwarmEventLoop:
     * ``_record_sample(time)`` — metrics recording at grid points,
     * ``current_state()`` — the final :class:`SystemState` aggregation,
     * ``_handle_arrival`` / ``_handle_seed_tick`` / ``_handle_peer_tick`` /
-      ``_handle_seed_departure``.
+      ``_handle_seed_departure``,
+    * ``backend_name`` plus ``_capture_backend_state()`` /
+      ``_restore_backend_state(state)`` — the snapshot hooks behind the
+      shared :meth:`capture_state` / :meth:`restore_state` API.
+
+    Snapshot / resume contract
+    --------------------------
+    :meth:`run` keeps its loop state (sample grid position, cumulative event
+    count) on the instance, so a run can be *suspended* after a given number
+    of events (``suspend_after_events=``) and later continued with
+    ``run(..., resume=True)``; the continuation consumes the RNG exactly as
+    an uninterrupted run would, so the full trajectory is bit-identical.
+    :meth:`capture_state` serialises everything mutable — RNG state, clock,
+    metrics, population, scenario bookkeeping, run-loop position — into a
+    picklable dict, and :meth:`restore_state` loads such a snapshot into a
+    freshly constructed simulator with the *same constructor arguments*
+    (params, policy, scenario, backend).  Schedules are stateless tables, so
+    the scenario "position" is fully determined by the restored clock.
 
     Scenario support also lives here (see :mod:`repro.core.scenario`):
 
@@ -102,7 +129,20 @@ class _SwarmEventLoop:
     scenario: Optional[ScenarioSpec]
     _classes: Optional[Tuple[PeerClass, ...]]
 
+    #: Overridden by each backend; recorded in snapshots so a state captured
+    #: on one backend cannot be restored into the other by mistake.
+    backend_name = "abstract"
+
     # -- scenario plumbing -----------------------------------------------------
+
+    def _init_driver(self, scenario: Optional[ScenarioSpec]) -> None:
+        """Initialise the shared driver: scenario digestion + run-loop state."""
+        self._init_scenario(scenario)
+        self._run_active = False
+        self._run_horizon: Optional[float] = None
+        self._run_interval: Optional[float] = None
+        self._next_sample = 0.0
+        self._events = 0
 
     def _init_scenario(self, scenario: Optional[ScenarioSpec]) -> None:
         """Digest a :class:`ScenarioSpec` into the event loop's fast fields.
@@ -334,6 +374,8 @@ class _SwarmEventLoop:
         sample_interval: Optional[float] = None,
         max_events: Optional[int] = None,
         max_population: Optional[int] = None,
+        resume: bool = False,
+        suspend_after_events: Optional[int] = None,
     ) -> "SwarmResult":
         """Simulate until ``horizon`` (simulation time units).
 
@@ -341,16 +383,57 @@ class _SwarmEventLoop:
         the unstable regime, where the population grows linearly without
         bound; hitting either cap ends the run early with
         ``horizon_reached=False``.
+
+        ``suspend_after_events`` *suspends* the run once the cumulative event
+        count reaches the bound: unlike the ``max_events`` cap, the trailing
+        sample grid is not flushed and the run stays continuable —
+        ``run(horizon, resume=True)`` (on this simulator, or on a fresh one
+        after ``capture_state`` / ``restore_state``) picks up exactly where
+        the suspension left off, yielding the same trajectory an
+        uninterrupted run would have produced.  Event-count bounds are
+        cumulative across resumed segments.
         """
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
-        if initial_state is not None:
-            self.seed_population(initial_state)
-        interval = sample_interval if sample_interval is not None else horizon / 200.0
-        next_sample = 0.0
-        events = 0
+        if resume:
+            if not self._run_active:
+                raise RuntimeError(
+                    "resume=True requires a suspended run (start one with "
+                    "run(..., suspend_after_events=...) or restore_state)"
+                )
+            if initial_state is not None:
+                raise ValueError("initial_state cannot be combined with resume=True")
+            if horizon != self._run_horizon:
+                raise ValueError(
+                    f"resumed horizon {horizon} does not match the suspended "
+                    f"run's horizon {self._run_horizon}"
+                )
+            if sample_interval is not None and sample_interval != self._run_interval:
+                raise ValueError(
+                    f"resumed sample_interval {sample_interval} does not match "
+                    f"the suspended run's interval {self._run_interval}"
+                )
+            interval = self._run_interval
+        else:
+            if initial_state is not None:
+                self.seed_population(initial_state)
+            interval = (
+                sample_interval if sample_interval is not None else horizon / 200.0
+            )
+            self._run_active = True
+            self._run_horizon = horizon
+            self._run_interval = interval
+            self._next_sample = 0.0
+            self._events = 0
+        next_sample = self._next_sample
+        events = self._events
         horizon_reached = True
+        suspended = False
         while True:
+            if suspend_after_events is not None and events >= suspend_after_events:
+                horizon_reached = False
+                suspended = True
+                break
             if max_events is not None and events >= max_events:
                 horizon_reached = False
                 break
@@ -375,20 +458,130 @@ class _SwarmEventLoop:
             self._time = next_event_time
             self._apply_event(rates)
             events += 1
-        while next_sample <= horizon:
-            self._record_sample(next_sample)
-            next_sample += interval
+        if not suspended:
+            while next_sample <= horizon:
+                self._record_sample(next_sample)
+                next_sample += interval
+        self._next_sample = next_sample
+        self._events = events
+        if not suspended:
+            self._run_active = False
         return SwarmResult(
             metrics=self.metrics,
             final_time=self._time,
             final_population=self.population,
             final_state=self.current_state(),
             horizon_reached=horizon_reached,
+            suspended=suspended,
+            events_executed=events,
         )
+
+    # -- snapshot / restore ------------------------------------------------------
+
+    #: Version tag of the snapshot layout produced by :meth:`capture_state`.
+    SNAPSHOT_FORMAT = 1
+
+    def capture_state(self) -> Dict[str, Any]:
+        """Serialise the simulator's full mutable state into a picklable dict.
+
+        The snapshot covers the RNG state, the event-loop clock, the metrics
+        stream, the run-loop position (sample grid, cumulative event count)
+        and the backend's population state, plus the per-class bookkeeping
+        lists when a heterogeneous scenario is active.  Restoring it into a
+        fresh simulator built with the same constructor arguments (see
+        :meth:`restore_state`) continues the trajectory bit-identically.
+        """
+        snapshot: Dict[str, Any] = {
+            "format": self.SNAPSHOT_FORMAT,
+            "backend": self.backend_name,
+            "num_pieces": self.params.num_pieces,
+            "scenario": self.scenario.name if self.scenario is not None else None,
+            "time": self._time,
+            "rng_state": copy.deepcopy(self.rng.bit_generator.state),
+            "metrics": copy.deepcopy(self.metrics),
+            "run": {
+                "active": self._run_active,
+                "horizon": self._run_horizon,
+                "interval": self._run_interval,
+                "next_sample": self._next_sample,
+                "events": self._events,
+            },
+            "class_lists": None,
+            "backend_state": self._capture_backend_state(),
+        }
+        if self._classes is not None:
+            snapshot["class_lists"] = copy.deepcopy(
+                (self._class_members, self._class_seeds, self._class_sped)
+            )
+        return snapshot
+
+    def restore_state(self, snapshot: Dict[str, Any]) -> None:
+        """Load a :meth:`capture_state` snapshot into this simulator.
+
+        The simulator must have been constructed with the same arguments as
+        the one that produced the snapshot (backend, ``num_pieces``,
+        scenario); mismatches raise ``ValueError``.  The snapshot itself is
+        never mutated, so the same snapshot can be restored repeatedly.
+        """
+        if snapshot.get("format") != self.SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported snapshot format {snapshot.get('format')!r} "
+                f"(expected {self.SNAPSHOT_FORMAT})"
+            )
+        if snapshot["backend"] != self.backend_name:
+            raise ValueError(
+                f"snapshot was captured on backend {snapshot['backend']!r}, "
+                f"cannot restore into {self.backend_name!r}"
+            )
+        if snapshot["num_pieces"] != self.params.num_pieces:
+            raise ValueError(
+                f"snapshot has K={snapshot['num_pieces']}, simulator has "
+                f"K={self.params.num_pieces}"
+            )
+        expected_scenario = self.scenario.name if self.scenario is not None else None
+        if snapshot["scenario"] != expected_scenario:
+            raise ValueError(
+                f"snapshot scenario {snapshot['scenario']!r} does not match "
+                f"the simulator's scenario {expected_scenario!r}"
+            )
+        self.rng.bit_generator.state = copy.deepcopy(snapshot["rng_state"])
+        self._time = snapshot["time"]
+        self.metrics = copy.deepcopy(snapshot["metrics"])
+        run = snapshot["run"]
+        self._run_active = run["active"]
+        self._run_horizon = run["horizon"]
+        self._run_interval = run["interval"]
+        self._next_sample = run["next_sample"]
+        self._events = run["events"]
+        class_lists = snapshot["class_lists"]
+        if (class_lists is not None) != (self._classes is not None):
+            raise ValueError(
+                "snapshot heterogeneous-class state does not match the "
+                "simulator's scenario configuration"
+            )
+        if class_lists is not None:
+            members, seeds, sped = copy.deepcopy(class_lists)
+            if len(members) != len(self._class_members):
+                raise ValueError("snapshot class count does not match scenario")
+            for target, source in zip(self._class_members, members):
+                target[:] = source
+            for target, source in zip(self._class_seeds, seeds):
+                target[:] = source
+            for target, source in zip(self._class_sped, sped):
+                target[:] = source
+        self._restore_backend_state(copy.deepcopy(snapshot["backend_state"]))
+
+    def _capture_backend_state(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def _restore_backend_state(self, state: Dict[str, Any]) -> None:
+        raise NotImplementedError
 
 
 class SwarmSimulator(_SwarmEventLoop):
     """Event-driven peer-level simulation of the P2P swarm."""
+
+    backend_name = "object"
 
     def __init__(
         self,
@@ -420,7 +613,7 @@ class SwarmSimulator(_SwarmEventLoop):
         # list so the total tick weight and the weighted peer sampling are O(1).
         self._sped_ids: List[int] = []
         self._sped_position: Dict[int, int] = {}
-        self._init_scenario(scenario)
+        self._init_driver(scenario)
         # In heterogeneous mode the seed/sped lists live per class
         # (self._class_seeds / self._class_sped, ids in arrival order) and the
         # position dicts index into the peer's class list; _member_pos indexes
@@ -576,6 +769,39 @@ class SwarmSimulator(_SwarmEventLoop):
                 self._add_peer(type_c)
         # The pre-seeded peers are not exogenous arrivals.
         self.metrics.total_arrivals -= initial_state.total_peers
+
+    # -- snapshot hooks ----------------------------------------------------------
+
+    def _capture_backend_state(self) -> Dict[str, object]:
+        return copy.deepcopy(
+            {
+                "peers": self._peers,
+                "order": self._order,
+                "position": self._position,
+                "seeds": self._seeds,
+                "seed_position": self._seed_position,
+                "sped_ids": self._sped_ids,
+                "sped_position": self._sped_position,
+                "member_pos": self._member_pos,
+                "piece_counts": self._piece_counts,
+                "next_peer_id": self._next_peer_id,
+            }
+        )
+
+    def _restore_backend_state(self, state: Dict[str, object]) -> None:
+        self._peers = state["peers"]
+        self._order = state["order"]
+        self._position = state["position"]
+        self._seeds = state["seeds"]
+        self._seed_position = state["seed_position"]
+        self._sped_ids = state["sped_ids"]
+        self._sped_position = state["sped_position"]
+        self._member_pos = state["member_pos"]
+        # The SwarmView holds a read-only proxy of this exact dict, so the
+        # census is updated in place rather than rebound.
+        self._piece_counts.clear()
+        self._piece_counts.update(state["piece_counts"])
+        self._next_peer_id = state["next_peer_id"]
 
     # -- event mechanics -------------------------------------------------------------
 

@@ -16,10 +16,13 @@ from repro.core.scenario import (
     register_scenario,
     registered_scenarios,
 )
+from repro.core.schedule_stability import OUT_OF_THEORY, piecewise_stability
+from repro.core.stability import analyze
 from repro.core.state import SystemState
 from repro.core.types import PieceSet
 from repro.experiments.runner import BatchRunner, run_scenario
 from repro.experiments.scenarios import run_scenario_dynamics
+from repro.swarm.policies import make_policy
 from repro.swarm.swarm import make_simulator, run_swarm
 
 
@@ -502,4 +505,150 @@ class TestScenarioRunner:
         for run in result.runs:
             assert run.base_verdict == "stable"
             assert run.worst_case_verdict == "unstable"
+            assert run.piecewise_verdict == "unstable"
             assert run.thinned_events > 0
+        assert "theory (piecewise)" in report
+
+
+# ---------------------------------------------------------------------------
+# Scenario-aware Theorem-1 reporting (piecewise verdicts)
+# ---------------------------------------------------------------------------
+
+
+class TestPiecewiseStability:
+    def test_trivial_scenario_single_stable_segment(self):
+        spec = ScenarioSpec.homogeneous(
+            SystemParameters.flash_crowd(
+                num_pieces=3, arrival_rate=1.0, seed_rate=2.0
+            )
+        )
+        report = piecewise_stability(spec)
+        assert not report.is_piecewise
+        assert len(report.segments) == 1
+        assert report.segments[0].end == math.inf
+        assert report.overall == "stable"
+
+    def test_flash_crowd_surge_segment_flips_verdict(self):
+        spec = make_scenario("flash-crowd", surge_start=20.0, surge_end=50.0)
+        report = piecewise_stability(spec)
+        verdicts = [segment.verdict for segment in report.segments]
+        assert verdicts == ["stable", "unstable", "stable"]
+        assert report.segments[1].start == 20.0
+        assert report.segments[1].end == 50.0
+        # Conservative whole-run verdict: any unstable segment -> unstable.
+        assert report.overall == "unstable"
+
+    def test_seed_outage_segment_matches_zero_seed_analysis(self):
+        spec = make_scenario("seed-outage", outage_start=10.0, outage_end=30.0)
+        report = piecewise_stability(spec)
+        outage = report.segments[1]
+        assert outage.seed_factor == 0.0
+        expected = analyze(spec.params.with_seed_rate(0.0)).verdict.value
+        assert outage.verdict == expected
+        assert report.overall == "unstable"
+
+    def test_arrival_outage_segment_is_trivially_stable(self):
+        spec = ScenarioSpec(
+            name="arrival-outage",
+            params=SystemParameters.flash_crowd(
+                num_pieces=3, arrival_rate=5.0, seed_rate=1.0
+            ),
+            arrival_schedule=RateSchedule.outage(5.0, 10.0),
+        )
+        report = piecewise_stability(spec)
+        assert report.segments[1].arrival_factor == 0.0
+        assert report.segments[1].verdict == "stable"
+        # The surrounding segments run lambda=5 > threshold -> unstable run.
+        assert report.overall == "unstable"
+
+    def test_all_stable_segments_give_stable_run(self):
+        spec = make_scenario("flash-crowd", surge_factor=1.2)
+        report = piecewise_stability(spec)
+        assert all(s.verdict == "stable" for s in report.segments)
+        assert report.overall == "stable"
+
+    def test_heterogeneous_scenario_is_out_of_theory(self):
+        report = piecewise_stability(make_scenario("heterogeneous-classes"))
+        assert report.overall == OUT_OF_THEORY
+        assert report.segments == ()
+        assert "outside Theorem 1" in report.describe()
+
+    def test_segments_partition_time(self):
+        spec = make_scenario("diurnal", period=20.0, horizon=100.0)
+        report = piecewise_stability(spec)
+        assert report.is_piecewise
+        for before, after in zip(report.segments, report.segments[1:]):
+            assert before.end == after.start
+        assert report.segments[0].start == 0.0
+        assert report.segments[-1].end == math.inf
+
+    def test_describe_lists_segments(self):
+        text = piecewise_stability(make_scenario("seed-outage")).describe()
+        assert "whole-run verdict" in text
+        assert "seed x0" in text
+
+
+# ---------------------------------------------------------------------------
+# Free-rider scenario
+# ---------------------------------------------------------------------------
+
+
+class TestFreeRiderScenario:
+    def test_registered_and_heterogeneous(self):
+        assert "free-rider" in registered_scenarios()
+        spec = make_scenario("free-rider", leech_fraction=0.5)
+        assert spec.is_heterogeneous
+        names = [cls.name for cls in spec.classes]
+        # Contributors first: initial_state peers land in the uploading class.
+        assert names == ["contributor", "free-rider"]
+        assert spec.classes[1].contact_rate < 0.1
+        assert spec.classes[1].immediate_departure
+
+    def test_leech_fraction_validated(self):
+        with pytest.raises(ValueError, match="leech_fraction"):
+            make_scenario("free-rider", leech_fraction=1.0)
+
+    def test_base_params_are_theorem1_stable(self):
+        spec = make_scenario("free-rider", leech_fraction=0.9)
+        assert analyze(spec.params).verdict.value == "stable"
+        assert piecewise_stability(spec).overall == OUT_OF_THEORY
+
+    def _club_outcome(self, leech_fraction, policy_name, seeds=(1, 2, 3)):
+        spec = make_scenario("free-rider", leech_fraction=leech_fraction)
+        populations, clubs = [], []
+        for seed in seeds:
+            result = run_swarm(
+                spec.params,
+                horizon=80.0,
+                seed=seed,
+                scenario=spec,
+                policy=make_policy(policy_name),
+                backend="array",
+                initial_state=SystemState.one_club(spec.params.num_pieces, 40),
+                max_population=8000,
+            )
+            populations.append(result.metrics.final_population)
+            clubs.append(result.metrics.one_club_size[-1])
+        return float(np.mean(populations)), float(np.mean(clubs))
+
+    def test_enough_leeching_tips_a_stable_swarm(self):
+        """Theorem 1 certifies the base rates stable, yet a leech-heavy
+        arrival mix keeps the one-club alive and the population growing."""
+        light_pop, light_club = self._club_outcome(0.05, "random-useful")
+        heavy_pop, heavy_club = self._club_outcome(0.85, "random-useful")
+        assert heavy_pop > 2.0 * light_pop
+        assert heavy_club > light_club
+
+    def test_rarest_first_is_measured_either_way(self):
+        """The rarest-first policy runs through the same scenario path and
+        its one-club outcome is measured at both leech levels."""
+        for leech_fraction in (0.05, 0.85):
+            population, club = self._club_outcome(
+                leech_fraction, "rarest-first", seeds=(1, 2)
+            )
+            assert population > 0
+            assert club >= 0
+        # At the light-leech operating point rarest-first reliably dissolves
+        # the seeded club (it targets the rare piece directly).
+        _population, light_club = self._club_outcome(0.05, "rarest-first")
+        assert light_club <= 5
