@@ -1,0 +1,20 @@
+"""CLI shim for the benchmark regression gate (CI ``bench-gate`` job).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_gate.py \
+        --baseline BENCH_swarm.json --current fresh/BENCH_swarm.json
+
+Exits non-zero when any ``events_per_second`` dropped beyond the tolerance
+(default 30%; override with ``--tolerance`` or ``BENCH_GATE_TOLERANCE``).
+The before/after table is printed and, when ``GITHUB_STEP_SUMMARY`` is set,
+appended to the job summary.  All logic lives in
+:mod:`repro.analysis.bench_gate` so it is unit-tested with the library.
+"""
+
+import sys
+
+from repro.analysis.bench_gate import main
+
+if __name__ == "__main__":
+    sys.exit(main())

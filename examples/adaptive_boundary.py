@@ -1,0 +1,89 @@
+"""Adaptive boundary mapping, end to end: budget -> active sampling -> λ*.
+
+Maps the Theorem-1 capture boundary with the budget-driven adaptive fleet
+driver instead of a uniform grid: each round allocates swarms to the
+``(λ, U_s, scenario)`` candidates whose Beta-posterior capture probability
+is still uncertain (boosted near the empirical boundary), and sampling stops
+when the boundary estimate stabilises or the swarm budget runs out.
+
+The run streams one JSONL record per completed swarm into a fleet log — in
+a second terminal you can watch it live with::
+
+    tail -f <tmpdir>/adaptive.ckpt.jsonl
+
+The script then demonstrates exact recovery: the same run is "killed"
+mid-round (after a few completed swarms *and* partway through the next
+swarm, whose kernel snapshot rides in the checkpoint) and resumed from the
+JSONL log + snapshot; the resumed boundary estimate is verified to equal
+the uninterrupted one.
+
+Run with:  PYTHONPATH=src python examples/adaptive_boundary.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.experiments.fleet import run_adaptive_phase_diagram
+from repro.fleet import (
+    FleetResult,
+    resume_adaptive_fleet,
+    run_adaptive_fleet,
+    tail_summary,
+)
+
+ARRIVAL_RATES = (0.4, 1.0, 1.6, 2.2)
+SEED_RATES = (0.8, 1.6)
+SWARM_BUDGET = 64
+ROUND_SIZE = 8
+SEED = 13
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "adaptive.ckpt"
+        log = checkpoint.with_name(checkpoint.name + ".jsonl")
+
+        result = run_adaptive_phase_diagram(
+            arrival_rates=ARRIVAL_RATES,
+            seed_rates=SEED_RATES,
+            swarm_budget=SWARM_BUDGET,
+            round_size=ROUND_SIZE,
+            boundary_boost=8.0,
+            scenario_mix=None,
+            horizon=40.0,
+            max_events=4_000,
+            initial_club_size=20,
+            workers=2,
+            seed=SEED,
+            checkpoint_path=checkpoint,
+        )
+        print(result.report())
+        print()
+        print(f"fleet log: {log}  ({tail_summary(log)})")
+        print(f"census rebuilt from log == streamed census: "
+              f"{FleetResult.from_log(log) == result.fleet}")
+
+        # Kill the same run mid-round (and mid-swarm), then resume it from
+        # the JSONL log + kernel snapshot.
+        kill_at = SWARM_BUDGET // 3
+        partial = run_adaptive_fleet(
+            result.spec,
+            seed=SEED,
+            workers=2,
+            checkpoint_path=checkpoint,
+            stop_after_swarms=kill_at,
+            suspend_after_events=60,
+        )
+        print(
+            f"\nkilled after {len(partial.fleet.records)} swarms "
+            f"(mid-round, kernel snapshot checkpointed); resuming ..."
+        )
+        resumed = resume_adaptive_fleet(checkpoint, workers=2)
+        same = resumed.fingerprint() == result.fingerprint()
+        print(f"resumed boundary estimate equals uninterrupted: {same}")
+        assert same
+        print(f"boundary estimate λ*: {resumed.boundary_estimate()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,10 +40,14 @@ from .core import (
     uniform_single_piece_rates,
 )
 from .fleet import (
+    AdaptiveFleetDriver,
+    AdaptiveFleetSpec,
     FleetResult,
     FleetScheduler,
     FleetSpec,
+    resume_adaptive_fleet,
     resume_fleet,
+    run_adaptive_fleet,
     run_fleet,
 )
 from .swarm import (
@@ -59,6 +63,8 @@ from .swarm import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptiveFleetDriver",
+    "AdaptiveFleetSpec",
     "FleetResult",
     "FleetScheduler",
     "FleetSpec",
@@ -82,7 +88,9 @@ __all__ = [
     "make_policy",
     "minimum_mean_dwell_time",
     "piece_threshold",
+    "resume_adaptive_fleet",
     "resume_fleet",
+    "run_adaptive_fleet",
     "run_fleet",
     "run_swarm",
     "stability_margin",

@@ -1,5 +1,6 @@
 """Statistics and reporting helpers."""
 
+from .bench_gate import GateEntry, GateReport, collect_throughputs, compare_baselines
 from .statistics import (
     ConfidenceInterval,
     empirical_exceedance_probability,
@@ -12,6 +13,10 @@ from .tables import format_table, table_to_csv_string, write_csv
 
 __all__ = [
     "ConfidenceInterval",
+    "GateEntry",
+    "GateReport",
+    "collect_throughputs",
+    "compare_baselines",
     "empirical_exceedance_probability",
     "format_table",
     "linear_slope",

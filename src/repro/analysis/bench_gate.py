@@ -1,0 +1,221 @@
+"""Benchmark regression gate: diff BENCH_swarm.json throughput baselines.
+
+The CI ``bench-gate`` job compares the freshly emitted ``BENCH_swarm.json``
+(from the benchmark-smoke session) against the committed baseline and fails
+when any ``events_per_second`` figure dropped by more than the tolerance
+(default 30%, overridable via the ``BENCH_GATE_TOLERANCE`` environment
+variable — a fraction, e.g. ``0.3``).
+
+The comparison walks both JSON documents and pairs every
+``events_per_second`` leaf by its dotted path (``backends.array``,
+``scenario.backends.object``, ``fleet.array`` ...), so new benchmark
+sections join the gate automatically.  A throughput present in the baseline
+but missing from the fresh measurement counts as a regression (a silently
+dropped benchmark must not pass the gate); brand-new entries are reported
+but never fail.
+
+The module's own code uses only the stdlib, but importing it through the
+``repro`` package pulls the package's numpy dependency — the CI job installs
+``requirements.txt`` like every other job.  The gate logic is unit-tested in
+``tests/test_bench_gate.py``; ``benchmarks/bench_gate.py`` is the CLI shim
+CI invokes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Default maximum tolerated relative drop in events/second (30%).
+DEFAULT_TOLERANCE = 0.30
+
+#: Environment variable overriding the tolerance (a fraction, e.g. "0.25").
+TOLERANCE_ENV = "BENCH_GATE_TOLERANCE"
+
+#: The JSON leaf key the gate tracks.
+THROUGHPUT_KEY = "events_per_second"
+
+
+def collect_throughputs(payload: object, prefix: str = "") -> Dict[str, float]:
+    """All ``events_per_second`` leaves of a baseline, keyed by dotted path."""
+    found: Dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            if key == THROUGHPUT_KEY and isinstance(value, (int, float)):
+                found[prefix or THROUGHPUT_KEY] = float(value)
+            else:
+                path = f"{prefix}.{key}" if prefix else key
+                found.update(collect_throughputs(value, path))
+    return found
+
+
+@dataclass(frozen=True)
+class GateEntry:
+    """One throughput comparison between the committed and fresh baselines."""
+
+    path: str
+    baseline: Optional[float]  # None: new entry, absent from the baseline
+    current: Optional[float]  # None: dropped entry, absent from the fresh run
+    tolerance: float
+
+    @property
+    def change(self) -> Optional[float]:
+        """Relative change (+0.08 = 8% faster); None when unpairable."""
+        if self.baseline is None or self.current is None or self.baseline == 0:
+            return None
+        return self.current / self.baseline - 1.0
+
+    @property
+    def regressed(self) -> bool:
+        if self.baseline is None:
+            return False  # new benchmark: informational only
+        if self.current is None:
+            return True  # benchmark disappeared: fail loudly
+        change = self.change
+        # Epsilon so a drop of *exactly* the tolerance passes despite float
+        # rounding (100000 -> 70000 at 0.3 must not trip the gate).
+        return change is not None and change + self.tolerance < -1e-9
+
+    @property
+    def status(self) -> str:
+        if self.baseline is None:
+            return "new"
+        if self.current is None:
+            return "MISSING"
+        return "REGRESSED" if self.regressed else "ok"
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """Outcome of one baseline diff."""
+
+    entries: Tuple[GateEntry, ...]
+    tolerance: float
+
+    @property
+    def regressions(self) -> Tuple[GateEntry, ...]:
+        return tuple(entry for entry in self.entries if entry.regressed)
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def markdown_table(self) -> str:
+        """Before/after table for the CI job summary (GitHub-flavoured)."""
+        lines = [
+            f"### Benchmark gate — events/second "
+            f"(tolerance: -{self.tolerance:.0%})",
+            "",
+            "| benchmark | baseline | current | change | status |",
+            "| --- | ---: | ---: | ---: | --- |",
+        ]
+        for entry in self.entries:
+            baseline = "—" if entry.baseline is None else f"{entry.baseline:,.1f}"
+            current = "—" if entry.current is None else f"{entry.current:,.1f}"
+            change = "—" if entry.change is None else f"{entry.change:+.1%}"
+            marker = {"ok": "✅ ok", "new": "🆕 new"}.get(
+                entry.status, f"❌ {entry.status}"
+            )
+            lines.append(
+                f"| `{entry.path}` | {baseline} | {current} | {change} | {marker} |"
+            )
+        lines.append("")
+        lines.append(
+            "**PASS** — no throughput dropped beyond tolerance."
+            if self.passed
+            else f"**FAIL** — {len(self.regressions)} benchmark(s) regressed "
+            f"beyond -{self.tolerance:.0%}."
+        )
+        return "\n".join(lines)
+
+
+def compare_baselines(
+    baseline: dict, current: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> GateReport:
+    """Pair every throughput leaf of two baselines and judge regressions."""
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    old = collect_throughputs(baseline)
+    new = collect_throughputs(current)
+    entries = [
+        GateEntry(
+            path=path,
+            baseline=old.get(path),
+            current=new.get(path),
+            tolerance=tolerance,
+        )
+        for path in sorted(set(old) | set(new))
+    ]
+    return GateReport(entries=tuple(entries), tolerance=tolerance)
+
+
+def tolerance_from_env(default: float = DEFAULT_TOLERANCE) -> float:
+    """The gate tolerance, honouring ``BENCH_GATE_TOLERANCE``."""
+    raw = os.environ.get(TOLERANCE_ENV)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = float(raw)
+    except ValueError as error:
+        raise ValueError(
+            f"{TOLERANCE_ENV} must be a fraction like 0.3, got {raw!r}"
+        ) from error
+    if value < 0:
+        raise ValueError(f"{TOLERANCE_ENV} must be >= 0, got {value}")
+    return value
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: diff two baselines, print (and publish) the table, gate the job."""
+    parser = argparse.ArgumentParser(
+        description="Fail when events/second regressed beyond tolerance."
+    )
+    parser.add_argument(
+        "--baseline", required=True, help="committed BENCH_swarm.json"
+    )
+    parser.add_argument(
+        "--current", required=True, help="freshly emitted BENCH_swarm.json"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help=f"max relative drop (default {DEFAULT_TOLERANCE}, "
+        f"or ${TOLERANCE_ENV})",
+    )
+    args = parser.parse_args(argv)
+    tolerance = (
+        args.tolerance if args.tolerance is not None else tolerance_from_env()
+    )
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+    report = compare_baselines(baseline, current, tolerance)
+    table = report.markdown_table()
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(table + "\n")
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "GateEntry",
+    "GateReport",
+    "THROUGHPUT_KEY",
+    "TOLERANCE_ENV",
+    "collect_throughputs",
+    "compare_baselines",
+    "main",
+    "tolerance_from_env",
+]

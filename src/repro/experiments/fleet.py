@@ -17,6 +17,17 @@ Everything runs on one :class:`~repro.fleet.scheduler.FleetScheduler` fleet,
 so ``backend=`` / ``workers=`` / checkpointing behave exactly as everywhere
 else, and the per-scenario breakdown and theory-vs-outcome confusion census
 come straight from the shared :class:`~repro.fleet.result.FleetResult`.
+
+**E12b — adaptive boundary mapping.**  :func:`run_adaptive_phase_diagram`
+maps the same boundary with the budget-driven
+:class:`~repro.fleet.adaptive.AdaptiveFleetDriver` instead of a uniform
+grid: rounds of swarms are allocated to ``(λ, U_s, scenario)`` candidates by
+Beta-posterior uncertainty (boosted near the empirical boundary) until the
+boundary estimate stabilises or the budget runs out.  The returned
+:class:`~repro.fleet.adaptive.AdaptiveFleetResult` records the full
+sampled-point trail; with a budget equal to the uniform grid's swarm count
+it concentrates replications in boundary cells, yielding a lower mean
+posterior variance there (asserted by the acceptance tests).
 """
 
 from __future__ import annotations
@@ -28,6 +39,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..analysis.tables import format_table
 from ..core.scenario import base_params
 from ..core.stability import analyze
+from ..fleet.adaptive import (
+    AdaptiveFleetDriver,
+    AdaptiveFleetResult,
+    AdaptiveFleetSpec,
+)
 from ..fleet.result import FleetResult
 from ..fleet.scheduler import FleetScheduler
 from ..fleet.spec import FleetSpec, GridSampler, ScenarioWeight
@@ -166,9 +182,70 @@ def run_fleet_phase_diagram(
     )
 
 
+def run_adaptive_phase_diagram(
+    arrival_rates: Sequence[float] = (0.8, 1.6, 2.4, 3.2),
+    seed_rates: Sequence[float] = (0.5, 1.5),
+    swarm_budget: int = 64,
+    round_size: int = 16,
+    event_budget: Optional[int] = None,
+    scenario_mix: Optional[Sequence[ScenarioWeight]] = DEFAULT_MIX,
+    num_pieces: int = 5,
+    horizon: float = 60.0,
+    initial_club_size: int = 30,
+    max_events: Optional[int] = 20_000,
+    max_population: Optional[int] = 5_000,
+    backend: str = "array",
+    workers: Optional[int] = None,
+    seed: SeedLike = 0,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    log_path: Optional[Union[str, Path]] = None,
+    min_rounds: int = 2,
+    patience: int = 2,
+    variance_tol: float = 0.01,
+    boundary_boost: float = 4.0,
+) -> AdaptiveFleetResult:
+    """Map the capture boundary adaptively under a swarm/event budget.
+
+    Same candidate plane and run controls as :func:`run_fleet_phase_diagram`,
+    but the swarms are *allocated* round by round to the ``(λ, U_s,
+    scenario)`` points whose capture probability is still uncertain, and the
+    run stops early once the boundary estimate is stable.  The result's
+    :meth:`~repro.fleet.adaptive.AdaptiveFleetResult.trail` is the full
+    sampled-point trail;
+    :meth:`~repro.fleet.adaptive.AdaptiveFleetResult.boundary_estimate`
+    interpolates the capture-onset λ* per ``(scenario, U_s)`` row.  With a
+    ``checkpoint_path`` the run streams to a JSONL log and can be killed and
+    resumed exactly (:func:`repro.fleet.resume_adaptive_fleet`).
+    """
+    spec = AdaptiveFleetSpec(
+        name="adaptive-phase-diagram",
+        arrival_rates=tuple(arrival_rates),
+        seed_rates=tuple(seed_rates),
+        scenario_mix=tuple(scenario_mix) if scenario_mix else (),
+        num_pieces=num_pieces,
+        swarm_budget=swarm_budget,
+        event_budget=event_budget,
+        round_size=round_size,
+        min_rounds=min_rounds,
+        patience=patience,
+        variance_tol=variance_tol,
+        boundary_boost=boundary_boost,
+        horizon=horizon,
+        max_events=max_events,
+        max_population=max_population,
+        backend=backend,
+        initial_club_size=initial_club_size,
+    )
+    driver = AdaptiveFleetDriver(
+        spec, workers=workers, checkpoint_path=checkpoint_path, log_path=log_path
+    )
+    return driver.run(seed=seed)
+
+
 __all__ = [
     "DEFAULT_MIX",
     "FleetPhaseDiagramResult",
     "PhaseCell",
+    "run_adaptive_phase_diagram",
     "run_fleet_phase_diagram",
 ]

@@ -11,19 +11,52 @@ dual-kernel runner into a phase-diagram machine:
 * :mod:`repro.fleet.scheduler` — :class:`FleetScheduler` /
   :func:`run_fleet` / :func:`resume_fleet`: chunked ``multiprocessing``
   sharding with results independent of the worker count, streaming
-  aggregation, and on-disk checkpoint/resume (including mid-swarm kernel
+  aggregation, and offset checkpoint/resume (including mid-swarm kernel
   snapshots);
+* :mod:`repro.fleet.adaptive` — :class:`AdaptiveFleetDriver` /
+  :func:`run_adaptive_fleet`: budget-driven active sampling of
+  ``(λ, U_s, scenario)`` candidates by Beta-posterior uncertainty, with a
+  boundary-stability stopping rule, same determinism and resume contract;
+* :mod:`repro.fleet.persistence` — the streaming JSONL fleet log (one
+  schema-versioned record per completed swarm, fsync'd batches, live
+  ``tail -f``, :meth:`FleetResult.from_log` reconstruction);
 * :mod:`repro.fleet.result` — :class:`FleetSwarmRecord` and the incremental
   :class:`FleetResult` census (one-club prevalence, sojourn/download
   distributions, Theorem-1-vs-outcome confusion counts, per-scenario
   breakdown);
-* :mod:`repro.fleet.checkpoint` — the atomic pickle checkpoint format.
+* :mod:`repro.fleet.checkpoint` — the atomic pickle checkpoint format
+  (a byte offset into the JSONL log + the in-flight kernel snapshot).
 
-The fleet-level experiment (a capture phase diagram over the Theorem-1
-boundary) lives in :mod:`repro.experiments.fleet`.
+The fleet-level experiments (uniform and adaptive capture phase diagrams
+over the Theorem-1 boundary) live in :mod:`repro.experiments.fleet`.
 """
 
-from .checkpoint import FleetCheckpoint, load_checkpoint, save_checkpoint
+from .adaptive import (
+    AdaptiveFleetDriver,
+    AdaptiveFleetResult,
+    AdaptiveFleetSpec,
+    CaptureGrid,
+    CellKey,
+    RoundSummary,
+    beta_mean_variance,
+    resume_adaptive_fleet,
+    run_adaptive_fleet,
+)
+from .checkpoint import (
+    FleetCheckpoint,
+    default_log_path,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .persistence import (
+    FLEET_LOG_SCHEMA,
+    FleetLog,
+    FleetLogError,
+    FleetLogHeader,
+    FleetLogWriter,
+    read_log,
+    tail_summary,
+)
 from .result import FleetResult, FleetSwarmRecord, record_from_result, theory_verdict
 from .scheduler import FleetScheduler, resume_fleet, run_fleet
 from .spec import (
@@ -38,11 +71,22 @@ from .spec import (
     SwarmTask,
     materialize_tasks,
     normalize_fleet_seed,
+    task_for_point,
 )
 
 __all__ = [
+    "AdaptiveFleetDriver",
+    "AdaptiveFleetResult",
+    "AdaptiveFleetSpec",
+    "CaptureGrid",
+    "CellKey",
+    "FLEET_LOG_SCHEMA",
     "FixedSampler",
     "FleetCheckpoint",
+    "FleetLog",
+    "FleetLogError",
+    "FleetLogHeader",
+    "FleetLogWriter",
     "FleetResult",
     "FleetScheduler",
     "FleetSpec",
@@ -51,15 +95,23 @@ __all__ = [
     "PLAIN_LABEL",
     "ParameterSampler",
     "RandomSampler",
+    "RoundSummary",
     "SAMPLABLE_FIELDS",
     "ScenarioWeight",
     "SwarmTask",
+    "beta_mean_variance",
+    "default_log_path",
     "load_checkpoint",
     "materialize_tasks",
     "normalize_fleet_seed",
+    "read_log",
     "record_from_result",
+    "resume_adaptive_fleet",
     "resume_fleet",
+    "run_adaptive_fleet",
     "run_fleet",
     "save_checkpoint",
+    "tail_summary",
+    "task_for_point",
     "theory_verdict",
 ]

@@ -1,18 +1,29 @@
 """On-disk fleet checkpoints: crash-survivable progress for long fleet runs.
 
-A checkpoint freezes a fleet run's progress as pure data: the spec, the
-master seed, the per-swarm records aggregated so far (a strict index
-prefix), and — when the run was stopped mid-swarm — the suspended swarm's
-kernel snapshot from
-:meth:`~repro.swarm.swarm._SwarmEventLoop.capture_state`.  Because swarm
-assignment and simulation seeding are pure functions of ``(spec, seed)``
-(see :func:`repro.fleet.spec.materialize_tasks`) and kernel snapshots resume
-bit-identically, a resumed fleet reproduces the *exact* ``FleetResult`` an
-uninterrupted run would have produced, at any worker count.
+Since the streaming JSONL log (:mod:`repro.fleet.persistence`) became the
+system of record for completed swarms, a checkpoint no longer carries the
+record list.  It freezes a fleet run's progress as a *pointer* into the log
+plus whatever cannot live in the log:
+
+* the spec (fixed :class:`~repro.fleet.spec.FleetSpec` or adaptive
+  :class:`~repro.fleet.adaptive.AdaptiveFleetSpec`) and the normalized
+  master-seed token,
+* ``num_records`` / ``log_offset`` — how many swarms the log held, and the
+  byte offset just past them, when the checkpoint was written,
+* optionally the suspended mid-swarm kernel snapshot from
+  :meth:`~repro.swarm.swarm._SwarmEventLoop.capture_state`.
+
+Because swarm assignment and simulation seeding are pure functions of
+``(spec, seed)`` and kernel snapshots resume bit-identically, a resumed
+fleet reproduces the *exact* ``FleetResult`` an uninterrupted run would have
+produced, at any worker count.  Resume truncates the log back to
+``log_offset``, so records appended after the last checkpoint are simply
+re-run — the log and the checkpoint can never disagree.
 
 Checkpoints are pickled atomically (write to a sibling temp file, then
 ``os.replace``), so a crash while checkpointing never corrupts the previous
-checkpoint.
+checkpoint.  The log file travels as a *sibling file name*, resolved against
+the checkpoint's directory, so a checkpoint+log pair can be moved together.
 """
 
 from __future__ import annotations
@@ -21,40 +32,58 @@ import os
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
-from .result import FleetSwarmRecord
-from .spec import FleetSpec
+#: Version tag of the checkpoint payload layout.  Format 2 replaced the
+#: inline record list with a (num_records, log_offset) pointer into the
+#: sibling JSONL fleet log.
+CHECKPOINT_FORMAT = 2
 
-#: Version tag of the checkpoint payload layout.
-CHECKPOINT_FORMAT = 1
+
+def default_log_path(checkpoint_path: Union[str, Path]) -> Path:
+    """The sibling JSONL log a checkpoint pairs with by default."""
+    target = Path(checkpoint_path)
+    return target.with_name(target.name + ".jsonl")
 
 
 @dataclass
 class FleetCheckpoint:
-    """Serialized progress of one fleet run."""
+    """Serialized progress of one fleet run (fixed or adaptive)."""
 
-    spec: FleetSpec
+    spec: Any
     seed: Any
-    records: List[FleetSwarmRecord]
-    #: Index of the next swarm that has not been folded into ``records``.
-    next_index: int
+    #: Number of completed-swarm records the log held at checkpoint time;
+    #: also the index of the next swarm to run.
+    num_records: int
+    #: Sibling file name of the JSONL fleet log (resolved relative to the
+    #: checkpoint's directory).
+    log_name: str
+    #: Byte offset just past record ``num_records - 1`` in the log.
+    log_offset: int
     #: ``(swarm index, kernel snapshot)`` of a mid-swarm suspension, if any;
-    #: the index always equals ``next_index`` when present.
+    #: the index always equals ``num_records`` when present.
     in_flight: Optional[Tuple[int, Dict[str, Any]]] = None
     format: int = CHECKPOINT_FORMAT
 
     def __post_init__(self) -> None:
-        if self.next_index != len(self.records):
-            raise ValueError(
-                f"checkpoint prefix mismatch: next_index={self.next_index} but "
-                f"{len(self.records)} records"
-            )
-        if self.in_flight is not None and self.in_flight[0] != self.next_index:
+        if self.num_records < 0:
+            raise ValueError(f"num_records must be >= 0, got {self.num_records}")
+        if self.log_offset < 0:
+            raise ValueError(f"log_offset must be >= 0, got {self.log_offset}")
+        if self.in_flight is not None and self.in_flight[0] != self.num_records:
             raise ValueError(
                 f"in-flight swarm {self.in_flight[0]} does not match "
-                f"next_index={self.next_index}"
+                f"num_records={self.num_records}"
             )
+
+    @property
+    def next_index(self) -> int:
+        """Index of the next swarm not yet folded into the log."""
+        return self.num_records
+
+    def log_path(self, checkpoint_path: Union[str, Path]) -> Path:
+        """Resolve the paired log against the checkpoint's directory."""
+        return Path(checkpoint_path).parent / self.log_name
 
 
 def save_checkpoint(path: Union[str, Path], checkpoint: FleetCheckpoint) -> Path:
@@ -85,6 +114,7 @@ def load_checkpoint(path: Union[str, Path]) -> FleetCheckpoint:
 __all__ = [
     "CHECKPOINT_FORMAT",
     "FleetCheckpoint",
+    "default_log_path",
     "load_checkpoint",
     "save_checkpoint",
 ]

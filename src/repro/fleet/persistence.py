@@ -1,0 +1,294 @@
+"""Log-structured fleet persistence: one JSONL record per completed swarm.
+
+A fleet run (fixed :class:`~repro.fleet.scheduler.FleetScheduler` or adaptive
+:class:`~repro.fleet.adaptive.AdaptiveFleetDriver`) appends each finished
+swarm's :class:`~repro.fleet.result.FleetSwarmRecord` to a plain-text JSONL
+log as it completes:
+
+* line 1 is a schema-versioned **header** (spec name, swarm target, the
+  normalized master-seed token), so a log is self-describing;
+* every subsequent line is one swarm record, written in swarm-index order
+  and fsync'd in batches — a running fleet can be followed live with
+  ``tail -f`` and its census rebuilt at any time via
+  :meth:`repro.fleet.result.FleetResult.from_log`;
+* checkpoints no longer carry the record list: they shrink to a byte offset
+  into this log (plus the in-flight kernel snapshot), and resume truncates
+  the log back to the checkpointed offset so the two can never disagree.
+
+Crash behaviour is append-only-log standard: a partially written *last* line
+(the process died mid-append) is discarded on read, not fatal; corruption
+anywhere before the tail, or a schema-version mismatch, raises
+:class:`FleetLogError` with a pointed message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, List, Optional, Tuple, Union
+
+from .result import FleetSwarmRecord
+
+#: Version tag of the JSONL fleet-log schema.  Bump when record or header
+#: fields change incompatibly; readers refuse logs from other versions.
+FLEET_LOG_SCHEMA = 1
+
+_HEADER_KIND = "fleet-log"
+_RECORD_KIND = "swarm"
+
+
+class FleetLogError(ValueError):
+    """A fleet log is unreadable: wrong schema, corrupt line, bad header."""
+
+
+@dataclass(frozen=True)
+class FleetLogHeader:
+    """First line of every fleet log (pure data, JSON-serializable)."""
+
+    schema: int
+    spec_name: str
+    num_swarms: int
+    seed: Any  # normalized master-seed token (int or {entropy, spawn_key})
+
+    def to_json(self) -> str:
+        payload = {"kind": _HEADER_KIND, **asdict(self)}
+        if isinstance(payload["seed"], dict):
+            payload["seed"] = {
+                "entropy": payload["seed"]["entropy"],
+                "spawn_key": list(payload["seed"]["spawn_key"]),
+            }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_payload(cls, payload: dict, path: Path) -> "FleetLogHeader":
+        if payload.get("kind") != _HEADER_KIND:
+            raise FleetLogError(
+                f"{path}: first line is not a fleet-log header "
+                f"(kind={payload.get('kind')!r})"
+            )
+        schema = payload.get("schema")
+        if schema != FLEET_LOG_SCHEMA:
+            raise FleetLogError(
+                f"{path}: unsupported fleet-log schema {schema!r} "
+                f"(this build reads schema {FLEET_LOG_SCHEMA}); "
+                "re-run the fleet or use a matching repro version"
+            )
+        seed = payload.get("seed")
+        if isinstance(seed, dict):
+            seed = {
+                "entropy": seed["entropy"],
+                "spawn_key": tuple(seed["spawn_key"]),
+            }
+        return cls(
+            schema=schema,
+            spec_name=payload.get("spec_name", ""),
+            num_swarms=int(payload.get("num_swarms", 0)),
+            seed=seed,
+        )
+
+
+def record_to_json(record: FleetSwarmRecord) -> str:
+    """One swarm record as a single JSON line (no newline)."""
+    payload = {"kind": _RECORD_KIND, **asdict(record)}
+    return json.dumps(payload, sort_keys=True)
+
+
+def record_from_payload(payload: dict, path: Path, line: int) -> FleetSwarmRecord:
+    if payload.get("kind") != _RECORD_KIND:
+        raise FleetLogError(
+            f"{path}:{line}: expected a swarm record, got kind={payload.get('kind')!r}"
+        )
+    data = {key: value for key, value in payload.items() if key != "kind"}
+    try:
+        data["sojourn_hist"] = tuple(data["sojourn_hist"])
+        data["download_hist"] = tuple(data["download_hist"])
+        return FleetSwarmRecord(**data)
+    except (KeyError, TypeError) as error:
+        raise FleetLogError(f"{path}:{line}: malformed swarm record: {error}") from error
+
+
+class FleetLogWriter:
+    """Append-only JSONL writer with batched fsync and exact resume.
+
+    ``resume_offset=None`` creates/truncates the file and writes a fresh
+    header; an integer offset reopens an existing log, truncates anything
+    past the offset (records written after the last checkpoint are re-run
+    deterministically, so dropping them is safe) and appends from there.
+
+    :attr:`offset` is the byte offset after the last *fsync'd* batch — the
+    value a checkpoint may safely store.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        header: FleetLogHeader,
+        resume_offset: Optional[int] = None,
+    ):
+        self.path = Path(path)
+        self.header = header
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume_offset is None:
+            self._handle = self.path.open("wb")
+            self._handle.write((header.to_json() + "\n").encode("utf-8"))
+            self._sync()
+        else:
+            if not self.path.exists():
+                raise FleetLogError(
+                    f"cannot resume fleet log {self.path}: file does not exist"
+                )
+            existing = read_header(self.path)
+            if existing.seed != header.seed:
+                raise FleetLogError(
+                    f"{self.path}: log header seed {existing.seed!r} does "
+                    f"not match the resuming run's seed {header.seed!r}"
+                )
+            if resume_offset > self.path.stat().st_size:
+                raise FleetLogError(
+                    f"{self.path}: resume offset {resume_offset} is past the "
+                    f"end of the log ({self.path.stat().st_size} bytes)"
+                )
+            self._handle = self.path.open("r+b")
+            self._handle.truncate(resume_offset)
+            self._handle.seek(resume_offset)
+            self._sync()
+        self.offset = self._handle.tell()
+
+    def append(self, records: List[FleetSwarmRecord]) -> int:
+        """Append one batch of records, flush + fsync, return the new offset."""
+        if records:
+            lines = "".join(record_to_json(record) + "\n" for record in records)
+            self._handle.write(lines.encode("utf-8"))
+            self._sync()
+        self.offset = self._handle.tell()
+        return self.offset
+
+    def _sync(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._sync()
+            self._handle.close()
+
+    def __enter__(self) -> "FleetLogWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class FleetLog:
+    """A parsed fleet log: header, records, and per-record byte offsets."""
+
+    header: FleetLogHeader
+    records: Tuple[FleetSwarmRecord, ...]
+    #: ``offsets[i]`` is the byte offset just *after* record ``i`` — the
+    #: value a checkpoint holding ``i + 1`` records stores.
+    offsets: Tuple[int, ...]
+    #: Byte offset just after the header line.
+    header_end: int
+
+    def offset_after(self, num_records: int) -> int:
+        """Byte offset after the first ``num_records`` records (0 = header end)."""
+        if num_records == 0:
+            return self.header_end
+        return self.offsets[num_records - 1]
+
+
+def read_header(path: Union[str, Path]) -> FleetLogHeader:
+    """Parse only a log's header line (cheap, O(1) in the log size)."""
+    target = Path(path)
+    with target.open("rb") as handle:
+        first = handle.readline()
+    if not first.endswith(b"\n"):
+        raise FleetLogError(f"{target}: empty or headerless fleet log")
+    try:
+        payload = json.loads(first.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise FleetLogError(f"{target}:1: corrupt fleet-log header: {error}") from error
+    return FleetLogHeader.from_payload(payload, target)
+
+
+def read_log(
+    path: Union[str, Path], max_records: Optional[int] = None
+) -> FleetLog:
+    """Parse a fleet log, tolerating a truncated final line.
+
+    A last line without a trailing newline, or whose JSON is cut short, is
+    the signature of a crash mid-append: it is discarded silently (the swarm
+    it described re-runs deterministically on resume).  Anything malformed
+    *before* the tail is genuine corruption and raises :class:`FleetLogError`.
+    """
+    target = Path(path)
+    records: List[FleetSwarmRecord] = []
+    offsets: List[int] = []
+    with target.open("rb") as handle:
+        raw = handle.read()
+    lines = raw.split(b"\n")
+    # A well-formed log ends with a newline, so the final split element is
+    # empty; a non-empty final element is a truncated tail from a crash
+    # mid-append and is discarded (that swarm re-runs deterministically).
+    complete = lines[:-1]
+    if not complete:
+        raise FleetLogError(f"{target}: empty or headerless fleet log")
+    position = 0
+    header: Optional[FleetLogHeader] = None
+    header_end = 0
+    for line_number, line in enumerate(complete, start=1):
+        position += len(line) + 1
+        try:
+            payload = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            # A partial write can only ever leave an *unterminated* tail
+            # (handled above); a newline-terminated line that does not parse
+            # is genuine corruption.
+            raise FleetLogError(
+                f"{target}:{line_number}: corrupt fleet-log line: {error}"
+            ) from error
+        if line_number == 1:
+            header = FleetLogHeader.from_payload(payload, target)
+            header_end = position
+            continue
+        records.append(record_from_payload(payload, target, line_number))
+        offsets.append(position)
+        if max_records is not None and len(records) >= max_records:
+            break
+    if header is None:
+        raise FleetLogError(f"{target}: empty or headerless fleet log")
+    return FleetLog(
+        header=header,
+        records=tuple(records),
+        offsets=tuple(offsets),
+        header_end=header_end,
+    )
+
+
+def tail_summary(path: Union[str, Path]) -> str:
+    """One-line live status of a fleet log (for humans tailing a run)."""
+    log = read_log(path)
+    captured = sum(1 for record in log.records if record.captured)
+    total = len(log.records)
+    prevalence = captured / total if total else 0.0
+    return (
+        f"fleet {log.header.spec_name!r}: {total}/{log.header.num_swarms} "
+        f"swarms logged, capture prevalence {prevalence:.1%}"
+    )
+
+
+__all__ = [
+    "FLEET_LOG_SCHEMA",
+    "FleetLog",
+    "FleetLogError",
+    "FleetLogHeader",
+    "FleetLogWriter",
+    "read_header",
+    "read_log",
+    "record_from_payload",
+    "record_to_json",
+    "tail_summary",
+]

@@ -199,6 +199,24 @@ class FleetResult:
             result.add(record)
         return result
 
+    @classmethod
+    def from_log(cls, path, max_records: "int | None" = None) -> "FleetResult":
+        """Rebuild the census of a (possibly still running) JSONL fleet log.
+
+        Reads the log written by :class:`repro.fleet.persistence.FleetLogWriter`
+        — tolerating a truncated tail line — and replays its records, so the
+        reconstruction equals the census the run streamed incrementally.
+        ``max_records`` truncates the replay (e.g. to a checkpoint's
+        ``num_records``).
+        """
+        # Local import: persistence imports FleetSwarmRecord from this module.
+        from .persistence import read_log
+
+        log = read_log(path, max_records=max_records)
+        return cls.from_records(
+            log.header.spec_name, log.header.num_swarms, list(log.records)
+        )
+
     # -- aggregates ----------------------------------------------------------
 
     def prevalence(self) -> float:

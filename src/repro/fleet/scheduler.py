@@ -1,4 +1,4 @@
-"""Fleet scheduler: shard swarms over workers, checkpoint, resume.
+"""Fleet scheduler: shard swarms over workers, stream to a log, resume.
 
 :class:`FleetScheduler` executes a :class:`~repro.fleet.spec.FleetSpec`:
 
@@ -12,14 +12,20 @@
   incremental :class:`~repro.fleet.result.FleetResult` strictly in swarm
   order, so the outcome is a pure function of ``(spec, seed)`` regardless of
   worker count or chunking;
+* **log-structured persistence** — with a ``log_path`` (or implicitly with a
+  ``checkpoint_path``), every completed swarm is appended to a
+  schema-versioned JSONL log (:mod:`repro.fleet.persistence`) as it
+  finishes, fsync'd per chunk: a running fleet can be tailed live
+  (``tail -f``) and its census rebuilt at any time via
+  :meth:`FleetResult.from_log`;
 * **checkpoint / resume** — with a ``checkpoint_path``, progress is saved
   after every ``checkpoint_every`` chunks (atomically; see
-  :mod:`repro.fleet.checkpoint`).  :meth:`FleetScheduler.resume` /
-  :func:`resume_fleet` reload a checkpoint and continue to the *exact*
-  ``FleetResult`` of an uninterrupted run.  A run can even stop in the
-  middle of a swarm: the in-flight simulator is suspended through the
-  kernels' ``suspend_after_events`` / ``capture_state`` API and its snapshot
-  rides along in the checkpoint, to be restored and resumed bit-identically.
+  :mod:`repro.fleet.checkpoint`).  A checkpoint is just a byte offset into
+  the log plus, when the run stopped mid-swarm, the suspended simulator's
+  kernel snapshot (``suspend_after_events`` / ``capture_state``).
+  :meth:`FleetScheduler.resume` / :func:`resume_fleet` reload the
+  checkpoint, replay the log prefix and continue to the *exact*
+  ``FleetResult`` of an uninterrupted run.
 
 ``run(stop_after_swarms=..., suspend_after_events=...)`` exposes the
 interruption points deterministically, which is how the tests (and the CI
@@ -37,7 +43,13 @@ import numpy as np
 from ..core.state import SystemState
 from ..simulation.rng import SeedLike
 from ..swarm.swarm import make_simulator
-from .checkpoint import FleetCheckpoint, load_checkpoint, save_checkpoint
+from .checkpoint import (
+    FleetCheckpoint,
+    default_log_path,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .persistence import FLEET_LOG_SCHEMA, FleetLogHeader, FleetLogWriter, read_log
 from .result import FleetResult, FleetSwarmRecord, record_from_result
 from .spec import FleetSpec, SwarmTask, materialize_tasks, normalize_fleet_seed
 
@@ -98,7 +110,88 @@ def _default_chunk_size(num_swarms: int, workers: Optional[int]) -> int:
     return max(1, min(64, math.ceil(num_swarms / (lanes * 4))))
 
 
-class FleetScheduler:
+class PersistentFleetExecution:
+    """Shared execution plumbing of the fixed scheduler and the adaptive
+    driver: worker/chunk validation, JSONL-log pairing (a checkpoint always
+    gets a sibling ``<checkpoint>.jsonl`` log), batched log appends, and
+    offset checkpoints.  Subclasses set ``self.spec`` (anything with a
+    ``name``) before calling :meth:`_init_execution` and define
+    :meth:`_swarm_target` (the swarm count the log header advertises)."""
+
+    def _init_execution(
+        self,
+        workers: Optional[int],
+        chunk_size: Optional[int],
+        default_chunk_items: int,
+        checkpoint_path: Optional[Union[str, Path]],
+        checkpoint_every: int,
+        log_path: Optional[Union[str, Path]],
+    ) -> None:
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        self.workers = workers
+        self.chunk_size = chunk_size or _default_chunk_size(
+            default_chunk_items, workers
+        )
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.checkpoint_every = checkpoint_every
+        if log_path is not None:
+            self.log_path: Optional[Path] = Path(log_path)
+        elif self.checkpoint_path is not None:
+            self.log_path = default_log_path(self.checkpoint_path)
+        else:
+            self.log_path = None
+
+    def _swarm_target(self) -> int:
+        """The swarm count the log header advertises (budget for adaptive)."""
+        raise NotImplementedError
+
+    def _open_writer(
+        self, seed: SeedLike, resume_offset: Optional[int]
+    ) -> Optional[FleetLogWriter]:
+        if self.log_path is None:
+            return None
+        header = FleetLogHeader(
+            schema=FLEET_LOG_SCHEMA,
+            spec_name=self.spec.name,
+            num_swarms=self._swarm_target(),
+            seed=seed,
+        )
+        return FleetLogWriter(self.log_path, header, resume_offset=resume_offset)
+
+    @staticmethod
+    def _append(
+        writer: Optional[FleetLogWriter], records: List[FleetSwarmRecord]
+    ) -> None:
+        if writer is not None:
+            writer.append(records)
+
+    def _write_checkpoint(
+        self,
+        result: FleetResult,
+        seed: SeedLike,
+        writer: Optional[FleetLogWriter],
+        in_flight: Optional[Tuple[int, Dict[str, Any]]],
+    ) -> None:
+        if self.checkpoint_path is None:
+            return
+        assert writer is not None  # checkpoint_path implies a log
+        save_checkpoint(
+            self.checkpoint_path,
+            FleetCheckpoint(
+                spec=self.spec,
+                seed=seed,
+                num_records=len(result.records),
+                log_name=writer.path.name,
+                log_offset=writer.offset,
+                in_flight=in_flight,
+            ),
+        )
+
+
+class FleetScheduler(PersistentFleetExecution):
     """Execute a fleet spec across processes with checkpointable progress.
 
     Parameters
@@ -113,7 +206,12 @@ class FleetScheduler:
         worker lane).
     checkpoint_path:
         When set, progress is checkpointed here after every
-        ``checkpoint_every`` completed chunks (and at every stop).
+        ``checkpoint_every`` completed chunks (and at every stop); the
+        checkpoint stores only an offset into the JSONL log.
+    log_path:
+        Where the streaming JSONL fleet log lives.  Defaults to a sibling of
+        ``checkpoint_path`` (``<checkpoint>.jsonl``) when checkpointing is
+        on; may also be set alone to stream records without checkpoints.
     """
 
     def __init__(
@@ -123,16 +221,20 @@ class FleetScheduler:
         chunk_size: Optional[int] = None,
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 1,
+        log_path: Optional[Union[str, Path]] = None,
     ):
-        if chunk_size is not None and chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        if checkpoint_every < 1:
-            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
         self.spec = spec
-        self.workers = workers
-        self.chunk_size = chunk_size or _default_chunk_size(spec.num_swarms, workers)
-        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
-        self.checkpoint_every = checkpoint_every
+        self._init_execution(
+            workers,
+            chunk_size,
+            spec.num_swarms,
+            checkpoint_path,
+            checkpoint_every,
+            log_path,
+        )
+
+    def _swarm_target(self) -> int:
+        return self.spec.num_swarms
 
     # -- entry points --------------------------------------------------------
 
@@ -167,10 +269,12 @@ class FleetScheduler:
         seed = normalize_fleet_seed(seed)
         tasks = materialize_tasks(self.spec, seed)
         result = FleetResult(spec_name=self.spec.name, num_swarms=self.spec.num_swarms)
+        writer = self._open_writer(seed, resume_offset=None)
         return self._execute(
             tasks,
             result,
             seed,
+            writer,
             in_flight=None,
             stop_after_swarms=stop_after_swarms,
             suspend_after_events=suspend_after_events,
@@ -180,8 +284,10 @@ class FleetScheduler:
         """Continue a checkpointed run to completion.
 
         The checkpoint's spec must equal this scheduler's spec; the master
-        seed travels inside the checkpoint.  A mid-swarm snapshot, when
-        present, is restored into a fresh simulator and resumed first.
+        seed travels inside the checkpoint and the completed-swarm prefix is
+        replayed from the paired JSONL log (truncated back to the
+        checkpointed offset first).  A mid-swarm snapshot, when present, is
+        restored into a fresh simulator and resumed first.
         """
         path = Path(checkpoint_path) if checkpoint_path else self.checkpoint_path
         if path is None:
@@ -192,14 +298,26 @@ class FleetScheduler:
                 "checkpoint spec does not match this scheduler's spec; "
                 "use FleetScheduler.from_checkpoint"
             )
+        self.checkpoint_path = path
+        self.log_path = checkpoint.log_path(path)
+        log = read_log(self.log_path, max_records=checkpoint.num_records)
+        if len(log.records) < checkpoint.num_records:
+            raise ValueError(
+                f"fleet log {self.log_path} holds {len(log.records)} records "
+                f"but the checkpoint expects {checkpoint.num_records}"
+            )
         tasks = materialize_tasks(self.spec, checkpoint.seed)
         result = FleetResult.from_records(
-            self.spec.name, self.spec.num_swarms, list(checkpoint.records)
+            self.spec.name, self.spec.num_swarms, list(log.records)
+        )
+        writer = self._open_writer(
+            checkpoint.seed, resume_offset=checkpoint.log_offset
         )
         return self._execute(
             tasks,
             result,
             checkpoint.seed,
+            writer,
             in_flight=checkpoint.in_flight,
             stop_after_swarms=None,
             suspend_after_events=None,
@@ -230,6 +348,7 @@ class FleetScheduler:
         tasks: Sequence[SwarmTask],
         result: FleetResult,
         seed: SeedLike,
+        writer: Optional[FleetLogWriter],
         in_flight: Optional[Tuple[int, Dict[str, Any]]],
         stop_after_swarms: Optional[int],
         suspend_after_events: Optional[int],
@@ -240,65 +359,56 @@ class FleetScheduler:
         from ..experiments.runner import map_tasks
 
         spec = self.spec
-        if in_flight is not None:
-            index, snapshot = in_flight
-            outcome = _run_swarm_task(spec, tasks[index], snapshot=snapshot)
-            result.add(outcome)
-            self._write_checkpoint(result, seed, in_flight=None)
-        done = len(result.records)
-        target = spec.num_swarms
-        if stop_after_swarms is not None:
-            target = min(target, max(stop_after_swarms, done))
-        to_run = tasks[done:target]
-        chunks = [
-            (spec, to_run[start : start + self.chunk_size])
-            for start in range(0, len(to_run), self.chunk_size)
-        ]
-        since_checkpoint = 0
-        for records in map_tasks(_run_fleet_chunk, chunks, self.workers):
-            for record in records:
-                result.add(record)
-            since_checkpoint += 1
-            if since_checkpoint >= self.checkpoint_every:
-                self._write_checkpoint(result, seed, in_flight=None)
-                since_checkpoint = 0
-        if result.complete:
-            self._write_checkpoint(result, seed, in_flight=None)
-            return result
-        # Early stop: optionally suspend the next swarm mid-flight so the
-        # checkpoint carries a kernel snapshot across the "kill".
-        pending_in_flight = None
-        if suspend_after_events is not None and len(result.records) < spec.num_swarms:
-            task = tasks[len(result.records)]
-            outcome = _run_swarm_task(
-                spec, task, suspend_after_events=suspend_after_events
-            )
-            if isinstance(outcome, FleetSwarmRecord):
-                # The swarm ended before the suspension point; record it.
+        try:
+            if in_flight is not None:
+                index, snapshot = in_flight
+                outcome = _run_swarm_task(spec, tasks[index], snapshot=snapshot)
                 result.add(outcome)
-            else:
-                pending_in_flight = (task.index, outcome)
-        self._write_checkpoint(result, seed, in_flight=pending_in_flight)
-        return result
-
-    def _write_checkpoint(
-        self,
-        result: FleetResult,
-        seed: SeedLike,
-        in_flight: Optional[Tuple[int, Dict[str, Any]]],
-    ) -> None:
-        if self.checkpoint_path is None:
-            return
-        save_checkpoint(
-            self.checkpoint_path,
-            FleetCheckpoint(
-                spec=self.spec,
-                seed=seed,
-                records=list(result.records),
-                next_index=len(result.records),
-                in_flight=in_flight,
-            ),
-        )
+                self._append(writer, [outcome])
+                self._write_checkpoint(result, seed, writer, in_flight=None)
+            done = len(result.records)
+            target = spec.num_swarms
+            if stop_after_swarms is not None:
+                target = min(target, max(stop_after_swarms, done))
+            to_run = tasks[done:target]
+            chunks = [
+                (spec, to_run[start : start + self.chunk_size])
+                for start in range(0, len(to_run), self.chunk_size)
+            ]
+            since_checkpoint = 0
+            for records in map_tasks(_run_fleet_chunk, chunks, self.workers):
+                for record in records:
+                    result.add(record)
+                self._append(writer, records)
+                since_checkpoint += 1
+                if since_checkpoint >= self.checkpoint_every:
+                    self._write_checkpoint(result, seed, writer, in_flight=None)
+                    since_checkpoint = 0
+            if result.complete:
+                self._write_checkpoint(result, seed, writer, in_flight=None)
+                return result
+            # Early stop: optionally suspend the next swarm mid-flight so the
+            # checkpoint carries a kernel snapshot across the "kill".
+            pending_in_flight = None
+            if (
+                suspend_after_events is not None
+                and len(result.records) < spec.num_swarms
+            ):
+                task = tasks[len(result.records)]
+                outcome = _run_swarm_task(
+                    spec, task, suspend_after_events=suspend_after_events
+                )
+                if isinstance(outcome, FleetSwarmRecord):
+                    # The swarm ended before the suspension point; record it.
+                    result.add(outcome)
+                    self._append(writer, [outcome])
+                else:
+                    pending_in_flight = (task.index, outcome)
+            self._write_checkpoint(result, seed, writer, in_flight=pending_in_flight)
+            return result
+        finally:
+            if writer is not None:
+                writer.close()
 
 
 def run_fleet(
@@ -308,6 +418,7 @@ def run_fleet(
     chunk_size: Optional[int] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 1,
+    log_path: Optional[Union[str, Path]] = None,
     stop_after_swarms: Optional[int] = None,
     suspend_after_events: Optional[int] = None,
 ) -> FleetResult:
@@ -318,6 +429,7 @@ def run_fleet(
         chunk_size=chunk_size,
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
+        log_path=log_path,
     )
     return scheduler.run(
         seed=seed,
@@ -342,4 +454,9 @@ def resume_fleet(
     return scheduler.resume()
 
 
-__all__ = ["FleetScheduler", "resume_fleet", "run_fleet"]
+__all__ = [
+    "FleetScheduler",
+    "PersistentFleetExecution",
+    "resume_fleet",
+    "run_fleet",
+]

@@ -299,6 +299,39 @@ def _root_sequence(token) -> np.random.SeedSequence:
     return np.random.SeedSequence(token)
 
 
+def task_for_point(
+    index: int,
+    simulation_seq: np.random.SeedSequence,
+    params_kwargs: Mapping[str, float],
+    choice: ScenarioWeight,
+) -> SwarmTask:
+    """Build one :class:`SwarmTask` from an explicit parameter/scenario point.
+
+    The shared assembly step of :func:`materialize_tasks` (which *samples*
+    points) and the adaptive driver (which *chooses* points by acquisition):
+    ``params_kwargs`` wins over the mix entry's factory overrides on
+    conflicts, for the plain workload and named scenarios alike.
+    """
+    params_kwargs = dict(params_kwargs)
+    if "num_pieces" in params_kwargs:
+        params_kwargs["num_pieces"] = int(params_kwargs["num_pieces"])
+    if choice.scenario is None:
+        params = base_params(**{**dict(choice.overrides), **params_kwargs})
+        scenario = None
+    else:
+        scenario = make_scenario(
+            choice.scenario, **{**dict(choice.overrides), **params_kwargs}
+        )
+        params = scenario.params
+    return SwarmTask(
+        index=index,
+        params=params,
+        scenario=scenario,
+        scenario_label=choice.label,
+        seed=simulation_seq,
+    )
+
+
 def materialize_tasks(spec: FleetSpec, seed: SeedLike = 0) -> List[SwarmTask]:
     """Expand a spec into its deterministic per-swarm task list.
 
@@ -316,8 +349,6 @@ def materialize_tasks(spec: FleetSpec, seed: SeedLike = 0) -> List[SwarmTask]:
         assignment_seq, simulation_seq = child.spawn(2)
         assignment_rng = np.random.default_rng(assignment_seq)
         params_kwargs = spec.sampler.draw(index, assignment_rng)
-        if "num_pieces" in params_kwargs:
-            params_kwargs["num_pieces"] = int(params_kwargs["num_pieces"])
         if cumprobs is None:
             choice = ScenarioWeight(scenario=None)
         elif len(spec.scenario_mix) == 1:
@@ -328,25 +359,7 @@ def materialize_tasks(spec: FleetSpec, seed: SeedLike = 0) -> List[SwarmTask]:
                 len(cumprobs) - 1,
             )
             choice = spec.scenario_mix[position]
-        if choice.scenario is None:
-            # Overrides apply to the plain workload too (sampler draws win
-            # on conflicts, mirroring the named-scenario branch).
-            params = base_params(**{**dict(choice.overrides), **params_kwargs})
-            scenario = None
-        else:
-            scenario = make_scenario(
-                choice.scenario, **{**dict(choice.overrides), **params_kwargs}
-            )
-            params = scenario.params
-        tasks.append(
-            SwarmTask(
-                index=index,
-                params=params,
-                scenario=scenario,
-                scenario_label=choice.label,
-                seed=simulation_seq,
-            )
-        )
+        tasks.append(task_for_point(index, simulation_seq, params_kwargs, choice))
     return tasks
 
 
@@ -362,4 +375,5 @@ __all__ = [
     "SwarmTask",
     "materialize_tasks",
     "normalize_fleet_seed",
+    "task_for_point",
 ]

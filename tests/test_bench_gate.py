@@ -1,0 +1,165 @@
+"""Benchmark regression-gate tests (CI ``bench-gate`` job logic)."""
+
+import json
+
+import pytest
+
+from repro.analysis.bench_gate import (
+    DEFAULT_TOLERANCE,
+    TOLERANCE_ENV,
+    collect_throughputs,
+    compare_baselines,
+    main,
+    tolerance_from_env,
+)
+
+
+def baseline(object_eps=10_000.0, array_eps=100_000.0, fleet_eps=90_000.0):
+    """A miniature BENCH_swarm.json-shaped document."""
+    return {
+        "workload": {"num_pieces": 10},
+        "backends": {
+            "object": {"events_per_second": object_eps},
+            "array": {"events_per_second": array_eps},
+        },
+        "fleet": {"array": {"events_per_second": fleet_eps, "workers": 1}},
+        "python": "3.11",
+    }
+
+
+class TestCollect:
+    def test_collects_dotted_paths(self):
+        found = collect_throughputs(baseline())
+        assert found == {
+            "backends.object": 10_000.0,
+            "backends.array": 100_000.0,
+            "fleet.array": 90_000.0,
+        }
+
+    def test_ignores_non_numeric_and_other_keys(self):
+        found = collect_throughputs({"a": {"events_per_second": "fast"}, "b": 3})
+        assert found == {}
+
+
+class TestCompare:
+    def test_all_within_tolerance_passes(self):
+        report = compare_baselines(baseline(), baseline(9_000, 95_000, 88_000))
+        assert report.passed
+        assert all(entry.status == "ok" for entry in report.entries)
+
+    def test_drop_beyond_tolerance_fails(self):
+        report = compare_baselines(baseline(), baseline(array_eps=60_000.0))
+        assert not report.passed
+        (regressed,) = report.regressions
+        assert regressed.path == "backends.array"
+        assert regressed.change == pytest.approx(-0.4)
+        assert regressed.status == "REGRESSED"
+
+    def test_boundary_is_exclusive(self):
+        """A drop of exactly the tolerance passes; any more fails."""
+        at_edge = baseline(array_eps=100_000.0 * (1 - DEFAULT_TOLERANCE))
+        assert compare_baselines(baseline(), at_edge).passed
+        past_edge = baseline(array_eps=100_000.0 * (1 - DEFAULT_TOLERANCE) - 1)
+        assert not compare_baselines(baseline(), past_edge).passed
+
+    def test_missing_benchmark_fails(self):
+        current = baseline()
+        del current["fleet"]
+        report = compare_baselines(baseline(), current)
+        assert not report.passed
+        (regressed,) = report.regressions
+        assert regressed.path == "fleet.array"
+        assert regressed.status == "MISSING"
+
+    def test_new_benchmark_reported_not_failing(self):
+        current = baseline()
+        current["adaptive"] = {"events_per_second": 50_000.0}
+        report = compare_baselines(baseline(), current)
+        assert report.passed
+        new = [entry for entry in report.entries if entry.status == "new"]
+        assert [entry.path for entry in new] == ["adaptive"]
+
+    def test_custom_tolerance(self):
+        report = compare_baselines(
+            baseline(), baseline(array_eps=80_000.0), tolerance=0.1
+        )
+        assert not report.passed
+        assert compare_baselines(
+            baseline(), baseline(array_eps=80_000.0), tolerance=0.25
+        ).passed
+
+    def test_markdown_table_mentions_every_entry(self):
+        report = compare_baselines(baseline(), baseline(array_eps=60_000.0))
+        table = report.markdown_table()
+        assert "`backends.array`" in table
+        assert "REGRESSED" in table
+        assert "FAIL" in table
+        assert f"-{DEFAULT_TOLERANCE:.0%}" in table
+
+
+class TestToleranceEnv:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(TOLERANCE_ENV, raising=False)
+        assert tolerance_from_env() == DEFAULT_TOLERANCE
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(TOLERANCE_ENV, "0.15")
+        assert tolerance_from_env() == 0.15
+
+    def test_empty_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv(TOLERANCE_ENV, "")
+        assert tolerance_from_env() == DEFAULT_TOLERANCE
+
+    def test_garbage_env_raises(self, monkeypatch):
+        monkeypatch.setenv(TOLERANCE_ENV, "fast-please")
+        with pytest.raises(ValueError, match=TOLERANCE_ENV):
+            tolerance_from_env()
+
+
+class TestMain:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_pass_exit_zero(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        old = self.write(tmp_path, "old.json", baseline())
+        new = self.write(tmp_path, "new.json", baseline(9_500, 99_000, 91_000))
+        assert main(["--baseline", str(old), "--current", str(new)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regression_exit_nonzero_and_summary(self, tmp_path, capsys, monkeypatch):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        old = self.write(tmp_path, "old.json", baseline())
+        new = self.write(tmp_path, "new.json", baseline(array_eps=10_000.0))
+        assert main(["--baseline", str(old), "--current", str(new)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "backends.array" in summary.read_text()
+
+    def test_env_tolerance_applies(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        monkeypatch.setenv(TOLERANCE_ENV, "0.9")
+        old = self.write(tmp_path, "old.json", baseline())
+        new = self.write(tmp_path, "new.json", baseline(array_eps=20_000.0))
+        assert main(["--baseline", str(old), "--current", str(new)]) == 0
+        monkeypatch.setenv(TOLERANCE_ENV, "0.05")
+        assert main(["--baseline", str(old), "--current", str(new)]) == 1
+
+    def test_cli_tolerance_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        monkeypatch.setenv(TOLERANCE_ENV, "0.05")
+        old = self.write(tmp_path, "old.json", baseline())
+        new = self.write(tmp_path, "new.json", baseline(array_eps=80_000.0))
+        assert (
+            main(
+                [
+                    "--baseline", str(old),
+                    "--current", str(new),
+                    "--tolerance", "0.5",
+                ]
+            )
+            == 0
+        )

@@ -5,9 +5,12 @@ The headline contracts:
 * task materialization is a pure function of ``(spec, seed)``;
 * the fleet outcome is identical at any worker count and chunking;
 * killing a fleet (at a swarm boundary or mid-swarm, via the kernel
-  snapshot) and resuming from the checkpoint reproduces the *exact*
-  ``FleetResult`` of an uninterrupted run — the acceptance criterion, at
-  ``workers=1`` and ``workers=4`` on a 200-swarm mixed-scenario fleet.
+  snapshot) and resuming from the checkpoint — since PR 4 an offset into
+  the streaming JSONL fleet log plus the snapshot, see
+  ``tests/test_fleet_persistence.py`` for the log layer itself —
+  reproduces the *exact* ``FleetResult`` of an uninterrupted run — the
+  acceptance criterion, at ``workers=1`` and ``workers=4`` on a 200-swarm
+  mixed-scenario fleet.
 """
 
 import numpy as np
