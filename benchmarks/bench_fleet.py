@@ -12,6 +12,8 @@ identical at a different worker count.  The measurement lands in the
 kernel baselines.
 """
 
+import time
+
 from conftest import FLEET_BENCH_WORKLOAD, measure_fleet_throughput, run_once
 
 
@@ -32,3 +34,45 @@ def test_fleet_throughput_smoke(benchmark, capsys):
     # The mixed scenario distribution must actually mix.
     assert set(measurement["scenarios"]) == {"plain", "flash-crowd", "free-rider"}
     assert all(count > 0 for count in measurement["scenarios"].values())
+
+
+def test_fleet_log_fsync_batching(benchmark, capsys, tmp_path):
+    """The ``fsync_every_n`` knob amortizes log durability over batches.
+
+    Runs a logged slice of the fleet workload at fsync-per-append (the
+    default durability) and at ``fsync_every_n=32``, prints both wall
+    clocks, and asserts the two runs produce byte-identical logs — batching
+    only changes *when* bytes hit the platter, never what is written.
+    """
+    from repro.fleet import run_fleet
+
+    from conftest import _fleet_bench_spec
+
+    spec = _fleet_bench_spec()
+    seed = FLEET_BENCH_WORKLOAD["seed"]
+    timings = {}
+
+    def logged_run(fsync_every_n, label):
+        log_path = tmp_path / f"fleet-{label}.jsonl"
+        start = time.perf_counter()
+        result = run_fleet(
+            spec, seed=seed, log_path=log_path, fsync_every_n=fsync_every_n
+        )
+        timings[label] = time.perf_counter() - start
+        return result, log_path.read_bytes()
+
+    def both():
+        per_append = logged_run(1, "per-append")
+        batched = logged_run(32, "batched-32")
+        return per_append, batched
+
+    (result_1, log_1), (result_32, log_32) = run_once(benchmark, both)
+    with capsys.disabled():
+        print()
+        print(
+            f"fleet log fsync: per-append {timings['per-append']:.2f}s vs "
+            f"fsync_every_n=32 {timings['batched-32']:.2f}s "
+            f"({len(log_1):,} log bytes)"
+        )
+    assert log_1 == log_32
+    assert result_1 == result_32

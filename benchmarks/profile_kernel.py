@@ -1,0 +1,181 @@
+"""Profile the swarm-kernel hot path: cProfile plus a per-phase timing table.
+
+Future perf PRs should start from data, not guesses.  This script runs the
+reference ``BENCH_WORKLOAD`` (or the scenario variant) twice:
+
+1. under ``cProfile``, printing the top functions by cumulative time, and
+2. with lightweight phase instrumentation, timing the three stages of the
+   event loop —
+
+   * **draw** — pre-drawing uniform blocks (``DrawBuffer._refill``: the only
+     place the numpy ``Generator`` is touched),
+   * **apply** — event application, split into the vectorized batch stage
+     (``_batch_stage``) and the scalar dispatch (``_apply_event``),
+   * **census** — sample-grid metric recording (``_record_sample``)
+
+   — and printing a phase / calls / seconds / share table.  Whatever is left
+   over is the residual scalar loop (rate recomputation, bound checks).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_kernel.py
+    PYTHONPATH=src python benchmarks/profile_kernel.py --backend object
+    PYTHONPATH=src python benchmarks/profile_kernel.py --scenario --events 100000
+    PYTHONPATH=src python benchmarks/profile_kernel.py --block-size 1   # scalar draws
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import time
+from contextlib import contextmanager
+
+from conftest import BENCH_WORKLOAD, SCENARIO_BENCH_WORKLOAD, _scenario_bench_spec
+
+
+def _build(args):
+    from repro.core.parameters import SystemParameters
+    from repro.core.state import SystemState
+    from repro.swarm.swarm import make_simulator
+
+    spec = dict(SCENARIO_BENCH_WORKLOAD if args.scenario else BENCH_WORKLOAD)
+    spec["max_events"] = args.events
+    scenario = _scenario_bench_spec() if args.scenario else None
+    params = (
+        scenario.params
+        if scenario is not None
+        else SystemParameters.flash_crowd(
+            num_pieces=spec["num_pieces"],
+            arrival_rate=spec["arrival_rate"],
+            seed_rate=spec["seed_rate"],
+            peer_rate=spec["peer_rate"],
+            seed_departure_rate=spec["seed_departure_rate"],
+        )
+    )
+    simulator = make_simulator(
+        params,
+        seed=spec["seed"],
+        backend=args.backend,
+        scenario=scenario,
+        draw_block_size=args.block_size,
+    )
+    initial = SystemState.one_club(spec["num_pieces"], spec["initial_one_club"])
+    run_kwargs = dict(
+        initial_state=initial,
+        sample_interval=spec["sample_interval"],
+        max_events=spec["max_events"],
+    )
+    return simulator, spec["horizon"], run_kwargs
+
+
+@contextmanager
+def _phase_timers():
+    """Patch the phase entry points with accumulating timers (class-level,
+    restored on exit): phase name -> [calls, seconds]."""
+    from repro.swarm.drawbuf import DrawBuffer
+    from repro.swarm.kernel import ArraySwarmKernel
+    from repro.swarm.swarm import SwarmSimulator, _SwarmEventLoop
+
+    totals: dict = {}
+    patched = []
+
+    def instrument(owner, name, phase):
+        original = getattr(owner, name)
+        bucket = totals.setdefault(phase, [0, 0.0])
+
+        def timed(self, *call_args, **call_kwargs):
+            start = time.perf_counter()
+            try:
+                return original(self, *call_args, **call_kwargs)
+            finally:
+                bucket[0] += 1
+                bucket[1] += time.perf_counter() - start
+
+        setattr(owner, name, timed)
+        patched.append((owner, name, original))
+
+    instrument(DrawBuffer, "_refill", "draw (block refill)")
+    instrument(ArraySwarmKernel, "_batch_stage", "apply (batch stage)")
+    instrument(_SwarmEventLoop, "_apply_event", "apply (scalar dispatch)")
+    # _record_sample lives on each backend, not the shared driver.
+    instrument(ArraySwarmKernel, "_record_sample", "census (sampling)")
+    instrument(SwarmSimulator, "_record_sample", "census (sampling)")
+    try:
+        yield totals
+    finally:
+        for owner, name, original in patched:
+            setattr(owner, name, original)
+
+
+def run_phase_table(args) -> None:
+    simulator, horizon, run_kwargs = _build(args)
+    with _phase_timers() as totals:
+        start = time.perf_counter()
+        result = simulator.run(horizon, **run_kwargs)
+        wall = time.perf_counter() - start
+    events = result.events_executed
+    print(
+        f"\nPer-phase timing — backend={args.backend}, "
+        f"{events:,} events in {wall:.3f}s "
+        f"({events / wall:,.0f} ev/s, final population "
+        f"{result.final_population:,})"
+    )
+    print(f"{'phase':<28}{'calls':>12}{'seconds':>12}{'share':>9}")
+    accounted = 0.0
+    for phase, (calls, seconds) in totals.items():
+        if not calls:
+            continue
+        # The scalar dispatch is also reached through the batch stage's
+        # fall-through iterations, so phases can nest; shares are of wall.
+        accounted += seconds
+        print(f"{phase:<28}{calls:>12,}{seconds:>12.3f}{seconds / wall:>8.1%}")
+    residual = max(wall - accounted, 0.0)
+    print(f"{'residual (scalar loop)':<28}{'—':>12}{residual:>12.3f}{residual / wall:>8.1%}")
+
+
+def run_cprofile(args, top: int = 25) -> None:
+    simulator, horizon, run_kwargs = _build(args)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    simulator.run(horizon, **run_kwargs)
+    profiler.disable()
+    print(f"\ncProfile — top {top} by cumulative time")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(top)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="cProfile + per-phase timing of the swarm kernels."
+    )
+    parser.add_argument("--backend", choices=("array", "object"), default="array")
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=BENCH_WORKLOAD["max_events"],
+        help="event cap (default: the BENCH_swarm.json workload's)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="store_true",
+        help="profile the heterogeneous flash-crowd scenario workload",
+    )
+    parser.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="draw-buffer block size (default 4096; 1 = scalar draws)",
+    )
+    parser.add_argument(
+        "--skip-cprofile", action="store_true", help="phase table only"
+    )
+    args = parser.parse_args()
+    run_phase_table(args)
+    if not args.skip_cprofile:
+        run_cprofile(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -4,7 +4,11 @@ The CI ``bench-gate`` job compares the freshly emitted ``BENCH_swarm.json``
 (from the benchmark-smoke session) against the committed baseline and fails
 when any ``events_per_second`` figure dropped by more than the tolerance
 (default 30%, overridable via the ``BENCH_GATE_TOLERANCE`` environment
-variable — a fraction, e.g. ``0.3``).
+variable — a fraction, e.g. ``0.3``).  Both sides' ``events_per_second``
+figures are medians of ``benchmarks.conftest.BENCH_REPETITIONS`` timed
+repetitions (the per-rep timings travel in the ``repetitions`` field), so
+the gate compares median against median and a single timer hiccup on a CI
+runner cannot produce a phantom regression.
 
 The comparison walks both JSON documents and pairs every
 ``events_per_second`` leaf by its dotted path (``backends.array``,

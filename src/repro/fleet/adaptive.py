@@ -658,6 +658,7 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 1,
         log_path: Optional[Union[str, Path]] = None,
+        fsync_every_n: int = 1,
     ):
         self.spec = spec
         self._init_execution(
@@ -667,6 +668,7 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
             checkpoint_path,
             checkpoint_every,
             log_path,
+            fsync_every_n,
         )
 
     def _swarm_target(self) -> int:
@@ -784,6 +786,7 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         checkpoint_every: int = 1,
+        fsync_every_n: int = 1,
     ) -> "AdaptiveFleetDriver":
         """Build a driver around the adaptive spec stored in a checkpoint."""
         checkpoint = load_checkpoint(checkpoint_path)
@@ -797,6 +800,7 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
             chunk_size=chunk_size,
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
+            fsync_every_n=fsync_every_n,
         )
 
     # -- core ----------------------------------------------------------------
@@ -954,6 +958,7 @@ def run_adaptive_fleet(
     log_path: Optional[Union[str, Path]] = None,
     stop_after_swarms: Optional[int] = None,
     suspend_after_events: Optional[int] = None,
+    fsync_every_n: int = 1,
 ) -> AdaptiveFleetResult:
     """One-call adaptive execution (see :class:`AdaptiveFleetDriver`)."""
     driver = AdaptiveFleetDriver(
@@ -963,6 +968,7 @@ def run_adaptive_fleet(
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
         log_path=log_path,
+        fsync_every_n=fsync_every_n,
     )
     return driver.run(
         seed=seed,
@@ -976,6 +982,7 @@ def resume_adaptive_fleet(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     checkpoint_every: int = 1,
+    fsync_every_n: int = 1,
 ) -> AdaptiveFleetResult:
     """Resume a killed adaptive fleet (see :meth:`AdaptiveFleetDriver.resume`)."""
     driver = AdaptiveFleetDriver.from_checkpoint(
@@ -983,6 +990,7 @@ def resume_adaptive_fleet(
         workers=workers,
         chunk_size=chunk_size,
         checkpoint_every=checkpoint_every,
+        fsync_every_n=fsync_every_n,
     )
     return driver.resume()
 

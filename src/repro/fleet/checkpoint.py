@@ -36,7 +36,13 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 #: Version tag of the checkpoint payload layout.  Format 2 replaced the
 #: inline record list with a (num_records, log_offset) pointer into the
-#: sibling JSONL fleet log.
+#: sibling JSONL fleet log.  The in-flight kernel snapshot is opaque to this
+#: module and carries its *own* format tag: snapshots written before the
+#: blocked draw buffer existed (kernel snapshot format 1, no ``"draws"``
+#: entry) are still restored exactly by
+#: :meth:`repro.swarm.swarm._SwarmEventLoop.restore_state`, so old
+#: checkpoints survive the buffer migration without a checkpoint-format
+#: bump.
 CHECKPOINT_FORMAT = 2
 
 

@@ -117,8 +117,16 @@ class FleetLogWriter:
     past the offset (records written after the last checkpoint are re-run
     deterministically, so dropping them is safe) and appends from there.
 
+    ``fsync_every_n`` trades durability for throughput: the writer flushes
+    every append (so ``tail -f`` stays live) but only pays the ``fsync``
+    once at least that many records have accumulated since the last sync.
+    The default of 1 keeps the original fsync-per-append durability.  A
+    crash can lose at most the unsynced tail, which — like any truncated
+    tail — re-runs deterministically on resume.
+
     :attr:`offset` is the byte offset after the last *fsync'd* batch — the
-    value a checkpoint may safely store.
+    value a checkpoint may safely store; checkpoint writers call
+    :meth:`sync` first so the offset covers everything appended.
     """
 
     def __init__(
@@ -126,7 +134,12 @@ class FleetLogWriter:
         path: Union[str, Path],
         header: FleetLogHeader,
         resume_offset: Optional[int] = None,
+        fsync_every_n: int = 1,
     ):
+        if fsync_every_n < 1:
+            raise ValueError(f"fsync_every_n must be >= 1, got {fsync_every_n}")
+        self.fsync_every_n = fsync_every_n
+        self._unsynced_records = 0
         self.path = Path(path)
         self.header = header
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -157,17 +170,32 @@ class FleetLogWriter:
         self.offset = self._handle.tell()
 
     def append(self, records: List[FleetSwarmRecord]) -> int:
-        """Append one batch of records, flush + fsync, return the new offset."""
+        """Append one batch of records (flushed; fsync'd per the knob).
+
+        Returns the offset after the last fsync'd record — the safe
+        checkpoint value, which lags the file end while a sync is pending.
+        """
         if records:
             lines = "".join(record_to_json(record) + "\n" for record in records)
             self._handle.write(lines.encode("utf-8"))
-            self._sync()
+            self._unsynced_records += len(records)
+            if self._unsynced_records >= self.fsync_every_n:
+                self._sync()
+                self.offset = self._handle.tell()
+            else:
+                self._handle.flush()
+        return self.offset
+
+    def sync(self) -> int:
+        """Force an fsync (e.g. before checkpointing); returns the offset."""
+        self._sync()
         self.offset = self._handle.tell()
         return self.offset
 
     def _sync(self) -> None:
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        self._unsynced_records = 0
 
     def close(self) -> None:
         if not self._handle.closed:

@@ -15,7 +15,8 @@
 * **log-structured persistence** — with a ``log_path`` (or implicitly with a
   ``checkpoint_path``), every completed swarm is appended to a
   schema-versioned JSONL log (:mod:`repro.fleet.persistence`) as it
-  finishes, fsync'd per chunk: a running fleet can be tailed live
+  finishes, fsync'd per chunk by default (``fsync_every_n`` batches the
+  fsyncs for throughput): a running fleet can be tailed live
   (``tail -f``) and its census rebuilt at any time via
   :meth:`FleetResult.from_log`;
 * **checkpoint / resume** — with a ``checkpoint_path``, progress is saved
@@ -126,12 +127,16 @@ class PersistentFleetExecution:
         checkpoint_path: Optional[Union[str, Path]],
         checkpoint_every: int,
         log_path: Optional[Union[str, Path]],
+        fsync_every_n: int = 1,
     ) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if checkpoint_every < 1:
             raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if fsync_every_n < 1:
+            raise ValueError(f"fsync_every_n must be >= 1, got {fsync_every_n}")
         self.workers = workers
+        self.fsync_every_n = fsync_every_n
         self.chunk_size = chunk_size or _default_chunk_size(
             default_chunk_items, workers
         )
@@ -159,7 +164,12 @@ class PersistentFleetExecution:
             num_swarms=self._swarm_target(),
             seed=seed,
         )
-        return FleetLogWriter(self.log_path, header, resume_offset=resume_offset)
+        return FleetLogWriter(
+            self.log_path,
+            header,
+            resume_offset=resume_offset,
+            fsync_every_n=self.fsync_every_n,
+        )
 
     @staticmethod
     def _append(
@@ -178,6 +188,9 @@ class PersistentFleetExecution:
         if self.checkpoint_path is None:
             return
         assert writer is not None  # checkpoint_path implies a log
+        # The checkpoint's offset must cover every appended record even when
+        # fsyncs are batched, so force a sync first.
+        writer.sync()
         save_checkpoint(
             self.checkpoint_path,
             FleetCheckpoint(
@@ -212,6 +225,10 @@ class FleetScheduler(PersistentFleetExecution):
         Where the streaming JSONL fleet log lives.  Defaults to a sibling of
         ``checkpoint_path`` (``<checkpoint>.jsonl``) when checkpointing is
         on; may also be set alone to stream records without checkpoints.
+    fsync_every_n:
+        Fsync the log once per this many appended records instead of per
+        append (default 1, the original per-chunk durability); checkpoints
+        always force a sync first, so resume stays exact.
     """
 
     def __init__(
@@ -222,6 +239,7 @@ class FleetScheduler(PersistentFleetExecution):
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 1,
         log_path: Optional[Union[str, Path]] = None,
+        fsync_every_n: int = 1,
     ):
         self.spec = spec
         self._init_execution(
@@ -231,6 +249,7 @@ class FleetScheduler(PersistentFleetExecution):
             checkpoint_path,
             checkpoint_every,
             log_path,
+            fsync_every_n,
         )
 
     def _swarm_target(self) -> int:
@@ -330,6 +349,7 @@ class FleetScheduler(PersistentFleetExecution):
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         checkpoint_every: int = 1,
+        fsync_every_n: int = 1,
     ) -> "FleetScheduler":
         """Build a scheduler around the spec stored in a checkpoint."""
         checkpoint = load_checkpoint(checkpoint_path)
@@ -339,6 +359,7 @@ class FleetScheduler(PersistentFleetExecution):
             chunk_size=chunk_size,
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
+            fsync_every_n=fsync_every_n,
         )
 
     # -- core ---------------------------------------------------------------
@@ -421,6 +442,7 @@ def run_fleet(
     log_path: Optional[Union[str, Path]] = None,
     stop_after_swarms: Optional[int] = None,
     suspend_after_events: Optional[int] = None,
+    fsync_every_n: int = 1,
 ) -> FleetResult:
     """One-call fleet execution (see :class:`FleetScheduler`)."""
     scheduler = FleetScheduler(
@@ -430,6 +452,7 @@ def run_fleet(
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
         log_path=log_path,
+        fsync_every_n=fsync_every_n,
     )
     return scheduler.run(
         seed=seed,
@@ -443,6 +466,7 @@ def resume_fleet(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     checkpoint_every: int = 1,
+    fsync_every_n: int = 1,
 ) -> FleetResult:
     """Resume a checkpointed fleet to completion (see :class:`FleetScheduler`)."""
     scheduler = FleetScheduler.from_checkpoint(
@@ -450,6 +474,7 @@ def resume_fleet(
         workers=workers,
         chunk_size=chunk_size,
         checkpoint_every=checkpoint_every,
+        fsync_every_n=fsync_every_n,
     )
     return scheduler.resume()
 

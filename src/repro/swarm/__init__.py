@@ -15,6 +15,7 @@ Backend selection goes through :func:`repro.swarm.swarm.make_simulator` /
 ``run_swarm(..., backend="object" | "array")``.
 """
 
+from .drawbuf import DEFAULT_BLOCK_SIZE, DrawBuffer
 from .groups import GroupSnapshot, PeerGroup, classify_peer, group_counts
 from .kernel import ArraySwarmKernel
 from .metrics import SwarmMetrics
@@ -53,6 +54,8 @@ __all__ = [
     "CodedArrivalSpec",
     "CodedSwarmResult",
     "CodedSwarmSimulator",
+    "DEFAULT_BLOCK_SIZE",
+    "DrawBuffer",
     "GroupSnapshot",
     "MostCommonFirstSelection",
     "Peer",

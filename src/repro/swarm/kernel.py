@@ -27,13 +27,20 @@ The aggregate-rate event loop (``run`` / ``step`` / event dispatch) is
 inherited from the shared :class:`~repro.swarm.swarm._SwarmEventLoop` driver,
 so the RNG-consumption contract has a single implementation; the kernel only
 supplies the SoA state representation, the event handlers and the sampling
-hooks, and it consumes the shared :class:`numpy.random.Generator` in
-*exactly* the same order and with the same bounds as the object simulator
-(same swap-remove bookkeeping, same draw per handler).  Running both backends
-from the same seed therefore produces bit-identical trajectories
-(populations, piece censuses, one-club sizes, metrics).
-``tests/test_property_based.py`` asserts this property; any change to a
-handler of either backend must preserve it (or update both).
+hooks, and it consumes the shared blocked
+:class:`~repro.swarm.drawbuf.DrawBuffer` in *exactly* the same order and
+with the same bounds as the object simulator (same swap-remove bookkeeping,
+same draw per handler).  Running both backends from the same seed therefore
+produces bit-identical trajectories (populations, piece censuses, one-club
+sizes, metrics).  ``tests/test_property_based.py`` asserts this property;
+any change to a handler of either backend must preserve it (or update both).
+
+On top of the scalar handlers the kernel adds a **vectorized batch stage**
+(:meth:`_batch_stage`): runs of state-neutral events — wasted peer ticks,
+the dominant event of a captured swarm — are classified against the pending
+draw block with numpy array ops and applied wholesale, consuming exactly the
+draws the scalar loop would, so the batching is invisible in the trajectory
+(enforced at ``DRAW_BLOCK_SIZE=1`` vs. default in CI).
 
 The contract extends to declarative scenarios
 (:class:`~repro.core.scenario.ScenarioSpec`): rate schedules thin in the
@@ -56,7 +63,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from types import MappingProxyType
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -94,6 +101,7 @@ class ArraySwarmKernel(_SwarmEventLoop):
         track_groups: bool = False,
         scenario: Optional[ScenarioSpec] = None,
         initial_capacity: int = 1024,
+        draw_block_size: Optional[int] = None,
     ):
         if retry_speedup < 1.0:
             raise ValueError(f"retry_speedup must be >= 1, got {retry_speedup}")
@@ -103,7 +111,8 @@ class ArraySwarmKernel(_SwarmEventLoop):
             raise ValueError(
                 f"the array backend packs piece sets into uint64 bitmasks and "
                 f"supports at most {_MAX_ARRAY_PIECES} pieces, got "
-                f"{params.num_pieces}; use the object backend instead"
+                f"{params.num_pieces}; fall back to backend=\"object\", which "
+                f"has no piece-count limit"
             )
         self.params = params
         self.policy = policy if policy is not None else RandomUsefulSelection()
@@ -144,10 +153,20 @@ class ArraySwarmKernel(_SwarmEventLoop):
         )
         self._arrival_total = float(self._arrival_weights.sum())
         self._arrival_probs = self._arrival_weights / self._arrival_total
+        self._arrival_cumprobs = np.cumsum(self._arrival_probs)
         self._single_arrival_mask = (
             self._arrival_masks[0] if len(self._arrival_masks) == 1 else None
         )
-        self._init_driver(scenario)
+        self._init_driver(scenario, draw_block_size)
+        # The vectorized batch stage needs wasted peer ticks to be provably
+        # state-neutral: retry speedups turn a wasted tick into a rate
+        # change, and only policies flagged rng-free-when-useless are known
+        # not to consume draws on a useless contact.
+        self._batch_enabled = retry_speedup == 1.0 and getattr(
+            self.policy, "rng_free_when_useless", False
+        )
+        self._membership_version = 0
+        self._ticker_cache: Optional[dict] = None
         # Heterogeneous mode mirrors the object simulator's per-class
         # bookkeeping at the row level: _class_idx holds each row's class,
         # _member_slot its index in the per-class membership list, and the
@@ -227,6 +246,7 @@ class ArraySwarmKernel(_SwarmEventLoop):
     def _add_peer(self, mask: int, class_index: int = 0) -> int:
         if self._n == len(self._masks):
             self._grow()
+        self._membership_version += 1
         row = self._n
         self._n += 1
         self._masks[row] = mask
@@ -258,6 +278,7 @@ class ArraySwarmKernel(_SwarmEventLoop):
         return row
 
     def _remove_peer(self, row: int) -> None:
+        self._membership_version += 1
         arrival = float(self._arrival_time[row])
         sojourn = self._time - arrival
         completed = float(self._completed_at[row])
@@ -391,6 +412,11 @@ class ArraySwarmKernel(_SwarmEventLoop):
         n = int(state["n"])
         while len(self._masks) < n:
             self._grow()
+        # The restored membership has nothing to do with whatever this
+        # simulator ran before, so the batch stage's cached ticker arrays
+        # must not survive the restore.
+        self._membership_version += 1
+        self._ticker_cache = None
         self._n = n
         columns = list(self._SNAPSHOT_COLUMNS)
         if self._classes is not None:
@@ -405,13 +431,56 @@ class ArraySwarmKernel(_SwarmEventLoop):
         self._piece_counts.update(state["piece_counts"])
 
     def seed_population(self, initial_state: SystemState) -> None:
-        """Populate the swarm from a :class:`SystemState` before running."""
+        """Populate the swarm from a :class:`SystemState` before running.
+
+        Bulk array fill: one broadcast per peer type instead of one
+        ``_add_peer`` per peer.  Seeding draws no RNG and appends rows, class
+        members and peer seeds in exactly the per-peer loop's order, so the
+        trajectory is unchanged; on fleet workloads (hundreds of swarms,
+        each pre-seeded with a one-club) the per-peer loop used to dominate
+        the whole run.
+        """
         for type_c, count in initial_state.items():
+            if count <= 0:
+                continue
             mask = type_c.mask
-            for _ in range(count):
-                self._add_peer(mask)
-        # The pre-seeded peers are not exogenous arrivals.
-        self.metrics.total_arrivals -= initial_state.total_peers
+            self._membership_version += 1
+            while self._n + count > len(self._masks):
+                self._grow()
+            start = self._n
+            stop = start + count
+            self._n = stop
+            rows = range(start, stop)
+            self._masks[start:stop] = mask
+            self._arrival_time[start:stop] = self._time
+            self._completed_at[start:stop] = np.nan
+            self._arrived_with_rare[start:stop] = bool(mask & self._rare_bit)
+            self._infected[start:stop] = False
+            self._was_one_club[start:stop] = False
+            self._seed_slot[start:stop] = -1
+            self._sped_slot[start:stop] = -1
+            if self._classes is not None:
+                # Pre-seeded peers join class 0, like the scalar path did.
+                self._class_idx[start:stop] = 0
+                members = self._class_members[0]
+                self._member_slot[start:stop] = np.arange(
+                    len(members), len(members) + count, dtype=np.int64
+                )
+                members.extend(rows)
+            counts = self._piece_counts
+            bits = mask
+            while bits:
+                low = bits & -bits
+                counts[low.bit_length()] += count
+                bits ^= low
+            if mask == self._club_mask:
+                self._one_club_count += count
+            if mask == self._full_mask and not self._class_departs_immediately(0):
+                seeds = self._seed_list_of(start)
+                self._seed_slot[start:stop] = np.arange(
+                    len(seeds), len(seeds) + count, dtype=np.int64
+                )
+                seeds.extend(rows)
 
     # -- event mechanics -------------------------------------------------------
 
@@ -424,8 +493,9 @@ class ArraySwarmKernel(_SwarmEventLoop):
     def _sample_arrival_mask(self) -> int:
         if self._single_arrival_mask is not None:
             return self._single_arrival_mask
-        index = self.rng.choice(len(self._arrival_masks), p=self._arrival_probs)
-        return self._arrival_masks[int(index)]
+        # One buffered uniform + searchsorted, mirroring the object
+        # simulator's arrival-type draw bit for bit.
+        return self._arrival_masks[self.draws.cum_choice(self._arrival_cumprobs)]
 
     def _sample_ticking_row(self) -> int:
         if self._classes is not None:
@@ -433,9 +503,9 @@ class ArraySwarmKernel(_SwarmEventLoop):
         population = self._n
         sped = len(self._sped)
         if self.retry_speedup == 1.0 or not sped:
-            return int(self.rng.integers(population))
+            return self.draws.integers(population)
         extra = self.retry_speedup - 1.0
-        threshold = self.rng.uniform(0.0, population + extra * sped)
+        threshold = self.draws.uniform(0.0, population + extra * sped)
         if threshold < population:
             return int(threshold)
         return self._sped[min(int((threshold - population) / extra), sped - 1)]
@@ -452,7 +522,7 @@ class ArraySwarmKernel(_SwarmEventLoop):
         """Attempt a useful upload into the peer at ``row``."""
         downloader_mask = int(self._masks[row])
         piece = self.policy.select_piece_mask(
-            downloader_mask, uploader_mask, self._refresh_view(), self.rng
+            downloader_mask, uploader_mask, self._refresh_view(), self.draws
         )
         if piece is None:
             self.metrics.wasted_contacts += 1
@@ -509,7 +579,7 @@ class ArraySwarmKernel(_SwarmEventLoop):
     def _handle_seed_tick(self) -> None:
         if self._n == 0:
             return
-        target = int(self.rng.integers(self._n))
+        target = self.draws.integers(self._n)
         self._transfer(self._full_mask, target, from_seed=True)
 
     def _handle_peer_tick(self) -> None:
@@ -518,7 +588,7 @@ class ArraySwarmKernel(_SwarmEventLoop):
         uploader = self._sample_ticking_row()
         # A ticking peer's speedup (if any) is consumed by this tick.
         self._discard_sped(uploader)
-        target = int(self.rng.integers(self._n))
+        target = self.draws.integers(self._n)
         if target == uploader:
             self.metrics.wasted_contacts += 1
             success = False
@@ -537,8 +607,152 @@ class ArraySwarmKernel(_SwarmEventLoop):
             return
         if not self._seeds:
             return
-        index = int(self.rng.integers(len(self._seeds)))
+        index = self.draws.integers(len(self._seeds))
         self._remove_peer(self._seeds[index])
+
+    # -- vectorized event batching ----------------------------------------------
+
+    def _batch_hetero_tickers(self, uniforms: np.ndarray) -> Optional[np.ndarray]:
+        """Vectorized ``_draw_hetero_ticker`` for a chunk of uniforms.
+
+        Replays the shared driver's segment walk with array ops: the segment
+        boundaries are the cumulative ``µ_c · n_c`` widths (same summation
+        order as ``_pick_from_segments``, so the same doubles), the in-segment
+        index the same truncate-and-clamp.  Valid only while class
+        memberships are frozen, which batched (state-neutral) events
+        guarantee; the per-class row arrays are cached until any peer is
+        added or removed.
+        """
+        cache = self._ticker_cache
+        if cache is None or cache["version"] != self._membership_version:
+            units: List[float] = []
+            arrays: List[np.ndarray] = []
+            for cls, members in zip(self._classes, self._class_members):
+                if members:
+                    units.append(cls.contact_rate)
+                    arrays.append(np.array(members, dtype=np.int64))
+            if not arrays:
+                return None
+            sizes = np.array([len(rows) for rows in arrays], dtype=np.int64)
+            units_arr = np.array(units, dtype=np.float64)
+            boundaries = np.cumsum(units_arr * sizes)
+            offsets = np.zeros(len(arrays), dtype=np.int64)
+            np.cumsum(sizes[:-1], out=offsets[1:])
+            cache = self._ticker_cache = {
+                "version": self._membership_version,
+                "units": units_arr,
+                "sizes": sizes,
+                "boundaries": boundaries,
+                "starts": np.concatenate(([0.0], boundaries[:-1])),
+                "offsets": offsets,
+                "handles": np.concatenate(arrays),
+            }
+        boundaries = cache["boundaries"]
+        threshold = uniforms * float(boundaries[-1])
+        segment = np.searchsorted(boundaries, threshold, side="right")
+        np.minimum(segment, len(boundaries) - 1, out=segment)
+        index = (
+            (threshold - cache["starts"][segment]) / cache["units"][segment]
+        ).astype(np.int64)
+        np.minimum(index, cache["sizes"][segment] - 1, out=index)
+        return cache["handles"][cache["offsets"][segment] + index]
+
+    def _batch_stage(
+        self,
+        rates: Tuple[float, float, float, float],
+        total: float,
+        horizon: float,
+        interval: float,
+        next_sample: float,
+        limit: Optional[int],
+    ) -> Tuple[int, float]:
+        """Consume a run of wasted peer ticks with vectorized classification.
+
+        A wasted peer tick — the dominant event in a captured (one-club)
+        swarm — consumes exactly four buffered draws (inter-event
+        exponential, event-type selection, ticking peer, contact target) and
+        mutates nothing but the clock and ``metrics.wasted_contacts``, so
+        the event rates provably stay constant across any run of them.  The
+        stage speculatively classifies the pending draw block in groups of
+        four with array ops (event type, ticker/target rows, usefulness of
+        the contact via the mask census) and applies the maximal
+        state-neutral prefix; the first event that transfers a piece,
+        arrives, departs, ticks the fixed seed, or crosses the horizon is
+        left — draws untouched — for the scalar path.  Each batched event
+        consumes the same draws with the same semantics as the scalar loop,
+        so trajectories are bit-identical (enforced by the equivalence and
+        checkpoint property tests at ``DRAW_BLOCK_SIZE=1`` vs. default).
+        """
+        n = self._n
+        if n == 0:
+            return 0, next_sample
+        draws = self.draws
+        candidates = draws.remaining() >> 2
+        if limit is not None and candidates > limit:
+            candidates = limit
+        if candidates <= 0:
+            return 0, next_sample
+        r01 = rates[0] + rates[1]
+        r012 = r01 + rates[2]
+        uniforms = draws.uniforms_view(4 * candidates)
+        # Scalar pre-check of the first candidate, so event streams that are
+        # not tick-dominated skip the vector classification entirely.
+        first_sel = float(uniforms[1]) * total
+        if not (first_sel > r01 and first_sel <= r012):
+            return 0, next_sample
+        hetero = self._classes is not None
+        masks = self._masks
+
+        def leading_ok(window: int) -> int:
+            chunk = uniforms[: 4 * window]
+            selector = chunk[1::4] * total
+            is_peer_tick = (selector > r01) & (selector <= r012)
+            if hetero:
+                ticker = self._batch_hetero_tickers(chunk[2::4])
+                if ticker is None:
+                    return 0
+            else:
+                ticker = (chunk[2::4] * n).astype(np.int64)
+                np.minimum(ticker, n - 1, out=ticker)
+            target = (chunk[3::4] * n).astype(np.int64)
+            np.minimum(target, n - 1, out=target)
+            useless = (masks[ticker] & ~masks[target]) == 0
+            ok = is_peer_tick & ((ticker == target) | useless)
+            bad = np.flatnonzero(~ok)
+            return int(bad[0]) if bad.size else window
+
+        # Two-tier classification: probe a small window first, so phases
+        # dominated by transfers / arrivals (where runs of wasted ticks are
+        # short) never pay a full-block classification to apply a handful
+        # of events; only a fully-clean probe escalates to the whole block.
+        probe = 16 if candidates > 16 else candidates
+        count = leading_ok(probe)
+        if count == probe and candidates > probe:
+            count = leading_ok(candidates)
+        if count == 0:
+            return 0, next_sample
+        # Exact sequential clock walk over the accepted prefix: same
+        # accumulation order, grid recording and horizon comparison as the
+        # scalar loop (the exponentials are the block's precomputed
+        # inverse-transform values, so the doubles match too).
+        scale = 1.0 / total
+        time = self._time
+        record = self._record_sample
+        applied = 0
+        for exp_draw in draws.exp_view(4 * count)[::4].tolist():
+            next_event_time = time + exp_draw * scale
+            while next_sample <= horizon and next_sample < next_event_time:
+                record(next_sample)
+                next_sample += interval
+            if next_event_time > horizon:
+                break
+            time = next_event_time
+            applied += 1
+        if applied:
+            self._time = time
+            self.metrics.wasted_contacts += applied
+            draws.advance(4 * applied)
+        return applied, next_sample
 
     # -- sampling ---------------------------------------------------------------
 

@@ -114,9 +114,24 @@ def _nth_set_bit(mask: int, index: int) -> int:
 
 
 class PieceSelectionPolicy(abc.ABC):
-    """Interface for piece-selection policies."""
+    """Interface for piece-selection policies.
+
+    The ``rng`` handed to a policy is the simulator's blocked
+    :class:`~repro.swarm.drawbuf.DrawBuffer`, which implements the slice of
+    the ``numpy.random.Generator`` API the built-in policies use
+    (``integers`` / ``random`` / ``uniform`` / ``choice``); custom policies
+    must restrict themselves to those methods so that both simulation
+    backends keep consuming the draw stream identically.
+    """
 
     name = "abstract"
+
+    #: True when the policy is guaranteed not to consume the RNG on a
+    #: contact with no useful piece (it returns ``None`` before drawing).
+    #: The array kernel's vectorized batch stage only engages for such
+    #: policies; the conservative default keeps custom subclasses on the
+    #: scalar path unless they opt in.
+    rng_free_when_useless = False
 
     @abc.abstractmethod
     def select_piece(
@@ -162,7 +177,13 @@ class PieceSelectionPolicy(abc.ABC):
 
 
 class _MaskNativePolicy(PieceSelectionPolicy):
-    """Base for built-ins: ``select_piece`` routes through the mask primitive."""
+    """Base for built-ins: ``select_piece`` routes through the mask primitive.
+
+    Every built-in checks usefulness before touching the RNG, so the batch
+    stage may skip them wholesale on useless contacts.
+    """
+
+    rng_free_when_useless = True
 
     def select_piece(
         self,
@@ -272,6 +293,10 @@ class CallablePolicy(PieceSelectionPolicy):
     the masks back into :class:`PieceSet` objects before calling the wrapped
     function, so existing callables keep working unmodified.
     """
+
+    #: The usefulness pre-check below returns before the wrapped function
+    #: (and therefore the RNG) is ever reached on a useless contact.
+    rng_free_when_useless = True
 
     def __init__(
         self,

@@ -26,6 +26,12 @@ This module holds the object-per-peer *reference* backend.  The
 structure-of-arrays fast backend lives in :mod:`repro.swarm.kernel`; both are
 trajectory-equivalent under a shared seed and are selected via
 :func:`make_simulator` / ``run_swarm(..., backend="object" | "array")``.
+
+Every stochastic decision of either backend is taken from the shared blocked
+:class:`~repro.swarm.drawbuf.DrawBuffer` (one uniform per decision,
+inverse-transform exponentials), so the RNG-consumption contract is defined
+entirely by *which* decisions happen in which order — and is invariant under
+the buffer's block size.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from ..core.scenario import PeerClass, RateSchedule, ScenarioSpec
 from ..core.state import SystemState
 from ..core.types import PieceSet
 from ..simulation.rng import SeedLike, make_rng
+from .drawbuf import DrawBuffer
 from .groups import GroupSnapshot
 from .metrics import SwarmMetrics
 from .peer import Peer
@@ -56,8 +63,17 @@ class SwarmResult:
     ``suspended`` is True when the run stopped at ``suspend_after_events``
     and can be continued bit-identically via ``run(..., resume=True)``
     (possibly on a fresh simulator after ``capture_state`` /
-    ``restore_state``).  ``events_executed`` counts the events applied so
-    far in the current run, cumulatively across resumed segments.
+    ``restore_state``).
+
+    ``events_executed`` counts the events *dispatched* so far in the current
+    run, cumulatively across resumed segments.  Under a time-varying
+    :class:`~repro.core.scenario.RateSchedule` the loop runs the scheduled
+    processes at their maximum rate and thins candidates back down, and a
+    candidate **rejected by thinning still counts** as one dispatched event
+    (it consumed draws and advanced the clock); the number of such
+    rejections is ``metrics.thinned_events``, so the accepted
+    (post-thinning) event count is ``events_executed - thinned_events``.
+    Without schedules the two notions coincide.
     """
 
     metrics: SwarmMetrics
@@ -75,7 +91,12 @@ class _SwarmEventLoop:
     Both :class:`SwarmSimulator` and
     :class:`~repro.swarm.kernel.ArraySwarmKernel` inherit the aggregate-rate
     event loop from here, so the RNG-consumption contract (which draws happen,
-    in which order, with which bounds) lives in exactly one place.  Subclasses
+    in which order, with which bounds) lives in exactly one place.  All draws
+    come from ``self.draws`` — the blocked
+    :class:`~repro.swarm.drawbuf.DrawBuffer` over ``self.rng`` — at exactly
+    one uniform per decision, which is what lets the array kernel resolve
+    runs of events against the pending block with vectorized ops (see
+    :meth:`_batch_stage`) without changing any trajectory.  Subclasses
     provide the state representation and the four event handlers plus:
 
     * ``population`` / ``num_seeds`` properties,
@@ -133,10 +154,20 @@ class _SwarmEventLoop:
     #: on one backend cannot be restored into the other by mistake.
     backend_name = "abstract"
 
+    #: Flipped on by backends that implement :meth:`_batch_stage`.
+    _batch_enabled = False
+
     # -- scenario plumbing -----------------------------------------------------
 
-    def _init_driver(self, scenario: Optional[ScenarioSpec]) -> None:
+    def _init_driver(
+        self,
+        scenario: Optional[ScenarioSpec],
+        draw_block_size: Optional[int] = None,
+    ) -> None:
         """Initialise the shared driver: scenario digestion + run-loop state."""
+        #: The blocked draw buffer every stochastic decision comes from (see
+        #: :mod:`repro.swarm.drawbuf`); both backends consume it identically.
+        self.draws = DrawBuffer(self.rng, draw_block_size)
         self._init_scenario(scenario)
         self._run_active = False
         self._run_horizon: Optional[float] = None
@@ -218,7 +249,7 @@ class _SwarmEventLoop:
         here in the shared driver so both backends consume the RNG
         identically.
         """
-        accept = float(self.rng.uniform(0.0, bound)) < schedule.value_at(self._time)
+        accept = self.draws.uniform(0.0, bound) < schedule.value_at(self._time)
         if not accept:
             self.metrics.thinned_events += 1
         return accept
@@ -235,19 +266,13 @@ class _SwarmEventLoop:
         if len(self._classes) == 1:
             class_index = 0
         else:
-            cumulative = self._class_cumprobs
-            class_index = min(
-                int(np.searchsorted(cumulative, self.rng.uniform(), side="right")),
-                len(cumulative) - 1,
-            )
+            class_index = self.draws.cum_choice(self._class_cumprobs)
         types = self._class_types[class_index]
         if len(types) == 1:
             type_index = 0
         else:
-            cumulative = self._class_type_cumprobs[class_index]
-            type_index = min(
-                int(np.searchsorted(cumulative, self.rng.uniform(), side="right")),
-                len(cumulative) - 1,
+            type_index = self.draws.cum_choice(
+                self._class_type_cumprobs[class_index]
             )
         return class_index, type_index
 
@@ -284,7 +309,7 @@ class _SwarmEventLoop:
     def _pick_from_segments(self, segments: List[Tuple[float, List[int]]]) -> int:
         """One uniform draw over concatenated (unit weight, handles) segments."""
         total = sum(unit * len(handles) for unit, handles in segments)
-        threshold = float(self.rng.uniform(0.0, total))
+        threshold = self.draws.uniform(0.0, total)
         acc = 0.0
         for unit, handles in segments[:-1]:
             width = unit * len(handles)
@@ -339,7 +364,7 @@ class _SwarmEventLoop:
     def _apply_event(self, rates: Tuple[float, float, float, float]) -> None:
         """Apply one event drawn proportionally to the given rates."""
         total = sum(rates)
-        threshold = self.rng.uniform(0.0, total)
+        threshold = self.draws.uniform(0.0, total)
         if threshold <= rates[0]:
             if self._thin_arrivals and not self._thin_accept(
                 self._arrival_schedule, self._arrival_bound
@@ -363,7 +388,7 @@ class _SwarmEventLoop:
         total = sum(rates)
         if total <= 0:
             return False
-        self._time += float(self.rng.exponential(1.0 / total))
+        self._time += self.draws.exponential(1.0 / total)
         self._apply_event(rates)
         return True
 
@@ -429,6 +454,7 @@ class _SwarmEventLoop:
         events = self._events
         horizon_reached = True
         suspended = False
+        batch_enabled = self._batch_enabled
         while True:
             if suspend_after_events is not None and events >= suspend_after_events:
                 horizon_reached = False
@@ -446,7 +472,25 @@ class _SwarmEventLoop:
                 # No events possible (no arrivals configured and system empty).
                 self._time = horizon
                 break
-            next_event_time = self._time + float(self.rng.exponential(1.0 / total))
+            if batch_enabled:
+                # Vectorized fast path: consume a run of state-neutral events
+                # (wasted peer ticks) in one go.  The stage consumes exactly
+                # the draws the scalar path would and stops short of any
+                # event that changes rates, crosses the horizon, or exceeds
+                # the event caps, so trajectories stay bit-identical.
+                limit = None
+                if suspend_after_events is not None:
+                    limit = suspend_after_events - events
+                if max_events is not None:
+                    remaining = max_events - events
+                    limit = remaining if limit is None else min(limit, remaining)
+                applied, next_sample = self._batch_stage(
+                    rates, total, horizon, interval, next_sample, limit
+                )
+                if applied:
+                    events += applied
+                    continue
+            next_event_time = self._time + self.draws.exponential(1.0 / total)
             # The current population holds until the next event: record every
             # grid point in between before applying it (time-correct sampling).
             while next_sample <= horizon and next_sample < next_event_time:
@@ -476,10 +520,38 @@ class _SwarmEventLoop:
             events_executed=events,
         )
 
+    def _batch_stage(
+        self,
+        rates: Tuple[float, float, float, float],
+        total: float,
+        horizon: float,
+        interval: float,
+        next_sample: float,
+        limit: Optional[int],
+    ) -> Tuple[int, float]:
+        """Vectorized event-batching hook; the base driver has none.
+
+        Backends that can resolve a run of upcoming events with array ops
+        (see :meth:`ArraySwarmKernel._batch_stage`) override this and set
+        ``_batch_enabled``.  The contract: apply ``k >= 0`` complete events
+        that consume exactly the draws the scalar loop would have consumed,
+        leave the event rates unchanged throughout, record any crossed
+        sample-grid points, and return ``(k, next_sample)``; the first event
+        that cannot be proven state-neutral (or that would cross ``horizon``
+        or exceed ``limit``) is left for the scalar path.
+        """
+        return 0, next_sample
+
     # -- snapshot / restore ------------------------------------------------------
 
     #: Version tag of the snapshot layout produced by :meth:`capture_state`.
-    SNAPSHOT_FORMAT = 1
+    #: Format 2 added the draw-buffer remainder (``"draws"``); format-1
+    #: snapshots (which predate the buffer and whose RNG state is in sync
+    #: with the logical stream position) are still restorable.
+    SNAPSHOT_FORMAT = 2
+
+    #: Snapshot formats :meth:`restore_state` accepts.
+    SUPPORTED_SNAPSHOT_FORMATS = (1, 2)
 
     def capture_state(self) -> Dict[str, Any]:
         """Serialise the simulator's full mutable state into a picklable dict.
@@ -498,6 +570,7 @@ class _SwarmEventLoop:
             "scenario": self.scenario.name if self.scenario is not None else None,
             "time": self._time,
             "rng_state": copy.deepcopy(self.rng.bit_generator.state),
+            "draws": self.draws.capture(),
             "metrics": copy.deepcopy(self.metrics),
             "run": {
                 "active": self._run_active,
@@ -523,10 +596,10 @@ class _SwarmEventLoop:
         scenario); mismatches raise ``ValueError``.  The snapshot itself is
         never mutated, so the same snapshot can be restored repeatedly.
         """
-        if snapshot.get("format") != self.SNAPSHOT_FORMAT:
+        if snapshot.get("format") not in self.SUPPORTED_SNAPSHOT_FORMATS:
             raise ValueError(
                 f"unsupported snapshot format {snapshot.get('format')!r} "
-                f"(expected {self.SNAPSHOT_FORMAT})"
+                f"(supported: {self.SUPPORTED_SNAPSHOT_FORMATS})"
             )
         if snapshot["backend"] != self.backend_name:
             raise ValueError(
@@ -545,6 +618,9 @@ class _SwarmEventLoop:
                 f"the simulator's scenario {expected_scenario!r}"
             )
         self.rng.bit_generator.state = copy.deepcopy(snapshot["rng_state"])
+        # Format-1 snapshots predate the draw buffer: their generator state
+        # carries no look-ahead, so an empty buffer restores them exactly.
+        self.draws.restore(snapshot.get("draws"))
         self._time = snapshot["time"]
         self.metrics = copy.deepcopy(snapshot["metrics"])
         run = snapshot["run"]
@@ -592,6 +668,7 @@ class SwarmSimulator(_SwarmEventLoop):
         retry_speedup: float = 1.0,
         track_groups: bool = False,
         scenario: Optional[ScenarioSpec] = None,
+        draw_block_size: Optional[int] = None,
     ):
         if retry_speedup < 1.0:
             raise ValueError(f"retry_speedup must be >= 1, got {retry_speedup}")
@@ -613,7 +690,7 @@ class SwarmSimulator(_SwarmEventLoop):
         # list so the total tick weight and the weighted peer sampling are O(1).
         self._sped_ids: List[int] = []
         self._sped_position: Dict[int, int] = {}
-        self._init_driver(scenario)
+        self._init_driver(scenario, draw_block_size)
         # In heterogeneous mode the seed/sped lists live per class
         # (self._class_seeds / self._class_sped, ids in arrival order) and the
         # position dicts index into the peer's class list; _member_pos indexes
@@ -631,6 +708,7 @@ class SwarmSimulator(_SwarmEventLoop):
         )
         self._arrival_total = float(self._arrival_weights.sum())
         self._arrival_probs = self._arrival_weights / self._arrival_total
+        self._arrival_cumprobs = np.cumsum(self._arrival_probs)
         self._single_arrival_type = (
             self._arrival_types[0] if len(self._arrival_types) == 1 else None
         )
@@ -816,11 +894,12 @@ class SwarmSimulator(_SwarmEventLoop):
     def _sample_arrival_type(self) -> PieceSet:
         if self._single_arrival_type is not None:
             return self._single_arrival_type
-        index = self.rng.choice(len(self._arrival_types), p=self._arrival_probs)
-        return self._arrival_types[int(index)]
+        # One buffered uniform + searchsorted over the cumulative mix (the
+        # array kernel draws its arrival mask the same way).
+        return self._arrival_types[self.draws.cum_choice(self._arrival_cumprobs)]
 
     def _sample_uniform_peer(self) -> Peer:
-        index = int(self.rng.integers(self.population))
+        index = self.draws.integers(self.population)
         return self._peers[self._order[index]]
 
     def _sample_ticking_peer(self) -> Peer:
@@ -840,7 +919,7 @@ class SwarmSimulator(_SwarmEventLoop):
         if self.retry_speedup == 1.0 or not sped:
             return self._sample_uniform_peer()
         extra = self.retry_speedup - 1.0
-        threshold = self.rng.uniform(0.0, population + extra * sped)
+        threshold = self.draws.uniform(0.0, population + extra * sped)
         if threshold < population:
             return self._peers[self._order[int(threshold)]]
         index = min(int((threshold - population) / extra), sped - 1)
@@ -857,7 +936,7 @@ class SwarmSimulator(_SwarmEventLoop):
     def _transfer(self, uploader_pieces: PieceSet, downloader: Peer, from_seed: bool) -> bool:
         """Attempt a useful upload into ``downloader``; returns True on success."""
         piece = self.policy.select_piece(
-            downloader.pieces, uploader_pieces, self._swarm_view(), self.rng
+            downloader.pieces, uploader_pieces, self._swarm_view(), self.draws
         )
         if piece is None:
             self.metrics.wasted_contacts += 1
@@ -917,7 +996,7 @@ class SwarmSimulator(_SwarmEventLoop):
             return
         if not self._seeds:
             return
-        index = int(self.rng.integers(len(self._seeds)))
+        index = self.draws.integers(len(self._seeds))
         peer = self._peers[self._seeds[index]]
         self._remove_peer(peer)
 
@@ -962,7 +1041,10 @@ def make_simulator(
     on either one; the array kernel is simply much faster on large
     populations.  Pass ``scenario=`` (a
     :class:`~repro.core.scenario.ScenarioSpec`) to run heterogeneous peer
-    classes and time-varying rate schedules on either backend.
+    classes and time-varying rate schedules on either backend.  Pass
+    ``draw_block_size=`` to size the blocked RNG draw buffer (default 4096,
+    or the ``DRAW_BLOCK_SIZE`` environment variable); every block size
+    yields the same trajectory, so this is purely a performance knob.
     """
     if backend == "object":
         return SwarmSimulator(params, policy=policy, seed=seed, **kwargs)
@@ -980,7 +1062,13 @@ def make_simulator(
 
 
 #: Keyword arguments consumed by the simulator constructors.
-_SIM_KWARGS = ("rare_piece", "retry_speedup", "track_groups", "scenario")
+_SIM_KWARGS = (
+    "rare_piece",
+    "retry_speedup",
+    "track_groups",
+    "scenario",
+    "draw_block_size",
+)
 
 #: Keyword arguments consumed by ``run``.
 _RUN_KWARGS = ("sample_interval", "max_events", "max_population")

@@ -129,7 +129,7 @@ class TestCheckpointRoundTrip:
     def test_snapshot_is_reusable(self, backend, flash_crowd_stable):
         """Restoring the same snapshot twice yields the same continuation."""
         sim = make_simulator(flash_crowd_stable, seed=5, backend=backend)
-        sim.run(10.0, suspend_after_events=50, max_events=500)
+        sim.run(10.0, suspend_after_events=20, max_events=500)
         snapshot = sim.capture_state()
         outcomes = []
         for _ in range(2):

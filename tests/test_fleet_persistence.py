@@ -246,3 +246,42 @@ class TestOffsetCheckpoints:
         resumed = resume_fleet(path, workers=1)
         assert resumed == uninterrupted
         assert len(read_log(log).records) == spec.num_swarms
+
+
+class TestFsyncBatching:
+    def test_batched_fsync_defers_offset_until_sync(self, tmp_path):
+        from repro.fleet.persistence import FleetLogHeader, FleetLogWriter
+
+        header = FleetLogHeader(
+            schema=FLEET_LOG_SCHEMA, spec_name="batched", num_swarms=4, seed=1
+        )
+        spec = small_spec(num_swarms=4)
+        records = run_fleet(spec, seed=5).records
+        path = tmp_path / "batched.jsonl"
+        with FleetLogWriter(path, header, fsync_every_n=3) as writer:
+            start = writer.offset
+            writer.append([records[0]])
+            # One unsynced record: the safe-checkpoint offset has not moved,
+            # but the bytes are flushed for tail -f.
+            assert writer.offset == start
+            assert path.stat().st_size > start
+            writer.append(list(records[1:3]))  # threshold reached -> fsync
+            assert writer.offset == path.stat().st_size
+            writer.append([records[3]])
+            assert writer.offset < path.stat().st_size
+            assert writer.sync() == path.stat().st_size
+        # close() syncs the remainder; the log parses fully either way.
+        assert len(read_log(path).records) == 4
+
+    def test_batched_log_bytes_identical_to_per_append(self, tmp_path):
+        spec = small_spec(num_swarms=6)
+        per_append = tmp_path / "per-append.jsonl"
+        batched = tmp_path / "batched.jsonl"
+        result_1 = run_fleet(spec, seed=9, log_path=per_append, fsync_every_n=1)
+        result_n = run_fleet(spec, seed=9, log_path=batched, fsync_every_n=32)
+        assert per_append.read_bytes() == batched.read_bytes()
+        assert result_1 == result_n
+
+    def test_fsync_every_n_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync_every_n"):
+            run_fleet(small_spec(), seed=1, fsync_every_n=0)

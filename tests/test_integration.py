@@ -143,7 +143,7 @@ class TestTheoremOneEndToEnd:
                 result = run_swarm(
                     params,
                     horizon=150.0,
-                    seed=11,
+                    seed=12,
                     policy=make_policy(policy_name),
                     max_population=2500,
                 )

