@@ -6,10 +6,12 @@ through a mixed plain / flash-crowd / free-rider scenario distribution and
 scheduled through ``repro.fleet`` on the array backend — and asserts the
 invariants the fleet layer promises: every swarm runs its full event budget,
 all three mix entries actually occur, and the sharded scheduler's result is
-identical at a different worker count.  The measurement lands in the
-``"fleet"`` section of ``BENCH_swarm.json`` via the session-finish hook in
-``conftest.py``, so fleet-path regressions are visible per-PR next to the
-kernel baselines.
+identical at a different worker count.  The same workload is then measured
+through the stacked mega-kernel path (``stacked=True``), whose result must
+be bit-identical.  Both measurements land in the ``"fleet"`` section of
+``BENCH_swarm.json`` via the session-finish hook in ``conftest.py``, so
+fleet-path regressions — per-swarm and stacked — are visible per-PR next to
+the kernel baselines.
 """
 
 import time
@@ -34,6 +36,42 @@ def test_fleet_throughput_smoke(benchmark, capsys):
     # The mixed scenario distribution must actually mix.
     assert set(measurement["scenarios"]) == {"plain", "flash-crowd", "free-rider"}
     assert all(count > 0 for count in measurement["scenarios"].values())
+
+
+def test_fleet_stacked_throughput_smoke(benchmark, capsys):
+    """The stacked mega-kernel path of the same fleet workload.
+
+    Runs the identical 200-swarm workload with ``stacked=True`` (every chunk
+    simulated inside one ``StackedSwarmKernel``), asserts the aggregate
+    result is *bit-identical* to the per-swarm path — same fingerprint,
+    so same records, census and histograms — and records the measurement
+    into the ``fleet.stacked`` section of ``BENCH_swarm.json`` via the
+    session-finish hook, putting the stacked path under the CI bench gate
+    alongside the per-swarm figure.
+    """
+    from repro.fleet import run_fleet
+
+    from conftest import _fleet_bench_spec
+
+    measurement = run_once(
+        benchmark, measure_fleet_throughput, stacked=True
+    )
+    with capsys.disabled():
+        print()
+        print(
+            f"fleet stacked smoke ({measurement['num_swarms']} swarms, "
+            f"{measurement['total_initial_peers']:,} peers, mixed scenarios): "
+            f"{measurement['events_per_second']:,.0f} aggregate ev/s"
+        )
+    spec = FLEET_BENCH_WORKLOAD
+    assert measurement["events"] == spec["num_swarms"] * spec["max_events_per_swarm"]
+    assert set(measurement["scenarios"]) == {"plain", "flash-crowd", "free-rider"}
+    # Bit-identical to the per-swarm path: the stacked kernel is a pure
+    # throughput change, never a semantic one.
+    fleet_spec = _fleet_bench_spec()
+    per_swarm = run_fleet(fleet_spec, seed=spec["seed"])
+    stacked = run_fleet(fleet_spec, seed=spec["seed"], stacked=True)
+    assert stacked.fingerprint() == per_swarm.fingerprint()
 
 
 def test_fleet_log_fsync_batching(benchmark, capsys, tmp_path):

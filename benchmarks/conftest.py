@@ -16,7 +16,10 @@ arrival pulse) exercising the scenario code path — plus the *fleet*
 workload: 200 swarms of 500 one-club peers each (100k peers total, mixed
 plain/flash-crowd/free-rider scenario distribution) scheduled through
 ``repro.fleet`` on the array backend, recording the aggregate events/sec of
-the whole fleet.  Each workload is timed ``BENCH_REPETITIONS`` (3) times and
+the whole fleet — once through the per-swarm path and once through the
+stacked mega-kernel (``stacked=True``), whose records are bit-identical, so
+both fleet execution paths sit under the CI bench gate.  Each workload is
+timed ``BENCH_REPETITIONS`` (3) times and
 the *median* elapsed time is recorded, so one noisy repetition cannot skew
 the committed baseline or trip the CI bench gate.  Everything is written to
 ``BENCH_swarm.json`` at the repository root, so future PRs can track the
@@ -261,12 +264,14 @@ def _fleet_bench_spec():
     )
 
 
-def measure_fleet_throughput(workers=None) -> dict:
+def measure_fleet_throughput(workers=None, stacked=False) -> dict:
     """Aggregate events/second of the 200-swarm / 100k-peer fleet workload.
 
     Like the kernel workloads, the fleet is run ``BENCH_REPETITIONS`` times
     (deterministic, identical results) and the median elapsed time is
-    recorded.
+    recorded.  ``stacked=True`` runs every chunk through one
+    ``StackedSwarmKernel`` — the records (and hence all non-timing fields)
+    are bit-identical to the per-swarm path, only the clock differs.
     """
     from repro.fleet import run_fleet
 
@@ -276,11 +281,14 @@ def measure_fleet_throughput(workers=None) -> dict:
     result = None
     for _ in range(BENCH_REPETITIONS):
         start = time.perf_counter()
-        result = run_fleet(fleet_spec, seed=spec["seed"], workers=workers)
+        result = run_fleet(
+            fleet_spec, seed=spec["seed"], workers=workers, stacked=stacked
+        )
         timings.append(time.perf_counter() - start)
     elapsed = statistics.median(timings)
     measurement = {
         "backend": "array",
+        "stacked": stacked,
         "num_swarms": spec["num_swarms"],
         "total_initial_peers": spec["num_swarms"] * spec["initial_one_club"],
         "workers": workers or 1,
@@ -293,7 +301,7 @@ def measure_fleet_throughput(workers=None) -> dict:
             name: census.swarms for name, census in sorted(result.per_scenario.items())
         },
     }
-    _fleet_measurements["array"] = measurement
+    _fleet_measurements["stacked" if stacked else "array"] = measurement
     return measurement
 
 
@@ -319,6 +327,9 @@ def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
         / scenario_backends["object"]["events_per_second"]
     )
     fleet = _fleet_measurements.get("array") or measure_fleet_throughput()
+    fleet_stacked = _fleet_measurements.get("stacked") or measure_fleet_throughput(
+        stacked=True
+    )
     baseline = {
         "workload": dict(BENCH_WORKLOAD),
         "backends": backends,
@@ -331,6 +342,10 @@ def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
         "fleet": {
             "workload": dict(FLEET_BENCH_WORKLOAD),
             "array": fleet,
+            "stacked": fleet_stacked,
+            "stacked_speedup_over_per_swarm": round(
+                fleet_stacked["events_per_second"] / fleet["events_per_second"], 2
+            ),
         },
         "python": platform.python_version(),
     }
@@ -359,7 +374,9 @@ def pytest_sessionfinish(session, exitstatus):
         f"({baseline['scenario']['array_speedup_over_object']:.1f}x); "
         f"fleet ({baseline['fleet']['array']['num_swarms']} swarms, "
         f"{baseline['fleet']['array']['total_initial_peers'] // 1000}k peers) at "
-        f"{baseline['fleet']['array']['events_per_second']:,.0f} ev/s"
+        f"{baseline['fleet']['array']['events_per_second']:,.0f} ev/s per-swarm, "
+        f"{baseline['fleet']['stacked']['events_per_second']:,.0f} ev/s stacked "
+        f"({baseline['fleet']['stacked_speedup_over_per_swarm']:.2f}x)"
     )
 
 

@@ -16,12 +16,19 @@ reference ``BENCH_WORKLOAD`` (or the scenario variant) twice:
    — and printing a phase / calls / seconds / share table.  Whatever is left
    over is the residual scalar loop (rate recomputation, bound checks).
 
+With ``--stacked`` the script profiles the *fleet* workload
+(``FLEET_BENCH_WORKLOAD``) through one ``StackedSwarmKernel`` instead of a
+solo kernel — the phase table then splits the stacked round loop into the
+per-lane scalar drive, the lane-local thinned batches and the shared
+sampling/refill phases.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/profile_kernel.py
     PYTHONPATH=src python benchmarks/profile_kernel.py --backend object
     PYTHONPATH=src python benchmarks/profile_kernel.py --scenario --events 100000
     PYTHONPATH=src python benchmarks/profile_kernel.py --block-size 1   # scalar draws
+    PYTHONPATH=src python benchmarks/profile_kernel.py --stacked        # fleet mega-kernel
 """
 
 from __future__ import annotations
@@ -32,7 +39,13 @@ import pstats
 import time
 from contextlib import contextmanager
 
-from conftest import BENCH_WORKLOAD, SCENARIO_BENCH_WORKLOAD, _scenario_bench_spec
+from conftest import (
+    BENCH_WORKLOAD,
+    FLEET_BENCH_WORKLOAD,
+    SCENARIO_BENCH_WORKLOAD,
+    _fleet_bench_spec,
+    _scenario_bench_spec,
+)
 
 
 def _build(args):
@@ -146,6 +159,101 @@ def run_cprofile(args, top: int = 25) -> None:
     stats.sort_stats("cumulative").print_stats(top)
 
 
+def _build_stacked(args):
+    """One StackedSwarmKernel loaded with the whole fleet bench workload."""
+    import numpy as np
+
+    from repro.core.state import SystemState
+    from repro.fleet.spec import materialize_tasks
+    from repro.swarm.stacked import StackedSwarmKernel
+
+    fleet_spec = _fleet_bench_spec()
+    tasks = materialize_tasks(fleet_spec, seed=FLEET_BENCH_WORKLOAD["seed"])
+    stack = StackedSwarmKernel()
+    for task in tasks:
+        stack.add_lane(
+            task.params,
+            seed=np.random.default_rng(task.seed),
+            scenario=task.scenario,
+        )
+    initial_states = [
+        SystemState.one_club(task.params.num_pieces, fleet_spec.initial_club_size)
+        for task in tasks
+    ]
+    run_kwargs = dict(
+        initial_states=initial_states,
+        sample_interval=fleet_spec.sample_interval,
+        max_events=fleet_spec.max_events,
+        max_population=fleet_spec.max_population,
+    )
+    return stack, fleet_spec.horizon, run_kwargs
+
+
+def run_stacked_phase_table(args) -> None:
+    from repro.swarm.drawbuf import DrawBuffer
+    from repro.swarm.kernel import ArraySwarmKernel
+    from repro.swarm.swarm import _SwarmEventLoop
+
+    totals: dict = {}
+    patched = []
+
+    def instrument(owner, name, phase):
+        original = getattr(owner, name)
+        bucket = totals.setdefault(phase, [0, 0.0])
+
+        def timed(self, *call_args, **call_kwargs):
+            start = time.perf_counter()
+            try:
+                return original(self, *call_args, **call_kwargs)
+            finally:
+                bucket[0] += 1
+                bucket[1] += time.perf_counter() - start
+
+        setattr(owner, name, timed)
+        patched.append((owner, name, original))
+
+    instrument(DrawBuffer, "_refill", "draw (block refill)")
+    instrument(ArraySwarmKernel, "_batch_thinned", "apply (thinned batch)")
+    instrument(_SwarmEventLoop, "_apply_event", "apply (scalar dispatch)")
+    instrument(ArraySwarmKernel, "_record_sample", "census (sampling)")
+    stack, horizon, run_kwargs = _build_stacked(args)
+    try:
+        start = time.perf_counter()
+        results = stack.run_all(horizon, **run_kwargs)
+        wall = time.perf_counter() - start
+    finally:
+        for owner, name, original in patched:
+            setattr(owner, name, original)
+    events = sum(result.events_executed for result in results)
+    print(
+        f"\nPer-phase timing — stacked fleet, {stack.num_lanes} lanes, "
+        f"{events:,} events in {wall:.3f}s ({events / wall:,.0f} aggregate ev/s)"
+    )
+    print(f"{'phase':<28}{'calls':>12}{'seconds':>12}{'share':>9}")
+    accounted = 0.0
+    for phase, (calls, seconds) in totals.items():
+        if not calls:
+            continue
+        accounted += seconds
+        print(f"{phase:<28}{calls:>12,}{seconds:>12.3f}{seconds / wall:>8.1%}")
+    residual = max(wall - accounted, 0.0)
+    print(
+        f"{'residual (round loop)':<28}{'—':>12}{residual:>12.3f}"
+        f"{residual / wall:>8.1%}"
+    )
+
+
+def run_stacked_cprofile(args, top: int = 25) -> None:
+    stack, horizon, run_kwargs = _build_stacked(args)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    stack.run_all(horizon, **run_kwargs)
+    profiler.disable()
+    print(f"\ncProfile — top {top} by cumulative time")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(top)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(
         description="cProfile + per-phase timing of the swarm kernels."
@@ -169,9 +277,19 @@ def main() -> None:
         help="draw-buffer block size (default 4096; 1 = scalar draws)",
     )
     parser.add_argument(
+        "--stacked",
+        action="store_true",
+        help="profile the fleet workload through the stacked mega-kernel",
+    )
+    parser.add_argument(
         "--skip-cprofile", action="store_true", help="phase table only"
     )
     args = parser.parse_args()
+    if args.stacked:
+        run_stacked_phase_table(args)
+        if not args.skip_cprofile:
+            run_stacked_cprofile(args)
+        return
     run_phase_table(args)
     if not args.skip_cprofile:
         run_cprofile(args)

@@ -124,12 +124,15 @@ def run_fleet_phase_diagram(
     workers: Optional[int] = None,
     seed: SeedLike = 0,
     checkpoint_path: Optional[Union[str, Path]] = None,
+    stacked: bool = False,
 ) -> FleetPhaseDiagramResult:
     """Run the capture phase diagram as one fleet.
 
     The grid has ``len(arrival_rates) * len(seed_rates)`` cells with exactly
     ``swarms_per_cell`` swarms each (the grid sampler cycles over the swarm
     index).  ``scenario_mix=None`` runs plain homogeneous swarms only.
+    ``stacked=True`` executes each chunk in one stacked kernel (array
+    backend only; the diagram is bit-identical either way).
     """
     sampler = GridSampler.of(
         {"arrival_rate": tuple(arrival_rates), "seed_rate": tuple(seed_rates)},
@@ -147,7 +150,7 @@ def run_fleet_phase_diagram(
         initial_club_size=initial_club_size,
     )
     scheduler = FleetScheduler(
-        spec, workers=workers, checkpoint_path=checkpoint_path
+        spec, workers=workers, checkpoint_path=checkpoint_path, stacked=stacked
     )
     fleet = scheduler.run(seed=seed)
     cells: Dict[Tuple[float, float], PhaseCell] = {}

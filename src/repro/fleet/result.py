@@ -40,10 +40,20 @@ from .spec import FleetSpec, SwarmTask
 #: the last bin is open-ended.
 TIME_BIN_EDGES = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
+_TIME_BIN_EDGES_ARRAY = np.asarray(TIME_BIN_EDGES, dtype=np.float64)
+
 
 def _histogram(values: List[float]) -> Tuple[int, ...]:
-    edges = (0.0,) + TIME_BIN_EDGES + (np.inf,)
-    counts, _ = np.histogram(np.asarray(values, dtype=float), bins=edges)
+    if not values:
+        return (0,) * (len(TIME_BIN_EDGES) + 1)
+    # searchsorted(side="right") sends a value equal to an edge into the
+    # next (right-open) bin, exactly like np.histogram over the
+    # (0, e1], (e1, e2], ..., (e_last, inf) edge vector used previously —
+    # but without histogram's per-call edge validation overhead.
+    bins = np.searchsorted(
+        _TIME_BIN_EDGES_ARRAY, np.asarray(values, dtype=np.float64), side="right"
+    )
+    counts = np.bincount(bins, minlength=len(TIME_BIN_EDGES) + 1)
     return tuple(int(c) for c in counts)
 
 
@@ -76,6 +86,18 @@ class FleetSwarmRecord:
         return astuple(self)
 
 
+#: Identity-keyed memo of Theorem-1 verdicts.  ``SystemParameters`` holds a
+#: dict (``arrival_rates``) and is unhashable, so the memo keys on object
+#: identity and re-verifies the stored references on every hit — a recycled
+#: ``id`` can never alias a stale verdict.  ``materialize_tasks`` shares one
+#: params/scenario object per distinct mix choice (and pickling a chunk
+#: preserves that sharing worker-side), so a fleet chunk computes each
+#: distinct verdict once instead of once per swarm.
+_VERDICT_MEMO: Dict[Tuple[int, int], Tuple[object, object, str]] = {}
+
+_VERDICT_MEMO_MAX = 4096
+
+
 def theory_verdict(task: SwarmTask) -> str:
     """Scenario-aware Theorem-1 verdict for one fleet task.
 
@@ -83,9 +105,18 @@ def theory_verdict(task: SwarmTask) -> str:
     the conservative piecewise whole-run verdict (``out-of-theory`` for
     heterogeneous classes).
     """
+    key = (id(task.params), id(task.scenario))
+    hit = _VERDICT_MEMO.get(key)
+    if hit is not None and hit[0] is task.params and hit[1] is task.scenario:
+        return hit[2]
     if task.scenario is None:
-        return analyze(task.params).verdict.value
-    return piecewise_stability(task.scenario).overall
+        verdict = analyze(task.params).verdict.value
+    else:
+        verdict = piecewise_stability(task.scenario).overall
+    if len(_VERDICT_MEMO) >= _VERDICT_MEMO_MAX:
+        _VERDICT_MEMO.clear()
+    _VERDICT_MEMO[key] = (task.params, task.scenario, verdict)
+    return verdict
 
 
 def record_from_result(

@@ -6,7 +6,10 @@
   ``chunk_size`` consecutive swarms and mapped over
   :func:`repro.experiments.runner.map_tasks` (the same process-pool
   primitive :class:`~repro.experiments.runner.BatchRunner` uses), so many
-  short swarms amortize one worker dispatch;
+  short swarms amortize one worker dispatch; with ``stacked=True`` each
+  chunk runs inside one :class:`~repro.swarm.stacked.StackedSwarmKernel`
+  (bit-identical trajectories, higher throughput) instead of one solo
+  kernel per swarm;
 * **streaming aggregation** — each finished chunk's
   :class:`~repro.fleet.result.FleetSwarmRecord`\\ s are folded into the
   incremental :class:`~repro.fleet.result.FleetResult` strictly in swarm
@@ -104,10 +107,107 @@ def _run_fleet_chunk(job) -> List[FleetSwarmRecord]:
     return [_run_swarm_task(spec, task) for task in tasks]
 
 
-def _default_chunk_size(num_swarms: int, workers: Optional[int]) -> int:
+def _run_stacked_task(
+    spec: FleetSpec,
+    task: SwarmTask,
+    suspend_after_events: Optional[int] = None,
+    snapshot: Optional[Dict[str, Any]] = None,
+):
+    """Stacked-path twin of :func:`_run_swarm_task`: one-lane stack.
+
+    Snapshots are the ordinary per-swarm format-2 payloads, so a swarm
+    suspended by either path resumes bit-identically through the other.
+    """
+    from ..swarm.stacked import StackedSwarmKernel
+
+    stack = StackedSwarmKernel()
+    stack.add_lane(
+        task.params,
+        seed=np.random.default_rng(task.seed),
+        scenario=task.scenario,
+        snapshot=snapshot,
+    )
+    if snapshot is not None:
+        initial_states = [None]
+    else:
+        initial_states = [
+            SystemState.one_club(task.params.num_pieces, spec.initial_club_size)
+            if spec.initial_club_size
+            else None
+        ]
+    result = stack.run_all(
+        spec.horizon,
+        initial_states=initial_states,
+        sample_interval=spec.sample_interval,
+        max_events=spec.max_events,
+        max_population=spec.max_population,
+        suspend_after_events=suspend_after_events,
+    )[0]
+    if result.suspended:
+        return stack.lane(0).capture_state()
+    return record_from_result(task, spec, result)
+
+
+def _run_stacked_chunk(job) -> List[FleetSwarmRecord]:
+    """Top-level pool worker: run one chunk of swarms in one stacked kernel.
+
+    Every lane's trajectory is bit-identical to the solo kernel on the same
+    per-task seed, so the records (and hence the fleet fingerprint) are
+    exactly those of :func:`_run_fleet_chunk` over the same tasks.
+    """
+    from ..swarm.stacked import StackedSwarmKernel
+
+    spec, tasks = job
+    stack = StackedSwarmKernel()
+    for task in tasks:
+        stack.add_lane(
+            task.params,
+            seed=np.random.default_rng(task.seed),
+            scenario=task.scenario,
+        )
+    initial_states = [
+        SystemState.one_club(task.params.num_pieces, spec.initial_club_size)
+        if spec.initial_club_size
+        else None
+        for task in tasks
+    ]
+    results = stack.run_all(
+        spec.horizon,
+        initial_states=initial_states,
+        sample_interval=spec.sample_interval,
+        max_events=spec.max_events,
+        max_population=spec.max_population,
+    )
+    return [
+        record_from_result(task, spec, result)
+        for task, result in zip(tasks, results)
+    ]
+
+
+def _check_stacked_task(task: SwarmTask) -> None:
+    """Reject a task the stacked kernel cannot hold, naming the swarm."""
+    if task.params.num_pieces > 64:
+        raise ValueError(
+            f"stacked fleet execution requires num_pieces <= 64 (the array "
+            f"kernel's bitmask bound), but swarm {task.index} "
+            f"({task.scenario_label!r}) has num_pieces="
+            f"{task.params.num_pieces}; run with stacked=False"
+        )
+
+
+def _default_chunk_size(
+    num_swarms: int, workers: Optional[int], stacked: bool = False
+) -> int:
     """A few chunks per worker lane: big enough to amortize dispatch, small
-    enough to keep the pool busy and the checkpoint cadence useful."""
+    enough to keep the pool busy and the checkpoint cadence useful.
+
+    The stacked kernel amortizes its per-round classification over every
+    lane of a chunk, so stacked runs want *fewer, larger* chunks — one to
+    two per worker lane — rather than the per-swarm path's finer shards.
+    """
     lanes = max(1, workers or 1)
+    if stacked:
+        return max(1, min(256, math.ceil(num_swarms / (lanes * 2))))
     return max(1, min(64, math.ceil(num_swarms / (lanes * 4))))
 
 
@@ -128,6 +228,7 @@ class PersistentFleetExecution:
         checkpoint_every: int,
         log_path: Optional[Union[str, Path]],
         fsync_every_n: int = 1,
+        stacked: bool = False,
     ) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -138,7 +239,7 @@ class PersistentFleetExecution:
         self.workers = workers
         self.fsync_every_n = fsync_every_n
         self.chunk_size = chunk_size or _default_chunk_size(
-            default_chunk_items, workers
+            default_chunk_items, workers, stacked
         )
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.checkpoint_every = checkpoint_every
@@ -229,6 +330,13 @@ class FleetScheduler(PersistentFleetExecution):
         Fsync the log once per this many appended records instead of per
         append (default 1, the original per-chunk durability); checkpoints
         always force a sync first, so resume stays exact.
+    stacked:
+        Execute each chunk in one :class:`~repro.swarm.stacked.StackedSwarmKernel`
+        instead of one solo kernel per swarm.  Every swarm's trajectory —
+        and therefore every record, the fleet fingerprint, and any
+        checkpoint snapshot — is bit-identical to the per-swarm path;
+        only throughput changes.  Requires the ``"array"`` backend and
+        ``num_pieces <= 64`` for every swarm.
     """
 
     def __init__(
@@ -240,8 +348,16 @@ class FleetScheduler(PersistentFleetExecution):
         checkpoint_every: int = 1,
         log_path: Optional[Union[str, Path]] = None,
         fsync_every_n: int = 1,
+        stacked: bool = False,
     ):
+        if stacked and spec.backend != "array":
+            raise ValueError(
+                f"stacked fleet execution requires the 'array' backend, but "
+                f"spec {spec.name!r} requests backend={spec.backend!r}; run "
+                f"with stacked=False or switch the spec to the array backend"
+            )
         self.spec = spec
+        self.stacked = stacked
         self._init_execution(
             workers,
             chunk_size,
@@ -250,6 +366,7 @@ class FleetScheduler(PersistentFleetExecution):
             checkpoint_every,
             log_path,
             fsync_every_n,
+            stacked,
         )
 
     def _swarm_target(self) -> int:
@@ -350,8 +467,14 @@ class FleetScheduler(PersistentFleetExecution):
         chunk_size: Optional[int] = None,
         checkpoint_every: int = 1,
         fsync_every_n: int = 1,
+        stacked: bool = False,
     ) -> "FleetScheduler":
-        """Build a scheduler around the spec stored in a checkpoint."""
+        """Build a scheduler around the spec stored in a checkpoint.
+
+        ``stacked`` is an execution property, not part of the spec: a fleet
+        checkpointed by either path resumes (bit-identically) through the
+        other.
+        """
         checkpoint = load_checkpoint(checkpoint_path)
         return cls(
             checkpoint.spec,
@@ -360,6 +483,7 @@ class FleetScheduler(PersistentFleetExecution):
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
             fsync_every_n=fsync_every_n,
+            stacked=stacked,
         )
 
     # -- core ---------------------------------------------------------------
@@ -380,10 +504,15 @@ class FleetScheduler(PersistentFleetExecution):
         from ..experiments.runner import map_tasks
 
         spec = self.spec
+        if self.stacked:
+            for task in tasks:
+                _check_stacked_task(task)
+        run_task = _run_stacked_task if self.stacked else _run_swarm_task
+        run_chunk = _run_stacked_chunk if self.stacked else _run_fleet_chunk
         try:
             if in_flight is not None:
                 index, snapshot = in_flight
-                outcome = _run_swarm_task(spec, tasks[index], snapshot=snapshot)
+                outcome = run_task(spec, tasks[index], snapshot=snapshot)
                 result.add(outcome)
                 self._append(writer, [outcome])
                 self._write_checkpoint(result, seed, writer, in_flight=None)
@@ -397,7 +526,7 @@ class FleetScheduler(PersistentFleetExecution):
                 for start in range(0, len(to_run), self.chunk_size)
             ]
             since_checkpoint = 0
-            for records in map_tasks(_run_fleet_chunk, chunks, self.workers):
+            for records in map_tasks(run_chunk, chunks, self.workers):
                 for record in records:
                     result.add(record)
                 self._append(writer, records)
@@ -416,7 +545,7 @@ class FleetScheduler(PersistentFleetExecution):
                 and len(result.records) < spec.num_swarms
             ):
                 task = tasks[len(result.records)]
-                outcome = _run_swarm_task(
+                outcome = run_task(
                     spec, task, suspend_after_events=suspend_after_events
                 )
                 if isinstance(outcome, FleetSwarmRecord):
@@ -443,6 +572,7 @@ def run_fleet(
     stop_after_swarms: Optional[int] = None,
     suspend_after_events: Optional[int] = None,
     fsync_every_n: int = 1,
+    stacked: bool = False,
 ) -> FleetResult:
     """One-call fleet execution (see :class:`FleetScheduler`)."""
     scheduler = FleetScheduler(
@@ -453,6 +583,7 @@ def run_fleet(
         checkpoint_every=checkpoint_every,
         log_path=log_path,
         fsync_every_n=fsync_every_n,
+        stacked=stacked,
     )
     return scheduler.run(
         seed=seed,
@@ -467,6 +598,7 @@ def resume_fleet(
     chunk_size: Optional[int] = None,
     checkpoint_every: int = 1,
     fsync_every_n: int = 1,
+    stacked: bool = False,
 ) -> FleetResult:
     """Resume a checkpointed fleet to completion (see :class:`FleetScheduler`)."""
     scheduler = FleetScheduler.from_checkpoint(
@@ -475,6 +607,7 @@ def resume_fleet(
         chunk_size=chunk_size,
         checkpoint_every=checkpoint_every,
         fsync_every_n=fsync_every_n,
+        stacked=stacked,
     )
     return scheduler.resume()
 

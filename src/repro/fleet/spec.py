@@ -345,6 +345,12 @@ def materialize_tasks(spec: FleetSpec, seed: SeedLike = 0) -> List[SwarmTask]:
     children = root.spawn(spec.num_swarms)
     cumprobs = spec.mix_cumprobs()
     tasks: List[SwarmTask] = []
+    # Swarms landing on the same (parameter point, mix entry) produce
+    # value-identical params/scenario objects; share one instance per
+    # distinct point instead of rebuilding it per swarm.  Pickling a chunk
+    # of tasks preserves the sharing, so worker-side identity-keyed caches
+    # (e.g. the theory-verdict memo) hit across the chunk too.
+    templates: Dict[Tuple, SwarmTask] = {}
     for index, child in enumerate(children):
         assignment_seq, simulation_seq = child.spawn(2)
         assignment_rng = np.random.default_rng(assignment_seq)
@@ -359,7 +365,25 @@ def materialize_tasks(spec: FleetSpec, seed: SeedLike = 0) -> List[SwarmTask]:
                 len(cumprobs) - 1,
             )
             choice = spec.scenario_mix[position]
-        tasks.append(task_for_point(index, simulation_seq, params_kwargs, choice))
+        point = (tuple(sorted(params_kwargs.items())), choice)
+        try:
+            template = templates.get(point)
+        except TypeError:  # unhashable factory override: skip sharing
+            template = None
+            point = None
+        if template is None:
+            task = task_for_point(index, simulation_seq, params_kwargs, choice)
+            if point is not None:
+                templates[point] = task
+        else:
+            task = SwarmTask(
+                index=index,
+                params=template.params,
+                scenario=template.scenario,
+                scenario_label=template.scenario_label,
+                seed=simulation_seq,
+            )
+        tasks.append(task)
     return tasks
 
 

@@ -87,7 +87,13 @@ def classify_trajectory(
     if np.ptp(t_tail) == 0:
         slope = 0.0
     else:
-        slope, _ = np.polyfit(t_tail, n_tail, 1)
+        # Closed-form simple-regression slope, cov(t, n) / var(t).  This is
+        # the same least-squares line ``np.polyfit(t_tail, n_tail, 1)``
+        # solves for, without the rank-checked SVD machinery — the fleet
+        # aggregator classifies every finished swarm, and polyfit's lstsq
+        # setup dominated that path.
+        t_centered = t_tail - t_tail.mean()
+        slope = float(np.dot(t_centered, n_tail) / np.dot(t_centered, t_centered))
     normalized = float(slope) / arrival_rate
     trailing_mean = float(n_tail.mean())
     trailing_min = float(n_tail.min())

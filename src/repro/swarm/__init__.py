@@ -4,6 +4,9 @@
   reference discrete-event simulation of the Section-III model;
 * :mod:`repro.swarm.kernel` — the structure-of-arrays fast backend,
   trajectory-equivalent to the reference simulator under a shared seed;
+* :mod:`repro.swarm.stacked` — the fleet mega-kernel driving many
+  independent array-kernel swarms through one round-based loop, each lane
+  bit-identical to its solo run;
 * :mod:`repro.swarm.policies` — piece-selection policies (Theorem 14), with
   both ``PieceSet``-level and mask-level entry points;
 * :mod:`repro.swarm.groups` — the Figure-2 group decomposition;
@@ -37,6 +40,7 @@ from .policies import (
     make_policy,
     registered_policies,
 )
+from .stacked import StackedSwarmKernel
 from .swarm import (
     BACKENDS,
     MAX_ARRAY_BACKEND_PIECES,
@@ -64,6 +68,7 @@ __all__ = [
     "RandomUsefulSelection",
     "RarestFirstSelection",
     "SequentialSelection",
+    "StackedSwarmKernel",
     "SwarmMetrics",
     "SwarmResult",
     "SwarmSimulator",

@@ -118,10 +118,14 @@ class DrawBuffer:
         # One vectorized inverse-transform per block; scalar and batched
         # consumers both read these exact doubles.
         self._exp = -np.log1p(-uniforms)
-        self._u_list = uniforms.tolist()
-        self._e_list = self._exp.tolist()
+        # The plain-Python float lists that back the scalar accessors are
+        # materialised on first scalar access: blocks consumed entirely
+        # through the vectorized views (the batch stages' common case)
+        # never pay the two tolist() passes.
+        self._u_list = None
+        self._e_list = None
         self._pos = 0
-        self._len = len(self._u_list)
+        self._len = len(uniforms)
 
     def _refill(self) -> None:
         self._set_block(self._rng.random(self.block_size))
@@ -139,7 +143,10 @@ class DrawBuffer:
             self._refill()
             pos = 0
         self._pos = pos + 1
-        return self._u_list[pos]
+        u_list = self._u_list
+        if u_list is None:
+            u_list = self._u_list = self._uniforms.tolist()
+        return u_list[pos]
 
     def random(self) -> float:
         """Generator-compatible alias of :meth:`next`."""
@@ -160,7 +167,10 @@ class DrawBuffer:
             self._refill()
             pos = 0
         self._pos = pos + 1
-        return scale * self._e_list[pos]
+        e_list = self._e_list
+        if e_list is None:
+            e_list = self._e_list = self._exp.tolist()
+        return scale * e_list[pos]
 
     def integers(self, low: int, high: Optional[int] = None) -> int:
         """One integer from ``[0, low)`` (or ``[low, high)``), one draw.

@@ -205,11 +205,11 @@ class ArraySwarmKernel(_SwarmEventLoop):
     def current_state(self) -> SystemState:
         """Aggregate the population into a :class:`SystemState`."""
         num_pieces = self.params.num_pieces
-        counts = Counter(int(mask) for mask in self._masks[: self._n])
+        masks, counts = np.unique(self._masks[: self._n], return_counts=True)
         return SystemState(
             {
-                PieceSet.from_mask(mask, num_pieces): count
-                for mask, count in counts.items()
+                PieceSet.from_mask(int(mask), num_pieces): int(count)
+                for mask, count in zip(masks, counts)
             },
             num_pieces,
         )
@@ -682,24 +682,37 @@ class ArraySwarmKernel(_SwarmEventLoop):
         consumes the same draws with the same semantics as the scalar loop,
         so trajectories are bit-identical (enforced by the equivalence and
         checkpoint property tests at ``DRAW_BLOCK_SIZE=1`` vs. default).
+
+        A second state-neutral family — thinning-*rejected* arrival and
+        fixed-seed-tick candidates under a scheduled (non-constant) rate,
+        a fixed three-draw stride — dispatches to :meth:`_batch_thinned`,
+        so scenario workloads batch past the first thinned candidate too.
         """
         n = self._n
         if n == 0:
             return 0, next_sample
         draws = self.draws
+        if draws.remaining() < 2:
+            return 0, next_sample
+        r01 = rates[0] + rates[1]
+        r012 = r01 + rates[2]
+        # Scalar pre-check of the first candidate, so event streams that are
+        # not batchable skip the vector classification entirely.
+        first_sel = float(draws.uniforms_view(2)[1]) * total
+        if not (first_sel > r01 and first_sel <= r012):
+            if (first_sel <= rates[0] and self._thin_arrivals) or (
+                rates[0] < first_sel <= r01 and self._thin_seed
+            ):
+                return self._batch_thinned(
+                    rates, total, horizon, interval, next_sample, limit
+                )
+            return 0, next_sample
         candidates = draws.remaining() >> 2
         if limit is not None and candidates > limit:
             candidates = limit
         if candidates <= 0:
             return 0, next_sample
-        r01 = rates[0] + rates[1]
-        r012 = r01 + rates[2]
         uniforms = draws.uniforms_view(4 * candidates)
-        # Scalar pre-check of the first candidate, so event streams that are
-        # not tick-dominated skip the vector classification entirely.
-        first_sel = float(uniforms[1]) * total
-        if not (first_sel > r01 and first_sel <= r012):
-            return 0, next_sample
         hetero = self._classes is not None
         masks = self._masks
 
@@ -753,6 +766,166 @@ class ArraySwarmKernel(_SwarmEventLoop):
             self.metrics.wasted_contacts += applied
             draws.advance(4 * applied)
         return applied, next_sample
+
+    def _batch_thinned(
+        self,
+        rates: Tuple[float, float, float, float],
+        total: float,
+        horizon: float,
+        interval: float,
+        next_sample: float,
+        limit: Optional[int],
+    ) -> Tuple[int, float]:
+        """Consume a run of thinning-rejected scheduled-event candidates.
+
+        Under a non-constant :class:`~repro.core.scenario.RateSchedule` the
+        aggregate loop dispatches *candidate* arrivals (and fixed-seed
+        ticks) at the thinning bound; a candidate that the acceptance draw
+        rejects consumes exactly three buffered draws — inter-event
+        exponential, event-type selector, thinning-acceptance uniform — and
+        mutates nothing but the clock and ``metrics.thinned_events``, so
+        rates stay constant across any run of rejections.  The stage
+        classifies the pending block in groups of three: candidate event
+        times via the same sequential clock accumulation as the scalar
+        loop, schedule factors via the vectorized
+        :meth:`~repro.core.scenario.RateSchedule.values_at` (same table
+        walk as ``value_at``), and the rejection test ``bound · u ≥
+        value_at(t)`` — the exact complement of ``_thin_accept``.  The
+        first accepted candidate, non-thinnable event type, or
+        horizon-crossing candidate is left, draws untouched, for the
+        scalar path, so trajectories stay bit-identical.
+        """
+        draws = self.draws
+        candidates = draws.remaining() // 3
+        if limit is not None and candidates > limit:
+            candidates = limit
+        if candidates <= 0:
+            return 0, next_sample
+        r0 = rates[0]
+        r01 = r0 + rates[1]
+        thin_arrivals = self._thin_arrivals
+        thin_seed = self._thin_seed
+        scale = 1.0 / total
+        record = self._record_sample
+
+        # Scalar probe walk: rejection runs are usually short (a surge
+        # schedule at its peak accepts nearly everything), and the
+        # vectorized classification below costs ~20x a handful of scalar
+        # acceptance tests.  Each candidate reads the same three doubles —
+        # inter-event exponential, type selector, acceptance uniform — with
+        # the same left-fold clock accumulation as both the scalar loop and
+        # the vectorized ``cumsum`` times, and ``value_at`` equals
+        # ``values_at`` element-wise, so the hand-off is bit-exact.
+        probe = candidates if candidates < 8 else 8
+        chunk = draws.uniforms_view(3 * probe).tolist()
+        exps = draws.exp_view(3 * probe).tolist()
+        time = self._time
+        applied = 0
+        streak = True
+        for i in range(probe):
+            selector = chunk[3 * i + 1] * total
+            if selector <= r0:
+                if not thin_arrivals:
+                    streak = False
+                    break
+                schedule = self._arrival_schedule
+                bound = self._arrival_bound
+            elif selector <= r01:
+                if not thin_seed:
+                    streak = False
+                    break
+                schedule = self._seed_schedule
+                bound = self._seed_bound
+            else:
+                streak = False
+                break
+            next_event_time = time + exps[3 * i] * scale
+            if bound * chunk[3 * i + 2] < schedule.value_at(next_event_time):
+                # Accepted: left, draws untouched, for the scalar path.
+                streak = False
+                break
+            while next_sample <= horizon and next_sample < next_event_time:
+                record(next_sample)
+                next_sample += interval
+            if next_event_time > horizon:
+                streak = False
+                break
+            time = next_event_time
+            applied += 1
+        if applied:
+            self._time = time
+            self.metrics.thinned_events += applied
+            draws.advance(3 * applied)
+        if not streak or applied >= candidates:
+            return applied, next_sample
+
+        # The whole probe was a rejected streak: this looks like a long run
+        # (e.g. a seed outage rejecting every fixed-rate tick), so classify
+        # the rest of the pending block vectorially from the new position.
+        head = applied
+        candidates -= applied
+        start_time = time
+
+        def rejected_prefix(window: int) -> int:
+            chunk = draws.uniforms_view(3 * window)
+            selector = chunk[1::3] * total
+            is_arrival = selector <= r0
+            is_seed_tick = (selector > r0) & (selector <= r01)
+            if not thin_arrivals:
+                thinnable = is_seed_tick
+            elif not thin_seed:
+                thinnable = is_arrival
+            else:
+                thinnable = is_arrival | is_seed_tick
+            stop = np.flatnonzero(~thinnable)
+            prefix = int(stop[0]) if stop.size else window
+            if prefix == 0:
+                return 0
+            # Candidate event times: the same left-fold accumulation (and
+            # the same precomputed inverse-transform doubles) as the scalar
+            # clock walk, so value_at lookups see identical times.
+            steps = np.empty(prefix + 1, dtype=np.float64)
+            steps[0] = start_time
+            np.multiply(draws.exp_view(3 * prefix)[::3], scale, out=steps[1:])
+            times = np.cumsum(steps)[1:]
+            accept_u = chunk[2::3][:prefix]
+            rejected = np.zeros(prefix, dtype=bool)
+            if thin_arrivals:
+                arrival_rows = is_arrival[:prefix]
+                if arrival_rows.any():
+                    values = self._arrival_schedule.values_at(times[arrival_rows])
+                    rejected[arrival_rows] = (
+                        self._arrival_bound * accept_u[arrival_rows] >= values
+                    )
+            if thin_seed:
+                seed_rows = is_seed_tick[:prefix]
+                if seed_rows.any():
+                    values = self._seed_schedule.values_at(times[seed_rows])
+                    rejected[seed_rows] = (
+                        self._seed_bound * accept_u[seed_rows] >= values
+                    )
+            accepted = np.flatnonzero(~rejected)
+            return int(accepted[0]) if accepted.size else prefix
+
+        count = rejected_prefix(candidates)
+        if count == 0:
+            return head, next_sample
+        time = start_time
+        applied = 0
+        for exp_draw in draws.exp_view(3 * count)[::3].tolist():
+            next_event_time = time + exp_draw * scale
+            while next_sample <= horizon and next_sample < next_event_time:
+                record(next_sample)
+                next_sample += interval
+            if next_event_time > horizon:
+                break
+            time = next_event_time
+            applied += 1
+        if applied:
+            self._time = time
+            self.metrics.thinned_events += applied
+            draws.advance(3 * applied)
+        return head + applied, next_sample
 
     # -- sampling ---------------------------------------------------------------
 

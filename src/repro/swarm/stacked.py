@@ -1,0 +1,606 @@
+"""Stacked fleet mega-kernel: one SoA driver over many independent swarms.
+
+A fleet chunk of small swarms pays the per-swarm Python cost of the solo
+event loop even though almost every event is a *wasted peer tick* that the
+array kernel's batch stage classifies vectorially: each
+:meth:`~repro.swarm.kernel.ArraySwarmKernel._batch_stage` call only ever
+amortises over one swarm's streak (~15 events on scenario workloads), so a
+200-swarm fleet makes thousands of short vector calls.
+:class:`StackedSwarmKernel` lifts that classification across swarms: all
+lanes' pending draw windows are concatenated into one candidate array per
+round (a swarm-id column keyed gather against a shared mask sheet), so one
+set of numpy ops resolves every lane's streak at once.
+
+Determinism contract
+--------------------
+Each lane is a full :class:`~repro.swarm.kernel.ArraySwarmKernel` with its
+own :class:`~repro.swarm.drawbuf.DrawBuffer` (seeded exactly as a solo run
+would be), and the stacked driver consumes each lane's buffer with the same
+per-decision semantics — batched wasted ticks eat four draws, thinned
+candidates three, scalar events go through the lane's own
+``_apply_event`` — in the same per-lane order as the solo loop.  Block
+refills happen at fixed 4096-draw boundaries of the *per-lane* stream
+regardless of how draws are grouped, so every lane's trajectory (metrics,
+samples, snapshots) is **bit-identical to a solo run on the same seed**;
+``tests/test_stacked.py`` asserts this per lane and at fleet scale.
+Interleaving lanes is free because swarms are independent: no draw of one
+lane can influence another.
+
+Structure
+---------
+* A shared uint64 **mask sheet** holds every lane's piece-mask column at a
+  per-lane base offset (``lane._masks`` is a view into the sheet), so the
+  cross-lane usefulness test is two gathers on one array instead of one
+  small gather per swarm.  Lane growth re-homes the lane at the sheet's
+  tail (the old segment is abandoned — growth is rare and the sheet is
+  transient).
+* Per round, each active lane contributes one *action*: a batched run of
+  wasted ticks (global classification), a batched run of thinning-rejected
+  candidates (the lane's own ``_batch_thinned``), one scalar event, a
+  suspension, or its finalisation.  Finished lanes retire from the active
+  list; their :class:`~repro.swarm.swarm.SwarmResult` is exactly what the
+  solo loop would have returned.
+* Snapshots stay per-swarm: ``lane.capture_state()`` emits the ordinary
+  format-2 payload (backend ``"array"``), and ``add_lane(snapshot=...)``
+  restores one, so fleet checkpoint/resume interoperates freely with the
+  per-swarm path.
+
+Limits: lanes inherit the array kernel's ``K <= 64`` bitmask bound, and
+custom piece-selection policies are only batched under the same conditions
+as the solo batch stage (``rng_free_when_useless`` and no retry speedup);
+other lanes simply take the scalar route every round.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.parameters import SystemParameters
+from ..core.scenario import ScenarioSpec
+from ..core.state import SystemState
+from ..simulation.rng import SeedLike, make_rng
+from .drawbuf import DrawBuffer
+from .kernel import ArraySwarmKernel
+from .metrics import SwarmMetrics
+from .policies import PieceSelectionPolicy, SwarmView
+from .swarm import SwarmResult
+
+#: Sentinel larger than any candidate window (first-bad reduction).
+_BIG = np.int64(1) << np.int64(40)
+
+#: Initial / ceiling per-lane candidate window of the global classification
+#: (doubled after a fully clean round, reset after a broken streak).
+_MIN_WINDOW = 64
+_MAX_WINDOW = 1024
+
+#: Below this block size per-lane windows cannot amortise anything (CI pins
+#: ``DRAW_BLOCK_SIZE=1``); lanes are simply driven by their own solo loop.
+_MIN_STACKED_BLOCK = 8
+
+
+class _StackedLane(ArraySwarmKernel):
+    """An array kernel whose mask column lives in the stack's shared sheet."""
+
+    _stack: Optional["StackedSwarmKernel"] = None
+
+    def _grow(self) -> None:
+        # The base grow detaches every column (including ``_masks``) into
+        # private doubled arrays; re-home the masks on the sheet afterwards.
+        super()._grow()
+        if self._stack is not None:
+            self._stack._adopt(self)
+
+
+def _clone_lane(template: _StackedLane, seed: SeedLike) -> _StackedLane:
+    """A fresh lane sharing the template's immutable digested configuration.
+
+    Building a kernel from scratch re-derives the same arrival tables,
+    schedule digests and class tables for every swarm of a fleet point;
+    since :func:`~repro.fleet.spec.materialize_tasks` shares one
+    params/scenario object per distinct point, those digests can be shared
+    too.  Everything mutable — RNG, draw buffer, metrics, population
+    arrays, per-class lists, run-loop state — is rebuilt per lane, so
+    clones are trajectory-independent; only when the policy is the stateless
+    built-in default do callers clone at all.
+    """
+    lane = object.__new__(_StackedLane)
+    lane.__dict__.update(template.__dict__)
+    lane._stack = None
+    lane.rng = make_rng(seed)
+    lane.draws = DrawBuffer(lane.rng, template.draws.block_size)
+    lane.metrics = SwarmMetrics()
+    capacity = len(template._arrival_time)
+    lane._masks = np.zeros(capacity, dtype=np.uint64)
+    lane._arrival_time = np.zeros(capacity, dtype=np.float64)
+    lane._completed_at = np.full(capacity, np.nan, dtype=np.float64)
+    lane._arrived_with_rare = np.zeros(capacity, dtype=np.bool_)
+    lane._infected = np.zeros(capacity, dtype=np.bool_)
+    lane._was_one_club = np.zeros(capacity, dtype=np.bool_)
+    lane._seed_slot = np.full(capacity, -1, dtype=np.int64)
+    lane._sped_slot = np.full(capacity, -1, dtype=np.int64)
+    lane._n = 0
+    lane._seeds = []
+    lane._sped = []
+    lane._one_club_count = 0
+    lane._piece_counts = {k: 0 for k in range(1, template.params.num_pieces + 1)}
+    lane._time = 0.0
+    lane._membership_version = 0
+    lane._ticker_cache = None
+    lane._run_active = False
+    lane._run_horizon = None
+    lane._run_interval = None
+    lane._next_sample = 0.0
+    lane._events = 0
+    if lane._classes is not None:
+        lane._class_idx = np.zeros(capacity, dtype=np.int32)
+        lane._member_slot = np.full(capacity, -1, dtype=np.int64)
+        num_classes = len(lane._classes)
+        lane._class_members = [[] for _ in range(num_classes)]
+        lane._class_seeds = [[] for _ in range(num_classes)]
+        lane._class_sped = [[] for _ in range(num_classes)]
+    lane._view = SwarmView(
+        num_pieces=template.params.num_pieces,
+        piece_counts=MappingProxyType(lane._piece_counts),
+        total_peers=0,
+        time=0.0,
+    )
+    return lane
+
+
+class StackedSwarmKernel:
+    """N independent array-kernel swarms driven by one round-based loop.
+
+    Usage::
+
+        stack = StackedSwarmKernel()
+        for task in chunk:
+            stack.add_lane(task.params, seed=..., scenario=task.scenario)
+        results = stack.run_all(horizon, initial_states=[...], ...)
+
+    ``run_all`` returns one :class:`~repro.swarm.swarm.SwarmResult` per
+    lane, in lane order, each bit-identical to the solo run.
+    """
+
+    def __init__(self) -> None:
+        self._lanes: List[_StackedLane] = []
+        self._sheet = np.zeros(1024, dtype=np.uint64)
+        self._sheet_used = 0
+        self._templates: Dict[Tuple[int, int], _StackedLane] = {}
+
+    # -- lane management -----------------------------------------------------
+
+    @property
+    def num_lanes(self) -> int:
+        return len(self._lanes)
+
+    def lane(self, slot: int) -> ArraySwarmKernel:
+        """The underlying kernel of one lane (e.g. for ``capture_state``)."""
+        return self._lanes[slot]
+
+    def _adopt(self, lane: _StackedLane) -> None:
+        """(Re-)home a lane's mask column inside the shared sheet."""
+        masks = lane._masks
+        capacity = len(masks)
+        if self._sheet_used + capacity > len(self._sheet):
+            new_size = max(len(self._sheet) * 2, 1024)
+            while new_size < self._sheet_used + capacity:
+                new_size *= 2
+            sheet = np.zeros(new_size, dtype=np.uint64)
+            sheet[: self._sheet_used] = self._sheet[: self._sheet_used]
+            self._sheet = sheet
+            # Slice views into the old sheet died with it: rebind them all.
+            for other in self._lanes:
+                base = other._sheet_base
+                if other is not lane:
+                    other._masks = sheet[base : base + len(other._masks)]
+        base = self._sheet_used
+        self._sheet_used = base + capacity
+        self._sheet[base : base + capacity] = masks
+        lane._masks = self._sheet[base : base + capacity]
+        lane._sheet_base = base
+
+    def add_lane(
+        self,
+        params: SystemParameters,
+        *,
+        seed: SeedLike = None,
+        scenario: Optional[ScenarioSpec] = None,
+        policy: Optional[PieceSelectionPolicy] = None,
+        initial_capacity: int = 1024,
+        snapshot: Optional[Dict[str, object]] = None,
+    ) -> int:
+        """Append one swarm lane; returns its slot index.
+
+        Lanes with a shared ``(params, scenario)`` object pair (what
+        ``materialize_tasks`` produces for swarms of the same fleet point)
+        are cloned from a per-pair template instead of re-digesting the
+        configuration; a custom ``policy`` disables cloning since its
+        statefulness is unknown.  ``snapshot`` restores a format-2 per-swarm
+        snapshot (``capture_state`` of either the solo kernel or a stacked
+        lane) into the new lane; ``run_all`` then resumes it.
+        """
+        if policy is None:
+            key = (id(params), id(scenario))
+            template = self._templates.get(key)
+            if template is None:
+                lane = _StackedLane(
+                    params,
+                    scenario=scenario,
+                    initial_capacity=initial_capacity,
+                    seed=seed,
+                )
+                self._templates[key] = lane
+            else:
+                lane = _clone_lane(template, seed)
+        else:
+            lane = _StackedLane(
+                params,
+                policy=policy,
+                scenario=scenario,
+                initial_capacity=initial_capacity,
+                seed=seed,
+            )
+        if snapshot is not None:
+            lane.restore_state(snapshot)
+        slot = len(self._lanes)
+        self._adopt(lane)
+        self._lanes.append(lane)
+        lane._stack = self
+        return slot
+
+    # -- finalisation helpers --------------------------------------------------
+
+    @staticmethod
+    def _finalize(
+        lane: _StackedLane, horizon: float, interval: float, horizon_reached: bool
+    ) -> SwarmResult:
+        """Flush the trailing sample grid and close the lane's run (solo
+        epilogue semantics)."""
+        next_sample = lane._next_sample
+        while next_sample <= horizon:
+            lane._record_sample(next_sample)
+            next_sample += interval
+        lane._next_sample = next_sample
+        lane._run_active = False
+        return SwarmResult(
+            metrics=lane.metrics,
+            final_time=lane._time,
+            final_population=lane.population,
+            final_state=lane.current_state(),
+            horizon_reached=horizon_reached,
+            suspended=False,
+            events_executed=lane._events,
+        )
+
+    @staticmethod
+    def _suspend(lane: _StackedLane) -> SwarmResult:
+        """Suspend a lane mid-run (no sample flush, run stays continuable)."""
+        return SwarmResult(
+            metrics=lane.metrics,
+            final_time=lane._time,
+            final_population=lane.population,
+            final_state=lane.current_state(),
+            horizon_reached=False,
+            suspended=True,
+            events_executed=lane._events,
+        )
+
+    # -- the stacked event loop ------------------------------------------------
+
+    def run_all(
+        self,
+        horizon: float,
+        *,
+        initial_states: Optional[Sequence[Optional[SystemState]]] = None,
+        sample_interval: Optional[float] = None,
+        max_events: Optional[int] = None,
+        max_population: Optional[int] = None,
+        suspend_after_events: Optional[int] = None,
+    ) -> List[SwarmResult]:
+        """Run every lane to ``horizon`` (or its cap); one result per lane.
+
+        Lanes restored from a suspended snapshot resume where they left off
+        (their recorded horizon / sample interval must match); the rest
+        start fresh, optionally pre-seeded from ``initial_states``.
+        ``suspend_after_events`` suspends each lane once its cumulative
+        event count reaches the bound, exactly like the solo loop's
+        parameter — the suspended lane's ``capture_state()`` equals the
+        solo snapshot bit for bit.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        lanes = self._lanes
+        results: List[Optional[SwarmResult]] = [None] * len(lanes)
+        interval = (
+            sample_interval if sample_interval is not None else horizon / 200.0
+        )
+        for slot, lane in enumerate(lanes):
+            if lane._run_active:  # restored mid-run: resume
+                if horizon != lane._run_horizon:
+                    raise ValueError(
+                        f"resumed horizon {horizon} does not match the "
+                        f"suspended run's horizon {lane._run_horizon}"
+                    )
+                if (
+                    sample_interval is not None
+                    and sample_interval != lane._run_interval
+                ):
+                    raise ValueError(
+                        f"resumed sample_interval {sample_interval} does not "
+                        f"match the suspended run's interval {lane._run_interval}"
+                    )
+            else:
+                state = (
+                    initial_states[slot] if initial_states is not None else None
+                )
+                if state is not None:
+                    lane.seed_population(state)
+                lane._run_active = True
+                lane._run_horizon = horizon
+                lane._run_interval = interval
+                lane._next_sample = 0.0
+                lane._events = 0
+            lane._stk_dirty = True
+            lane._stk_window = _MIN_WINDOW
+
+        # Tiny draw blocks (CI's DRAW_BLOCK_SIZE=1 equivalence mode) leave
+        # nothing to stack; the solo loop is the same trajectory.
+        if lanes and lanes[0].draws.block_size < _MIN_STACKED_BLOCK:
+            for slot, lane in enumerate(lanes):
+                results[slot] = lane.run(
+                    horizon,
+                    resume=True,
+                    max_events=max_events,
+                    max_population=max_population,
+                    suspend_after_events=suspend_after_events,
+                )
+            return results
+
+        def advance_inline(slot: int, lane: _StackedLane) -> int:
+            """Drive one lane through the solo loop body until its next
+            candidate is a batchable wasted tick (returns the classification
+            window > 0) or the lane's run ends (returns 0, result stored).
+
+            This is the solo ``run`` loop minus the wasted-tick batch stage:
+            loop-top caps, rate recomputation, the thinned-run batch, and
+            the scalar event step — in exactly the solo order, consuming
+            exactly the solo draws — so interleaving it with the global tick
+            classification preserves per-lane trajectories bit for bit.
+            """
+            while True:
+                events = lane._events
+                if (
+                    suspend_after_events is not None
+                    and events >= suspend_after_events
+                ):
+                    results[slot] = self._suspend(lane)
+                    return 0
+                if max_events is not None and events >= max_events:
+                    results[slot] = self._finalize(lane, horizon, interval, False)
+                    return 0
+                if max_population is not None and lane._n >= max_population:
+                    results[slot] = self._finalize(lane, horizon, interval, False)
+                    return 0
+                if lane._stk_dirty:
+                    rates = lane._event_rates()
+                    total = rates[0] + rates[1] + rates[2] + rates[3]
+                    lane._stk_rates = rates
+                    lane._stk_total = total
+                    if total > 0.0:
+                        lane._stk_r01 = rates[0] + rates[1]
+                        lane._stk_r012 = lane._stk_r01 + rates[2]
+                        lane._stk_scale = 1.0 / total
+                    lane._stk_dirty = False
+                else:
+                    rates = lane._stk_rates
+                    total = lane._stk_total
+                if total <= 0.0:
+                    lane._time = horizon
+                    results[slot] = self._finalize(lane, horizon, interval, True)
+                    return 0
+                draws = lane.draws
+                pos = draws._pos
+                remaining = draws._len - pos
+                if remaining == 0:
+                    # Refilling an *empty* buffer is bit-free: blocks sit at
+                    # fixed positions of the per-lane stream, so the next
+                    # scalar draw would trigger the identical refill.
+                    draws._refill()
+                    pos = 0
+                    remaining = draws._len
+                if lane._batch_enabled and remaining >= 2:
+                    first_sel = float(draws._uniforms[pos + 1]) * total
+                    if lane._stk_r01 < first_sel <= lane._stk_r012:
+                        window = remaining >> 2
+                        if window > lane._stk_window:
+                            window = lane._stk_window
+                        budget = (
+                            max_events - events if max_events is not None else None
+                        )
+                        if suspend_after_events is not None:
+                            left = suspend_after_events - events
+                            budget = left if budget is None else min(budget, left)
+                        if budget is not None and window > budget:
+                            window = budget
+                        if window > 0:
+                            return window
+                        # remaining < 4: the tick is handled by the scalar
+                        # step below, exactly like the solo batch declining.
+                    elif (first_sel <= rates[0] and lane._thin_arrivals) or (
+                        rates[0] < first_sel <= lane._stk_r01 and lane._thin_seed
+                    ):
+                        budget = (
+                            max_events - events if max_events is not None else None
+                        )
+                        if suspend_after_events is not None:
+                            left = suspend_after_events - events
+                            budget = left if budget is None else min(budget, left)
+                        applied_thin, next_sample = lane._batch_thinned(
+                            rates,
+                            total,
+                            horizon,
+                            interval,
+                            lane._next_sample,
+                            budget,
+                        )
+                        if applied_thin:
+                            lane._events = events + applied_thin
+                            lane._next_sample = next_sample
+                            continue
+                # Scalar step (solo semantics: the horizon-crossing
+                # exponential is consumed, then the run finalises).
+                net = lane._time + draws.exponential(lane._stk_scale)
+                next_sample = lane._next_sample
+                while next_sample <= horizon and next_sample < net:
+                    lane._record_sample(next_sample)
+                    next_sample += interval
+                lane._next_sample = next_sample
+                if net > horizon:
+                    lane._time = horizon
+                    results[slot] = self._finalize(lane, horizon, interval, True)
+                    return 0
+                lane._time = net
+                lane._apply_event(rates)
+                lane._events = events + 1
+                lane._stk_dirty = True
+
+        active: List[Tuple[int, _StackedLane]] = list(enumerate(lanes))
+        while active:
+            # -- phase 1: advance every lane to its next batchable tick ----
+            class_slots: List[Tuple[int, _StackedLane]] = []
+            widths: List[int] = []
+            for slot, lane in active:
+                window = advance_inline(slot, lane)
+                if window:
+                    class_slots.append((slot, lane))
+                    widths.append(window)
+
+            if not class_slots:
+                break  # every lane finished inside advance_inline
+            # -- phase 2: one global wasted-tick classification ------------
+            if True:
+                nseg = len(class_slots)
+                w_arr = np.array(widths, dtype=np.int64)
+                seg_starts = np.zeros(nseg, dtype=np.int64)
+                np.cumsum(w_arr[:-1], out=seg_starts[1:])
+                lane_of = np.repeat(np.arange(nseg), w_arr)
+                ubuf = np.concatenate(
+                    [lane.draws.uniforms_view(4 * w)
+                     for (_s, lane), w in zip(class_slots, widths)]
+                )
+                ebuf = np.concatenate(
+                    [lane.draws.exp_view(4 * w)
+                     for (_s, lane), w in zip(class_slots, widths)]
+                )
+                tot = np.array([lane._stk_total for _s, lane in class_slots])
+                r01 = np.array([lane._stk_r01 for _s, lane in class_slots])
+                r012 = np.array([lane._stk_r012 for _s, lane in class_slots])
+                scale = np.array([lane._stk_scale for _s, lane in class_slots])
+                n_arr = np.array(
+                    [lane._n for _s, lane in class_slots], dtype=np.int64
+                )
+                base = np.array(
+                    [lane._sheet_base for _s, lane in class_slots], dtype=np.int64
+                )
+                t0 = np.array([lane._time for _s, lane in class_slots])
+                sel = ubuf[1::4] * tot[lane_of]
+                is_tick = (sel > r01[lane_of]) & (sel <= r012[lane_of])
+                tick_u = ubuf[2::4]
+                n_of = n_arr[lane_of]
+                ticker = (tick_u * n_of).astype(np.int64)
+                np.minimum(ticker, n_of - 1, out=ticker)
+                for i, (_slot, lane) in enumerate(class_slots):
+                    if lane._classes is not None:
+                        s = seg_starts[i]
+                        e = s + widths[i]
+                        rows = lane._batch_hetero_tickers(tick_u[s:e])
+                        if rows is None:
+                            is_tick[s:e] = False
+                        else:
+                            ticker[s:e] = rows
+                target = (ubuf[3::4] * n_of).astype(np.int64)
+                np.minimum(target, n_of - 1, out=target)
+                sheet = self._sheet
+                g = base[lane_of]
+                useless = (sheet[g + ticker] & ~sheet[g + target]) == 0
+                ok = is_tick & ((ticker == target) | useless)
+                pos = np.arange(len(ok), dtype=np.int64) - seg_starts[lane_of]
+                first_bad = np.minimum.reduceat(
+                    np.where(ok, _BIG, pos), seg_starts
+                )
+                counts = np.minimum(first_bad, w_arr)
+                # Exact per-lane clock walk: sequential accumulation along
+                # axis 1 reproduces the scalar left-fold double for double.
+                maxw = int(w_arr.max())
+                times = np.zeros((nseg, maxw + 1), dtype=np.float64)
+                times[:, 0] = t0
+                times[lane_of, pos + 1] = ebuf[0::4] * scale[lane_of]
+                np.cumsum(times, axis=1, out=times)
+                in_streak = np.arange(maxw)[None, :] < counts[:, None]
+                crossing = (times[:, 1:] > horizon) & in_streak
+                has_cross = crossing.any(axis=1)
+                first_cross = np.argmax(crossing, axis=1)
+                applied = np.where(has_cross, first_cross, counts)
+                newtime = times[np.arange(nseg), applied]
+                applied_list = applied.tolist()
+                newtime_list = newtime.tolist()
+                clean = (applied == w_arr).tolist()
+                # -- phase 3: apply each lane's accepted prefix ------------
+                still_active: List[Tuple[int, _StackedLane]] = []
+                for i, (slot, lane) in enumerate(class_slots):
+                    k = applied_list[i]
+                    if k == 0:
+                        # Candidate 0 was tick-typed but either useful (a
+                        # transfer — the streak breaker) or past the
+                        # horizon: exactly the solo "batch applies nothing"
+                        # case, whose next step is the scalar one.  Run it
+                        # here; the lane re-enters phase 1 next round.
+                        lane._stk_window = _MIN_WINDOW
+                        draws = lane.draws
+                        rates = lane._stk_rates
+                        net = lane._time + draws.exponential(lane._stk_scale)
+                        next_sample = lane._next_sample
+                        while next_sample <= horizon and next_sample < net:
+                            lane._record_sample(next_sample)
+                            next_sample += interval
+                        lane._next_sample = next_sample
+                        if net > horizon:
+                            lane._time = horizon
+                            results[slot] = self._finalize(
+                                lane, horizon, interval, True
+                            )
+                            continue
+                        lane._time = net
+                        lane._apply_event(rates)
+                        lane._events += 1
+                        lane._stk_dirty = True
+                        still_active.append((slot, lane))
+                        continue
+                    t_new = newtime_list[i]
+                    next_sample = lane._next_sample
+                    if next_sample <= horizon and next_sample < t_new:
+                        while next_sample <= horizon and next_sample < t_new:
+                            lane._record_sample(next_sample)
+                            next_sample += interval
+                        lane._next_sample = next_sample
+                    lane._time = t_new
+                    lane.metrics.wasted_contacts += k
+                    lane.draws.advance(4 * k)
+                    lane._events += k
+                    if clean[i]:
+                        window = lane._stk_window * 2
+                        lane._stk_window = (
+                            window if window < _MAX_WINDOW else _MAX_WINDOW
+                        )
+                    else:
+                        lane._stk_window = _MIN_WINDOW
+                    still_active.append((slot, lane))
+
+            active = still_active
+        return results
+
+
+__all__ = ["StackedSwarmKernel"]
