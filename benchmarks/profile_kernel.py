@@ -213,9 +213,19 @@ def run_stacked_phase_table(args) -> None:
         patched.append((owner, name, original))
 
     instrument(DrawBuffer, "_refill", "draw (block refill)")
-    instrument(ArraySwarmKernel, "_batch_thinned", "apply (thinned batch)")
     instrument(_SwarmEventLoop, "_apply_event", "apply (scalar dispatch)")
     instrument(ArraySwarmKernel, "_record_sample", "census (sampling)")
+    # Per-event-type breakdown of the cohort dispatch: the typed primitives
+    # the round loop applies classified events through.  ``dispatch ·
+    # peer tick`` nests ``dispatch · transfer`` (the tick draws the target,
+    # the transfer moves the piece), so the rows overlap; shares are of
+    # wall, not of each other.
+    instrument(_SwarmEventLoop, "_apply_arrival_event", "dispatch · arrival")
+    instrument(_SwarmEventLoop, "_apply_seed_tick_event", "dispatch · seed tick")
+    instrument(_SwarmEventLoop, "_apply_peer_tick_event", "dispatch · peer tick")
+    instrument(ArraySwarmKernel, "_apply_transfer_tick", "dispatch · transfer")
+    instrument(_SwarmEventLoop, "_apply_departure_event", "dispatch · departure")
+    instrument(ArraySwarmKernel, "_batch_thinned", "dispatch · thinned")
     stack, horizon, run_kwargs = _build_stacked(args)
     try:
         start = time.perf_counter()
@@ -234,7 +244,10 @@ def run_stacked_phase_table(args) -> None:
     for phase, (calls, seconds) in totals.items():
         if not calls:
             continue
-        accounted += seconds
+        # The typed-dispatch rows are a *breakdown* (and peer tick nests
+        # transfer), so they don't add into the residual accounting.
+        if not phase.startswith("dispatch ·"):
+            accounted += seconds
         print(f"{phase:<28}{calls:>12,}{seconds:>12.3f}{seconds / wall:>8.1%}")
     residual = max(wall - accounted, 0.0)
     print(

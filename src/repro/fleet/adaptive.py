@@ -45,7 +45,14 @@ from ..simulation.rng import SeedLike
 from .checkpoint import load_checkpoint
 from .persistence import FleetLogWriter, read_log
 from .result import FleetResult, FleetSwarmRecord
-from .scheduler import PersistentFleetExecution, _run_fleet_chunk, _run_swarm_task
+from .scheduler import (
+    PersistentFleetExecution,
+    _check_stacked_task,
+    _run_fleet_chunk,
+    _run_stacked_chunk,
+    _run_stacked_task,
+    _run_swarm_task,
+)
 from .spec import (
     FixedSampler,
     FleetSpec,
@@ -646,7 +653,11 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
     ``workers`` / ``chunk_size`` sharding through
     :func:`~repro.experiments.runner.map_tasks`, JSONL log streaming, offset
     checkpoints, deterministic kill (``stop_after_swarms`` /
-    ``suspend_after_events``) and exact :meth:`resume` — via the shared
+    ``suspend_after_events``), exact :meth:`resume` and ``stacked``
+    execution (each chunk of a round runs inside one
+    :class:`~repro.swarm.stacked.StackedSwarmKernel`; records are
+    bit-identical either way, so the sampled-point trail and boundary
+    estimate do not depend on the execution path) — via the shared
     :class:`~repro.fleet.scheduler.PersistentFleetExecution` plumbing.
     """
 
@@ -659,8 +670,16 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
         checkpoint_every: int = 1,
         log_path: Optional[Union[str, Path]] = None,
         fsync_every_n: int = 1,
+        stacked: bool = False,
     ):
+        if stacked and spec.backend != "array":
+            raise ValueError(
+                f"stacked fleet execution requires the 'array' backend, but "
+                f"spec {spec.name!r} requests backend={spec.backend!r}; run "
+                f"with stacked=False or switch the spec to the array backend"
+            )
         self.spec = spec
+        self.stacked = stacked
         self._init_execution(
             workers,
             chunk_size,
@@ -669,6 +688,7 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
             checkpoint_every,
             log_path,
             fsync_every_n,
+            stacked,
         )
 
     def _swarm_target(self) -> int:
@@ -787,8 +807,14 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
         chunk_size: Optional[int] = None,
         checkpoint_every: int = 1,
         fsync_every_n: int = 1,
+        stacked: bool = False,
     ) -> "AdaptiveFleetDriver":
-        """Build a driver around the adaptive spec stored in a checkpoint."""
+        """Build a driver around the adaptive spec stored in a checkpoint.
+
+        ``stacked`` is an execution property, not part of the spec: a run
+        checkpointed by either path resumes (bit-identically) through the
+        other.
+        """
         checkpoint = load_checkpoint(checkpoint_path)
         if not isinstance(checkpoint.spec, AdaptiveFleetSpec):
             raise ValueError(
@@ -801,6 +827,7 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
             fsync_every_n=fsync_every_n,
+            stacked=stacked,
         )
 
     # -- core ----------------------------------------------------------------
@@ -813,9 +840,14 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
         kwargs["num_pieces"] = self.spec.num_pieces
         kwargs["arrival_rate"] = self.spec.arrival_rates[cell.arrival]
         kwargs["seed_rate"] = self.spec.seed_rates[cell.seed]
-        return task_for_point(
+        task = task_for_point(
             global_index, simulation_seq, kwargs, self.spec.strata[cell.stratum]
         )
+        # Every task the driver runs flows through here, so this is the one
+        # choke point for the stacked kernel's representability bound.
+        if self.stacked:
+            _check_stacked_task(task)
+        return task
 
     def _drive(
         self,
@@ -835,6 +867,8 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
 
         exec_spec = self.spec.execution_spec()
         cells = self.spec.cells
+        run_task = _run_stacked_task if self.stacked else _run_swarm_task
+        run_chunk = _run_stacked_chunk if self.stacked else _run_fleet_chunk
         try:
             if in_flight is not None:
                 # The suspended swarm is the next one of the interrupted
@@ -851,7 +885,7 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
                 allocation, done = pending
                 index, snapshot = in_flight
                 task = self._task(stream, index, allocation[done])
-                record = _run_swarm_task(exec_spec, task, snapshot=snapshot)
+                record = run_task(exec_spec, task, snapshot=snapshot)
                 result.add(record)
                 assignments.append(cells[allocation[done]])
                 self._append(writer, [record])
@@ -882,7 +916,7 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
                 ]
                 since_checkpoint = 0
                 round_start = state.completed
-                for records in map_tasks(_run_fleet_chunk, chunks, self.workers):
+                for records in map_tasks(run_chunk, chunks, self.workers):
                     for record in records:
                         position_in_round = len(result.records) - round_start
                         result.add(record)
@@ -902,7 +936,7 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
                         task = self._task(
                             stream, len(result.records), next_cell
                         )
-                        outcome = _run_swarm_task(
+                        outcome = run_task(
                             exec_spec, task, suspend_after_events=suspend_after_events
                         )
                         if isinstance(outcome, FleetSwarmRecord):
@@ -959,6 +993,7 @@ def run_adaptive_fleet(
     stop_after_swarms: Optional[int] = None,
     suspend_after_events: Optional[int] = None,
     fsync_every_n: int = 1,
+    stacked: bool = False,
 ) -> AdaptiveFleetResult:
     """One-call adaptive execution (see :class:`AdaptiveFleetDriver`)."""
     driver = AdaptiveFleetDriver(
@@ -969,6 +1004,7 @@ def run_adaptive_fleet(
         checkpoint_every=checkpoint_every,
         log_path=log_path,
         fsync_every_n=fsync_every_n,
+        stacked=stacked,
     )
     return driver.run(
         seed=seed,
@@ -983,6 +1019,7 @@ def resume_adaptive_fleet(
     chunk_size: Optional[int] = None,
     checkpoint_every: int = 1,
     fsync_every_n: int = 1,
+    stacked: bool = False,
 ) -> AdaptiveFleetResult:
     """Resume a killed adaptive fleet (see :meth:`AdaptiveFleetDriver.resume`)."""
     driver = AdaptiveFleetDriver.from_checkpoint(
@@ -991,6 +1028,7 @@ def resume_adaptive_fleet(
         chunk_size=chunk_size,
         checkpoint_every=checkpoint_every,
         fsync_every_n=fsync_every_n,
+        stacked=stacked,
     )
     return driver.resume()
 

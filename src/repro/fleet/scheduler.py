@@ -202,12 +202,12 @@ def _default_chunk_size(
     enough to keep the pool busy and the checkpoint cadence useful.
 
     The stacked kernel amortizes its per-round classification over every
-    lane of a chunk, so stacked runs want *fewer, larger* chunks — one to
-    two per worker lane — rather than the per-swarm path's finer shards.
+    lane of a chunk, so stacked runs want *fewer, larger* chunks — one per
+    worker lane — rather than the per-swarm path's finer shards.
     """
     lanes = max(1, workers or 1)
     if stacked:
-        return max(1, min(256, math.ceil(num_swarms / (lanes * 2))))
+        return max(1, min(256, math.ceil(num_swarms / lanes)))
     return max(1, min(64, math.ceil(num_swarms / (lanes * 4))))
 
 

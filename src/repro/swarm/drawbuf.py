@@ -76,12 +76,15 @@ class DrawBuffer:
     """Blocked uniform draws over a :class:`numpy.random.Generator`.
 
     The scalar accessors (:meth:`next`, :meth:`uniform`, :meth:`exponential`,
-    :meth:`integers`, :meth:`choice`) serve one decision per call from
-    plain-Python float lists (no per-draw Generator call, no numpy scalar
-    boxing); the view accessors (:meth:`uniforms_view`, :meth:`exp_view`,
+    :meth:`integers`, :meth:`choice`) serve one decision per call as plain
+    Python floats read straight out of the block (no per-draw Generator
+    call); the view accessors (:meth:`uniforms_view`, :meth:`exp_view`,
     :meth:`advance`) expose the same pending draws as numpy arrays for the
-    array kernel's vectorized batch stage.  Both interfaces consume the same
-    positions of the same stream, so mixing them freely is safe.
+    array kernel's vectorized batch stage, and the peek accessors
+    (:meth:`peek_uniform`, :meth:`peek_exp`) read ahead without consuming,
+    for classifiers that decide *how* to consume before consuming.  All
+    interfaces read the same positions of the same stream, so mixing them
+    freely is safe.
 
     The object is also duck-compatible with the slice of the Generator API
     the built-in piece-selection policies use (``integers`` / ``random`` /
@@ -95,8 +98,6 @@ class DrawBuffer:
         "block_size",
         "_uniforms",
         "_exp",
-        "_u_list",
-        "_e_list",
         "_pos",
         "_len",
     )
@@ -118,12 +119,6 @@ class DrawBuffer:
         # One vectorized inverse-transform per block; scalar and batched
         # consumers both read these exact doubles.
         self._exp = -np.log1p(-uniforms)
-        # The plain-Python float lists that back the scalar accessors are
-        # materialised on first scalar access: blocks consumed entirely
-        # through the vectorized views (the batch stages' common case)
-        # never pay the two tolist() passes.
-        self._u_list = None
-        self._e_list = None
         self._pos = 0
         self._len = len(uniforms)
 
@@ -143,10 +138,7 @@ class DrawBuffer:
             self._refill()
             pos = 0
         self._pos = pos + 1
-        u_list = self._u_list
-        if u_list is None:
-            u_list = self._u_list = self._uniforms.tolist()
-        return u_list[pos]
+        return self._uniforms.item(pos)
 
     def random(self) -> float:
         """Generator-compatible alias of :meth:`next`."""
@@ -167,10 +159,7 @@ class DrawBuffer:
             self._refill()
             pos = 0
         self._pos = pos + 1
-        e_list = self._e_list
-        if e_list is None:
-            e_list = self._e_list = self._exp.tolist()
-        return scale * e_list[pos]
+        return scale * self._exp.item(pos)
 
     def integers(self, low: int, high: Optional[int] = None) -> int:
         """One integer from ``[0, low)`` (or ``[low, high)``), one draw.
@@ -229,6 +218,21 @@ class DrawBuffer:
                 f"cannot advance {count} draws: {self.remaining()} pending"
             )
         self._pos = position
+
+    # -- peeks (classify before consuming) -------------------------------------
+
+    def peek_uniform(self, offset: int = 0) -> float:
+        """The pending uniform ``offset`` positions ahead, *not* consumed.
+
+        The caller must guarantee ``remaining() > offset``; peeking never
+        refills (a refill would discard the un-consumed remainder and break
+        the fixed block boundaries of the stream).
+        """
+        return self._uniforms.item(self._pos + offset)
+
+    def peek_exp(self, offset: int = 0) -> float:
+        """``-log1p(-u)`` of the uniform ``offset`` ahead, *not* consumed."""
+        return self._exp.item(self._pos + offset)
 
     # -- snapshots -------------------------------------------------------------
 

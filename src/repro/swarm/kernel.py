@@ -167,6 +167,10 @@ class ArraySwarmKernel(_SwarmEventLoop):
         )
         self._membership_version = 0
         self._ticker_cache: Optional[dict] = None
+        # Incremental numpy mirror of ``_class_members`` (built lazily on
+        # the first ticker-table rebuild, kept in sync by the membership
+        # mutators): rebuilds slice a view instead of re-converting lists.
+        self._class_member_bufs: Optional[List[np.ndarray]] = None
         # Heterogeneous mode mirrors the object simulator's per-class
         # bookkeeping at the row level: _class_idx holds each row's class,
         # _member_slot its index in the per-class membership list, and the
@@ -179,6 +183,10 @@ class ArraySwarmKernel(_SwarmEventLoop):
             )
             self._class_idx = np.zeros(capacity, dtype=np.int32)
             self._member_slot = np.full(capacity, -1, dtype=np.int64)
+            # Per-class membership revisions: bumped whenever that class's
+            # member list mutates, so the batch ticker cache can keep the
+            # row arrays of untouched classes across rebuilds.
+            self._class_member_revs = [0] * len(self._classes)
         self._view = SwarmView(
             num_pieces=num_pieces,
             piece_counts=MappingProxyType(self._piece_counts),
@@ -205,7 +213,16 @@ class ArraySwarmKernel(_SwarmEventLoop):
     def current_state(self) -> SystemState:
         """Aggregate the population into a :class:`SystemState`."""
         num_pieces = self.params.num_pieces
-        masks, counts = np.unique(self._masks[: self._n], return_counts=True)
+        if num_pieces <= 16:
+            # Small piece spaces: a bincount over the mask column beats the
+            # sort inside ``np.unique`` (same ascending-mask grouping).
+            tallies = np.bincount(
+                self._masks[: self._n], minlength=1 << num_pieces
+            )
+            masks = np.flatnonzero(tallies)
+            counts = tallies[masks]
+        else:
+            masks, counts = np.unique(self._masks[: self._n], return_counts=True)
         return SystemState(
             {
                 PieceSet.from_mask(int(mask), num_pieces): int(count)
@@ -262,6 +279,18 @@ class ArraySwarmKernel(_SwarmEventLoop):
             members = self._class_members[class_index]
             self._member_slot[row] = len(members)
             members.append(row)
+            self._class_member_revs[class_index] += 1
+            bufs = self._class_member_bufs
+            if bufs is not None:
+                buf = bufs[class_index]
+                slot = len(members) - 1
+                if slot >= len(buf):
+                    grown_buf = np.empty(
+                        max(2 * len(buf), 8), dtype=np.int64
+                    )
+                    grown_buf[: len(buf)] = buf
+                    buf = bufs[class_index] = grown_buf
+                buf[slot] = row
         bits = mask
         counts = self._piece_counts
         while bits:
@@ -297,13 +326,18 @@ class ArraySwarmKernel(_SwarmEventLoop):
             self._discard_sped(row)
         hetero = self._classes is not None
         if hetero:
-            members = self._class_members[int(self._class_idx[row])]
+            row_class = int(self._class_idx[row])
+            members = self._class_members[row_class]
             member_index = int(self._member_slot[row])
             self._member_slot[row] = -1
             last_member = members.pop()
             if last_member != row:
                 members[member_index] = last_member
                 self._member_slot[last_member] = member_index
+                bufs = self._class_member_bufs
+                if bufs is not None:
+                    bufs[row_class][member_index] = last_member
+            self._class_member_revs[row_class] += 1
         # Swap-remove: the last live row fills the vacated slot; the slot
         # columns keep the seed/sped/member lists pointing at the moved row.
         last = self._n - 1
@@ -323,6 +357,10 @@ class ArraySwarmKernel(_SwarmEventLoop):
                 self._member_slot[last] = -1
                 if member_slot >= 0:
                     self._class_members[last_class][member_slot] = row
+                    self._class_member_revs[last_class] += 1
+                    bufs = self._class_member_bufs
+                    if bufs is not None:
+                        bufs[last_class][member_slot] = row
             seed_slot = int(self._seed_slot[last])
             self._seed_slot[row] = seed_slot
             if seed_slot >= 0:
@@ -417,6 +455,7 @@ class ArraySwarmKernel(_SwarmEventLoop):
         # must not survive the restore.
         self._membership_version += 1
         self._ticker_cache = None
+        self._class_member_bufs = None
         self._n = n
         columns = list(self._SNAPSHOT_COLUMNS)
         if self._classes is not None:
@@ -467,6 +506,10 @@ class ArraySwarmKernel(_SwarmEventLoop):
                     len(members), len(members) + count, dtype=np.int64
                 )
                 members.extend(rows)
+                self._class_member_revs[0] += 1
+                # Bulk extend: drop the incremental mirror, it is rebuilt
+                # lazily from the lists on the next ticker-table miss.
+                self._class_member_bufs = None
             counts = self._piece_counts
             bits = mask
             while bits:
@@ -586,9 +629,21 @@ class ArraySwarmKernel(_SwarmEventLoop):
         if self._n == 0:
             return
         uploader = self._sample_ticking_row()
+        target = self.draws.integers(self._n)
+        self._apply_transfer_tick(uploader, target)
+
+    def _apply_transfer_tick(self, uploader: int, target: int) -> None:
+        """Peer tick whose ticker / target rows were already drawn.
+
+        Cohort-apply primitive: the stacked dispatcher classifies the
+        ticker and target rows vectorially from the peeked draw window
+        (the same truncate-and-clamp maps as the scalar draws), advances
+        the buffer past them, and lands here — so this body must consume
+        exactly the remaining draws of the scalar ``_handle_peer_tick``
+        (the piece pick, when the contact is useful).
+        """
         # A ticking peer's speedup (if any) is consumed by this tick.
         self._discard_sped(uploader)
-        target = self.draws.integers(self._n)
         if target == uploader:
             self.metrics.wasted_contacts += 1
             success = False
@@ -623,30 +678,9 @@ class ArraySwarmKernel(_SwarmEventLoop):
         guarantee; the per-class row arrays are cached until any peer is
         added or removed.
         """
-        cache = self._ticker_cache
-        if cache is None or cache["version"] != self._membership_version:
-            units: List[float] = []
-            arrays: List[np.ndarray] = []
-            for cls, members in zip(self._classes, self._class_members):
-                if members:
-                    units.append(cls.contact_rate)
-                    arrays.append(np.array(members, dtype=np.int64))
-            if not arrays:
-                return None
-            sizes = np.array([len(rows) for rows in arrays], dtype=np.int64)
-            units_arr = np.array(units, dtype=np.float64)
-            boundaries = np.cumsum(units_arr * sizes)
-            offsets = np.zeros(len(arrays), dtype=np.int64)
-            np.cumsum(sizes[:-1], out=offsets[1:])
-            cache = self._ticker_cache = {
-                "version": self._membership_version,
-                "units": units_arr,
-                "sizes": sizes,
-                "boundaries": boundaries,
-                "starts": np.concatenate(([0.0], boundaries[:-1])),
-                "offsets": offsets,
-                "handles": np.concatenate(arrays),
-            }
+        cache = self._ticker_tables()
+        if cache is None:
+            return None
         boundaries = cache["boundaries"]
         threshold = uniforms * float(boundaries[-1])
         segment = np.searchsorted(boundaries, threshold, side="right")
@@ -656,6 +690,64 @@ class ArraySwarmKernel(_SwarmEventLoop):
         ).astype(np.int64)
         np.minimum(index, cache["sizes"][segment] - 1, out=index)
         return cache["handles"][cache["offsets"][segment] + index]
+
+    def _ticker_tables(self) -> Optional[dict]:
+        """The cached segment tables behind :meth:`_batch_hetero_tickers`.
+
+        ``None`` when no class has members (no tick can fire).  The stacked
+        driver reads the tables directly to classify several lanes' windows
+        with one set of array ops; the cache is rebuilt when any membership
+        changed, reusing the row arrays of classes whose revision is
+        untouched.
+        """
+        cache = self._ticker_cache
+        if cache is None or cache["version"] != self._membership_version:
+            revs = self._class_member_revs
+            old_rows = cache["class_rows"] if cache is not None else None
+            old_revs = cache["revs"] if cache is not None else None
+            bufs = self._class_member_bufs
+            if bufs is None:
+                # Seed the incremental mirror: per-class int64 buffers the
+                # membership mutators keep in sync, so a rebuild slices a
+                # view instead of converting the whole Python list.
+                bufs = self._class_member_bufs = [
+                    np.array(m, dtype=np.int64) for m in self._class_members
+                ]
+            class_rows: List[Optional[np.ndarray]] = []
+            units: List[float] = []
+            arrays: List[np.ndarray] = []
+            for index, (cls, members) in enumerate(
+                zip(self._classes, self._class_members)
+            ):
+                if old_rows is not None and old_revs[index] == revs[index]:
+                    rows = old_rows[index]
+                elif members:
+                    rows = bufs[index][: len(members)]
+                else:
+                    rows = None
+                class_rows.append(rows)
+                if rows is not None:
+                    units.append(cls.contact_rate)
+                    arrays.append(rows)
+            if not arrays:
+                return None
+            sizes = np.array([len(rows) for rows in arrays], dtype=np.int64)
+            units_arr = np.array(units, dtype=np.float64)
+            boundaries = np.cumsum(units_arr * sizes)
+            offsets = np.zeros(len(arrays), dtype=np.int64)
+            np.cumsum(sizes[:-1], out=offsets[1:])
+            cache = self._ticker_cache = {
+                "version": self._membership_version,
+                "revs": list(revs),
+                "class_rows": class_rows,
+                "units": units_arr,
+                "sizes": sizes,
+                "boundaries": boundaries,
+                "starts": np.concatenate(([0.0], boundaries[:-1])),
+                "offsets": offsets,
+                "handles": np.concatenate(arrays),
+            }
+        return cache
 
     def _batch_stage(
         self,
@@ -961,6 +1053,28 @@ class ArraySwarmKernel(_SwarmEventLoop):
             min_piece_count=min(self._piece_counts.values()),
             group_snapshot=snapshot,
         )
+
+    def _flush_samples(
+        self, next_sample: float, horizon: float, interval: float
+    ) -> float:
+        # The state is frozen for the whole trailing grid, so append it in
+        # bulk: the grid times are still generated by the same repeated
+        # addition as the scalar walk, the constant columns extended once.
+        # Group tracking snapshots per sample, so it keeps the scalar walk.
+        if self.track_groups or next_sample > horizon:
+            return super()._flush_samples(next_sample, horizon, interval)
+        times: List[float] = []
+        while next_sample <= horizon:
+            times.append(next_sample)
+            next_sample += interval
+        count = len(times)
+        metrics = self.metrics
+        metrics.sample_times.extend(times)
+        metrics.population.extend([self._n] * count)
+        metrics.num_seeds.extend([self.num_seeds] * count)
+        metrics.one_club_size.extend([self._one_club_count] * count)
+        metrics.min_piece_count.extend([min(self._piece_counts.values())] * count)
+        return next_sample
 
 
 __all__ = ["ArraySwarmKernel"]

@@ -72,12 +72,23 @@ from .swarm import SwarmResult
 _BIG = np.int64(1) << np.int64(40)
 
 #: Initial / ceiling per-lane candidate window of the global classification
-#: (doubled after a fully clean round, reset after a broken streak).
-_MIN_WINDOW = 64
+#: (doubled after a fully clean round, streak-sized after a broken one).
+#: The floor trades re-classification of the window tail behind a breaker
+#: against per-round dispatch overhead; the ceiling bounds how far one
+#: deep-streak lane can pad the round's clock matrix (lanes classify at
+#: the round's widest window).  Since the cohort restructure drained
+#: scalar events inside the round, rounds are window-paced, so a high
+#: ceiling amortises the per-round numpy glue better (swept 16..64 x
+#: 512..2048 on the 200-swarm fleet workload).
+_MIN_WINDOW = 16
 _MAX_WINDOW = 1024
 
 #: Below this block size per-lane windows cannot amortise anything (CI pins
 #: ``DRAW_BLOCK_SIZE=1``); lanes are simply driven by their own solo loop.
+#: (The stream is block-size invariant by construction, so a *bigger*
+#: stacked block was tried too: it loses — event-capped fleet lanes only
+#: consume a couple thousand draws, so wider blocks just generate and
+#: exp-transform uniforms nobody reads.)
 _MIN_STACKED_BLOCK = 8
 
 
@@ -129,6 +140,7 @@ def _clone_lane(template: _StackedLane, seed: SeedLike) -> _StackedLane:
     lane._time = 0.0
     lane._membership_version = 0
     lane._ticker_cache = None
+    lane._class_member_bufs = None
     lane._run_active = False
     lane._run_horizon = None
     lane._run_interval = None
@@ -141,6 +153,7 @@ def _clone_lane(template: _StackedLane, seed: SeedLike) -> _StackedLane:
         lane._class_members = [[] for _ in range(num_classes)]
         lane._class_seeds = [[] for _ in range(num_classes)]
         lane._class_sped = [[] for _ in range(num_classes)]
+        lane._class_member_revs = [0] * num_classes
     lane._view = SwarmView(
         num_pieces=template.params.num_pieces,
         piece_counts=MappingProxyType(lane._piece_counts),
@@ -259,11 +272,9 @@ class StackedSwarmKernel:
     ) -> SwarmResult:
         """Flush the trailing sample grid and close the lane's run (solo
         epilogue semantics)."""
-        next_sample = lane._next_sample
-        while next_sample <= horizon:
-            lane._record_sample(next_sample)
-            next_sample += interval
-        lane._next_sample = next_sample
+        lane._next_sample = lane._flush_samples(
+            lane._next_sample, horizon, interval
+        )
         lane._run_active = False
         return SwarmResult(
             metrics=lane.metrics,
@@ -345,6 +356,26 @@ class StackedSwarmKernel:
                 lane._events = 0
             lane._stk_dirty = True
             lane._stk_window = _MIN_WINDOW
+            # Homogeneous lanes recompute rates from three counters and four
+            # per-lane constants; digesting the constants once lets
+            # ``classify`` skip the ``_event_rates`` call chain.  The
+            # expressions below mirror ``_event_rates`` term for term, so
+            # the recomputed doubles are bit-identical.
+            if lane._classes is None:
+                params = lane.params
+                lane._stk_consts = (
+                    lane._arrival_total * lane._arrival_bound,
+                    params.seed_rate * lane._seed_bound,
+                    params.peer_rate,
+                    lane.retry_speedup - 1.0,
+                    (
+                        0.0
+                        if params.immediate_departure
+                        else params.seed_departure_rate
+                    ),
+                )
+            else:
+                lane._stk_consts = None
 
         # Tiny draw blocks (CI's DRAW_BLOCK_SIZE=1 equivalence mode) leave
         # nothing to stack; the solo loop is the same trajectory.
@@ -359,16 +390,23 @@ class StackedSwarmKernel:
                 )
             return results
 
-        def advance_inline(slot: int, lane: _StackedLane) -> int:
-            """Drive one lane through the solo loop body until its next
-            candidate is a batchable wasted tick (returns the classification
-            window > 0) or the lane's run ends (returns 0, result stored).
+        # -- cohort classification (phase 1) -------------------------------
+        # Per round, every pending lane is classified from its own draw
+        # stream — the next exponential and selector are *peeked*, never
+        # consumed — and filed into exactly one cohort: a batchable
+        # wasted-tick window (resolved by the global phase-2
+        # classification), a thinned-reject run (the lane's own
+        # ``_batch_thinned``), or a typed scalar cohort (arrival /
+        # seed-tick / peer-tick / departure) applied through the kernel's
+        # cohort primitives.  Per-lane draw *order* is untouched, so
+        # trajectories stay bit-identical to solo runs.
 
-            This is the solo ``run`` loop minus the wasted-tick batch stage:
-            loop-top caps, rate recomputation, the thinned-run batch, and
-            the scalar event step — in exactly the solo order, consuming
-            exactly the solo draws — so interleaving it with the global tick
-            classification preserves per-lane trajectories bit for bit.
+        def classify(slot: int, lane: _StackedLane) -> None:
+            """Advance one lane to its next pending decision and file it.
+
+            This is the solo loop top — caps, rate recomputation, thinned
+            batching — in exactly the solo order; lanes whose run ends here
+            store their result and retire from the active set.
             """
             while True:
                 events = lane._events
@@ -377,15 +415,28 @@ class StackedSwarmKernel:
                     and events >= suspend_after_events
                 ):
                     results[slot] = self._suspend(lane)
-                    return 0
+                    return
                 if max_events is not None and events >= max_events:
                     results[slot] = self._finalize(lane, horizon, interval, False)
-                    return 0
+                    return
                 if max_population is not None and lane._n >= max_population:
                     results[slot] = self._finalize(lane, horizon, interval, False)
-                    return 0
+                    return
                 if lane._stk_dirty:
-                    rates = lane._event_rates()
+                    consts = lane._stk_consts
+                    if consts is not None:
+                        # Inline `_event_rates` for homogeneous lanes (term
+                        # for term — see the digest in the prologue).
+                        arr_r, seed_c, peer_rate, extra, dep_rate = consts
+                        n = lane._n
+                        rates = (
+                            arr_r,
+                            seed_c if n > 0 else 0.0,
+                            (n + extra * len(lane._sped)) * peer_rate,
+                            dep_rate * len(lane._seeds),
+                        )
+                    else:
+                        rates = lane._event_rates()
                     total = rates[0] + rates[1] + rates[2] + rates[3]
                     lane._stk_rates = rates
                     lane._stk_total = total
@@ -400,127 +451,339 @@ class StackedSwarmKernel:
                 if total <= 0.0:
                     lane._time = horizon
                     results[slot] = self._finalize(lane, horizon, interval, True)
-                    return 0
+                    return
                 draws = lane.draws
-                pos = draws._pos
-                remaining = draws._len - pos
+                remaining = draws._len - draws._pos
                 if remaining == 0:
                     # Refilling an *empty* buffer is bit-free: blocks sit at
                     # fixed positions of the per-lane stream, so the next
                     # scalar draw would trigger the identical refill.
                     draws._refill()
-                    pos = 0
                     remaining = draws._len
-                if lane._batch_enabled and remaining >= 2:
-                    first_sel = float(draws._uniforms[pos + 1]) * total
-                    if lane._stk_r01 < first_sel <= lane._stk_r012:
-                        window = remaining >> 2
-                        if window > lane._stk_window:
-                            window = lane._stk_window
-                        budget = (
-                            max_events - events if max_events is not None else None
+                if remaining == 1:
+                    # The selector sits in the next block; take one generic
+                    # scalar step (solo semantics, refill mid-event).
+                    net = lane._time + draws.exponential(lane._stk_scale)
+                    next_sample = lane._next_sample
+                    while next_sample <= horizon and next_sample < net:
+                        lane._record_sample(next_sample)
+                        next_sample += interval
+                    lane._next_sample = next_sample
+                    if net > horizon:
+                        lane._time = horizon
+                        results[slot] = self._finalize(
+                            lane, horizon, interval, True
                         )
-                        if suspend_after_events is not None:
-                            left = suspend_after_events - events
-                            budget = left if budget is None else min(budget, left)
-                        if budget is not None and window > budget:
-                            window = budget
-                        if window > 0:
-                            return window
-                        # remaining < 4: the tick is handled by the scalar
-                        # step below, exactly like the solo batch declining.
-                    elif (first_sel <= rates[0] and lane._thin_arrivals) or (
-                        rates[0] < first_sel <= lane._stk_r01 and lane._thin_seed
-                    ):
-                        budget = (
-                            max_events - events if max_events is not None else None
-                        )
-                        if suspend_after_events is not None:
-                            left = suspend_after_events - events
-                            budget = left if budget is None else min(budget, left)
-                        applied_thin, next_sample = lane._batch_thinned(
-                            rates,
-                            total,
-                            horizon,
-                            interval,
-                            lane._next_sample,
-                            budget,
-                        )
-                        if applied_thin:
-                            lane._events = events + applied_thin
-                            lane._next_sample = next_sample
-                            continue
-                # Scalar step (solo semantics: the horizon-crossing
-                # exponential is consumed, then the run finalises).
-                net = lane._time + draws.exponential(lane._stk_scale)
-                next_sample = lane._next_sample
-                while next_sample <= horizon and next_sample < net:
-                    lane._record_sample(next_sample)
-                    next_sample += interval
-                lane._next_sample = next_sample
+                        return
+                    lane._time = net
+                    lane._apply_event(rates)
+                    lane._events = events + 1
+                    lane._stk_dirty = True
+                    continue
+                # Inline peek_uniform(1): this runs once per lane per round.
+                sel = draws._uniforms.item(draws._pos + 1) * total
+                if lane._batch_enabled and lane._stk_r01 < sel <= lane._stk_r012:
+                    window = remaining >> 2
+                    if window > lane._stk_window:
+                        window = lane._stk_window
+                    budget = (
+                        max_events - events if max_events is not None else None
+                    )
+                    if suspend_after_events is not None:
+                        left = suspend_after_events - events
+                        budget = left if budget is None else min(budget, left)
+                    if budget is not None and window > budget:
+                        window = budget
+                    if window > 0:
+                        win_slots.append(slot)
+                        win_lanes.append(lane)
+                        win_widths.append(window)
+                        return
+                    # remaining < 4: the tick takes the typed scalar path
+                    # below, exactly like the solo batch stage declining.
+                elif (sel <= rates[0] and lane._thin_arrivals) or (
+                    rates[0] < sel <= lane._stk_r01 and lane._thin_seed
+                ):
+                    budget = (
+                        max_events - events if max_events is not None else None
+                    )
+                    if suspend_after_events is not None:
+                        left = suspend_after_events - events
+                        budget = left if budget is None else min(budget, left)
+                    applied_thin, next_sample = lane._batch_thinned(
+                        rates, total, horizon, interval, lane._next_sample, budget
+                    )
+                    if applied_thin:
+                        lane._events = events + applied_thin
+                        lane._next_sample = next_sample
+                        continue
+                    # The first candidate is accepted (or crosses the
+                    # horizon): file it as a typed scalar event below.
+                # Typed scalar candidate: its event time and selector are
+                # classified here; the cohort apply consumes the draws.
+                net = lane._time + lane._stk_scale * draws._exp.item(draws._pos)
                 if net > horizon:
+                    # Solo crossing semantics: the exponential is consumed,
+                    # the grid flushed, the run closed.
+                    draws._pos += 1
                     lane._time = horizon
                     results[slot] = self._finalize(lane, horizon, interval, True)
-                    return 0
+                    return
+                if sel <= rates[0]:
+                    arrival_cohort.append((slot, lane, net))
+                elif sel <= lane._stk_r01:
+                    seed_cohort.append((slot, lane, net))
+                elif sel <= lane._stk_r012:
+                    tick_cohort.append((slot, lane, net))
+                else:
+                    depart_cohort.append((slot, lane, net))
+                return
+
+        def apply_cohort(cohort, primitive) -> None:
+            """Apply one classified scalar event per (slot, lane, net) entry.
+
+            Consumes the peeked exponential + selector, walks the sample
+            grid to the event time, then hands off to the typed primitive
+            (which consumes the branch's own draws, thinning included) —
+            draw for draw what ``_apply_event`` would have done.
+            """
+            for _slot, lane, net in cohort:
+                next_sample = lane._next_sample
+                if next_sample <= horizon and next_sample < net:
+                    while next_sample <= horizon and next_sample < net:
+                        lane._record_sample(next_sample)
+                        next_sample += interval
+                    lane._next_sample = next_sample
                 lane._time = net
-                lane._apply_event(rates)
-                lane._events = events + 1
+                # Inline advance(2): classify guaranteed >= 2 pending draws
+                # before filing the lane (the exponential + the selector).
+                lane.draws._pos += 2
+                primitive(lane)
+                lane._events += 1
                 lane._stk_dirty = True
 
         active: List[Tuple[int, _StackedLane]] = list(enumerate(lanes))
         while active:
-            # -- phase 1: advance every lane to its next batchable tick ----
-            class_slots: List[Tuple[int, _StackedLane]] = []
-            widths: List[int] = []
-            for slot, lane in active:
-                window = advance_inline(slot, lane)
-                if window:
-                    class_slots.append((slot, lane))
-                    widths.append(window)
+            # -- phases 1+2: classify and drain the scalar cohorts ---------
+            # Every lane is classified; lanes that took a typed scalar event
+            # are re-classified *within the round* until each active lane is
+            # either windowed or retired, so the per-round numpy phases
+            # amortize over every lane each round instead of one scalar
+            # event costing a lane its whole round.  (Lanes are independent;
+            # only the per-lane order is draw-identical to solo, and that is
+            # untouched by how classification interleaves across lanes.)
+            win_slots: List[int] = []
+            win_lanes: List[_StackedLane] = []
+            win_widths: List[int] = []
+            pending = active
+            while pending:
+                arrival_cohort: List[Tuple[int, _StackedLane, float]] = []
+                seed_cohort: List[Tuple[int, _StackedLane, float]] = []
+                tick_cohort: List[Tuple[int, _StackedLane, float]] = []
+                depart_cohort: List[Tuple[int, _StackedLane, float]] = []
+                for slot, lane in pending:
+                    # Inline fast path for the dominant case — a clean-rates
+                    # lane whose next candidate is a batchable wasted tick.
+                    # Exactly ``classify``'s window branch with the checks a
+                    # non-dirty active lane has already passed (its cached
+                    # total was > 0 when computed, and no event touched the
+                    # lane since); everything else falls through to the full
+                    # classifier.
+                    if not lane._stk_dirty:
+                        events = lane._events
+                        if (
+                            (
+                                suspend_after_events is None
+                                or events < suspend_after_events
+                            )
+                            and (max_events is None or events < max_events)
+                            and (
+                                max_population is None
+                                or lane._n < max_population
+                            )
+                        ):
+                            draws = lane.draws
+                            rem = draws._len - draws._pos
+                            if rem >= 4:
+                                sel = (
+                                    draws._uniforms.item(draws._pos + 1)
+                                    * lane._stk_total
+                                )
+                                if (
+                                    lane._batch_enabled
+                                    and lane._stk_r01 < sel <= lane._stk_r012
+                                ):
+                                    window = rem >> 2
+                                    if window > lane._stk_window:
+                                        window = lane._stk_window
+                                    if max_events is not None:
+                                        left = max_events - events
+                                        if window > left:
+                                            window = left
+                                    if suspend_after_events is not None:
+                                        left = suspend_after_events - events
+                                        if window > left:
+                                            window = left
+                                    win_slots.append(slot)
+                                    win_lanes.append(lane)
+                                    win_widths.append(window)
+                                    continue
+                    classify(slot, lane)
 
-            if not class_slots:
-                break  # every lane finished inside advance_inline
-            # -- phase 2: one global wasted-tick classification ------------
-            if True:
-                nseg = len(class_slots)
-                w_arr = np.array(widths, dtype=np.int64)
+                # Apply the typed scalar cohorts.  (Before the window
+                # classification: arrivals may grow the mask sheet, and the
+                # gathers below must read the final layout.)
+                if arrival_cohort:
+                    apply_cohort(
+                        arrival_cohort, _StackedLane._apply_arrival_event
+                    )
+                if seed_cohort:
+                    apply_cohort(
+                        seed_cohort, _StackedLane._apply_seed_tick_event
+                    )
+                if tick_cohort:
+                    apply_cohort(
+                        tick_cohort, _StackedLane._apply_peer_tick_event
+                    )
+                if depart_cohort:
+                    apply_cohort(
+                        depart_cohort, _StackedLane._apply_departure_event
+                    )
+                pending = [
+                    (slot, lane)
+                    for cohort in (
+                        arrival_cohort,
+                        seed_cohort,
+                        tick_cohort,
+                        depart_cohort,
+                    )
+                    for slot, lane, _net in cohort
+                ]
+
+            # -- phase 3: one global wasted-tick classification ------------
+            if win_lanes:
+                nseg = len(win_lanes)
+                w_arr = np.array(win_widths, dtype=np.int64)
                 seg_starts = np.zeros(nseg, dtype=np.int64)
                 np.cumsum(w_arr[:-1], out=seg_starts[1:])
                 lane_of = np.repeat(np.arange(nseg), w_arr)
+                # Direct pending-draw slices (``uniforms_view`` / ``exp_view``
+                # inlined — two method calls per lane-window add up here).
+                # Only every 4th exponential (the inter-event gap) is read,
+                # so the exp gather is strided per lane: lane spans are
+                # 4-aligned in ``ubuf``, making this exactly ``ebuf[0::4]``
+                # of the full concatenation.
                 ubuf = np.concatenate(
-                    [lane.draws.uniforms_view(4 * w)
-                     for (_s, lane), w in zip(class_slots, widths)]
+                    [lane.draws._uniforms[lane.draws._pos:
+                                          lane.draws._pos + 4 * w]
+                     for lane, w in zip(win_lanes, win_widths)]
                 )
-                ebuf = np.concatenate(
-                    [lane.draws.exp_view(4 * w)
-                     for (_s, lane), w in zip(class_slots, widths)]
+                exp0 = np.concatenate(
+                    [lane.draws._exp[lane.draws._pos:
+                                     lane.draws._pos + 4 * w: 4]
+                     for lane, w in zip(win_lanes, win_widths)]
                 )
-                tot = np.array([lane._stk_total for _s, lane in class_slots])
-                r01 = np.array([lane._stk_r01 for _s, lane in class_slots])
-                r012 = np.array([lane._stk_r012 for _s, lane in class_slots])
-                scale = np.array([lane._stk_scale for _s, lane in class_slots])
-                n_arr = np.array(
-                    [lane._n for _s, lane in class_slots], dtype=np.int64
-                )
-                base = np.array(
-                    [lane._sheet_base for _s, lane in class_slots], dtype=np.int64
-                )
-                t0 = np.array([lane._time for _s, lane in class_slots])
+                # One gather of every per-lane scalar (row counts and sheet
+                # bases are exact in float64) instead of seven array builds;
+                # a flat list skips numpy's nested-sequence row parsing.
+                scalars = np.array(
+                    [
+                        v
+                        for lane in win_lanes
+                        for v in (
+                            lane._stk_total,
+                            lane._stk_r01,
+                            lane._stk_r012,
+                            lane._stk_scale,
+                            lane._time,
+                            lane._n,
+                            lane._sheet_base,
+                        )
+                    ],
+                    dtype=np.float64,
+                ).reshape(nseg, 7)
+                tot = scalars[:, 0]
+                r01 = scalars[:, 1]
+                r012 = scalars[:, 2]
+                scale = scalars[:, 3]
+                t0 = scalars[:, 4]
+                n_arr = scalars[:, 5].astype(np.int64)
+                base = scalars[:, 6].astype(np.int64)
                 sel = ubuf[1::4] * tot[lane_of]
                 is_tick = (sel > r01[lane_of]) & (sel <= r012[lane_of])
                 tick_u = ubuf[2::4]
                 n_of = n_arr[lane_of]
                 ticker = (tick_u * n_of).astype(np.int64)
                 np.minimum(ticker, n_of - 1, out=ticker)
-                for i, (_slot, lane) in enumerate(class_slots):
-                    if lane._classes is not None:
+                # Heterogeneous lanes replay the per-class segment walk.
+                # Lanes whose class tables have the same segment count are
+                # resolved together: their tables stack into one matrix and
+                # one set of array ops classifies every window (the walk's
+                # doubles are untouched — same products, same truncation —
+                # so rows equal the per-lane ``_batch_hetero_tickers``).
+                hetero_groups: Dict[int, List[Tuple[int, dict]]] = {}
+                for i, lane in enumerate(win_lanes):
+                    if lane._classes is None:
+                        continue
+                    tabs = lane._ticker_tables()
+                    if tabs is None:
                         s = seg_starts[i]
-                        e = s + widths[i]
-                        rows = lane._batch_hetero_tickers(tick_u[s:e])
-                        if rows is None:
-                            is_tick[s:e] = False
-                        else:
-                            ticker[s:e] = rows
+                        is_tick[s : s + win_widths[i]] = False
+                    else:
+                        hetero_groups.setdefault(
+                            len(tabs["boundaries"]), []
+                        ).append((i, tabs))
+                for nsegs, group in hetero_groups.items():
+                    if len(group) == 1:
+                        i, tabs = group[0]
+                        s = seg_starts[i]
+                        e = s + win_widths[i]
+                        boundaries = tabs["boundaries"]
+                        thr = tick_u[s:e] * float(boundaries[-1])
+                        seg = np.searchsorted(boundaries, thr, side="right")
+                        np.minimum(seg, nsegs - 1, out=seg)
+                        idx = (
+                            (thr - tabs["starts"][seg]) / tabs["units"][seg]
+                        ).astype(np.int64)
+                        np.minimum(idx, tabs["sizes"][seg] - 1, out=idx)
+                        ticker[s:e] = tabs["handles"][tabs["offsets"][seg] + idx]
+                        continue
+                    bound_m = np.stack([t["boundaries"] for _, t in group])
+                    start_m = np.stack([t["starts"] for _, t in group])
+                    unit_m = np.stack([t["units"] for _, t in group])
+                    size_m = np.stack([t["sizes"] for _, t in group])
+                    off_m = np.stack([t["offsets"] for _, t in group])
+                    # One boolean mask covers every lane of the group: the
+                    # gather (and the final scatter) walk the group's spans
+                    # in ascending candidate order, identical to span-wise
+                    # concatenation, without per-lane numpy calls.
+                    hmask = np.zeros(len(tick_u), dtype=bool)
+                    widths_g: List[int] = []
+                    for i, _tabs in group:
+                        s = int(seg_starts[i])
+                        w = win_widths[i]
+                        hmask[s : s + w] = True
+                        widths_g.append(w)
+                    u_h = tick_u[hmask]
+                    lane_h = np.repeat(np.arange(len(group)), widths_g)
+                    thr = u_h * bound_m[lane_h, nsegs - 1]
+                    # Count of boundaries <= threshold == searchsorted
+                    # (side="right") on each lane's sorted boundary row.
+                    seg = (bound_m[lane_h] <= thr[:, None]).sum(axis=1)
+                    np.minimum(seg, nsegs - 1, out=seg)
+                    idx = (
+                        (thr - start_m[lane_h, seg]) / unit_m[lane_h, seg]
+                    ).astype(np.int64)
+                    np.minimum(idx, size_m[lane_h, seg] - 1, out=idx)
+                    loc = off_m[lane_h, seg] + idx
+                    # The per-lane handle rows concatenate into one table;
+                    # per-lane offsets lift ``loc`` into it, so one gather
+                    # and one scatter resolve the whole group.
+                    h_sizes = [len(t["handles"]) for _, t in group]
+                    h_off = np.zeros(len(group), dtype=np.int64)
+                    np.cumsum(h_sizes[:-1], out=h_off[1:])
+                    h_cat = np.concatenate([t["handles"] for _, t in group])
+                    ticker[hmask] = h_cat[h_off[lane_h] + loc]
                 target = (ubuf[3::4] * n_of).astype(np.int64)
                 np.minimum(target, n_of - 1, out=target)
                 sheet = self._sheet
@@ -535,71 +798,156 @@ class StackedSwarmKernel:
                 # Exact per-lane clock walk: sequential accumulation along
                 # axis 1 reproduces the scalar left-fold double for double.
                 maxw = int(w_arr.max())
-                times = np.zeros((nseg, maxw + 1), dtype=np.float64)
+                times = np.empty((nseg, maxw + 1), dtype=np.float64)
                 times[:, 0] = t0
-                times[lane_of, pos + 1] = ebuf[0::4] * scale[lane_of]
+                steps = exp0 * scale[lane_of]
+                if int(w_arr.min()) == maxw:
+                    # Uniform widths (the common case: windows double in
+                    # lockstep): a plain reshape replaces the fancy scatter.
+                    times[:, 1:] = steps.reshape(nseg, maxw)
+                else:
+                    times[:, 1:] = 0.0
+                    times[lane_of, pos + 1] = steps
                 np.cumsum(times, axis=1, out=times)
-                in_streak = np.arange(maxw)[None, :] < counts[:, None]
-                crossing = (times[:, 1:] > horizon) & in_streak
-                has_cross = crossing.any(axis=1)
-                first_cross = np.argmax(crossing, axis=1)
-                applied = np.where(has_cross, first_cross, counts)
-                newtime = times[np.arange(nseg), applied]
-                applied_list = applied.tolist()
-                newtime_list = newtime.tolist()
-                clean = (applied == w_arr).tolist()
-                # -- phase 3: apply each lane's accepted prefix ------------
-                still_active: List[Tuple[int, _StackedLane]] = []
-                for i, (slot, lane) in enumerate(class_slots):
-                    k = applied_list[i]
-                    if k == 0:
-                        # Candidate 0 was tick-typed but either useful (a
-                        # transfer — the streak breaker) or past the
-                        # horizon: exactly the solo "batch applies nothing"
-                        # case, whose next step is the scalar one.  Run it
-                        # here; the lane re-enters phase 1 next round.
-                        lane._stk_window = _MIN_WINDOW
-                        draws = lane.draws
-                        rates = lane._stk_rates
-                        net = lane._time + draws.exponential(lane._stk_scale)
-                        next_sample = lane._next_sample
-                        while next_sample <= horizon and next_sample < net:
-                            lane._record_sample(next_sample)
-                            next_sample += interval
-                        lane._next_sample = next_sample
-                        if net > horizon:
-                            lane._time = horizon
-                            results[slot] = self._finalize(
-                                lane, horizon, interval, True
+                rows_idx = np.arange(nseg)
+                end_time = times[rows_idx, counts]
+                crossed = end_time > horizon
+                applied = counts
+                if crossed.any():
+                    # Horizon crossings happen once per lane per run, and
+                    # each clock row is strictly increasing: a per-lane
+                    # bisect replaces a full crossing matrix.
+                    applied = counts.copy()
+                    for i in np.flatnonzero(crossed):
+                        applied[i] = int(
+                            np.searchsorted(
+                                times[i, 1 : counts[i] + 1],
+                                horizon,
+                                side="right",
                             )
-                            continue
-                        lane._time = net
-                        lane._apply_event(rates)
-                        lane._events += 1
-                        lane._stk_dirty = True
-                        still_active.append((slot, lane))
+                        )
+                    end_time = times[rows_idx, applied]
+                applied_list = applied.tolist()
+                newtime_list = end_time.tolist()
+                crossed_list = crossed.tolist()
+                seg_list = seg_starts.tolist()
+                # -- phase 4: apply each lane's prefix, then its breaker ---
+                for i, lane in enumerate(win_lanes):
+                    slot = win_slots[i]
+                    k = applied_list[i]
+                    if k:
+                        t_new = newtime_list[i]
+                        next_sample = lane._next_sample
+                        if next_sample <= horizon and next_sample < t_new:
+                            while next_sample <= horizon and next_sample < t_new:
+                                lane._record_sample(next_sample)
+                                next_sample += interval
+                            lane._next_sample = next_sample
+                        lane._time = t_new
+                        lane.metrics.wasted_contacts += k
+                        # Inline advance(4k): the window width was capped at
+                        # remaining >> 2, so 4k draws are always pending.
+                        lane.draws._pos += 4 * k
+                        lane._events += k
+                    if crossed_list[i]:
+                        # The candidate after the prefix crosses the
+                        # horizon: its exponential is consumed, the run
+                        # closes (solo crossing semantics).
+                        lane.draws._pos += 1
+                        lane._time = horizon
+                        results[slot] = self._finalize(
+                            lane, horizon, interval, True
+                        )
                         continue
-                    t_new = newtime_list[i]
-                    next_sample = lane._next_sample
-                    if next_sample <= horizon and next_sample < t_new:
-                        while next_sample <= horizon and next_sample < t_new:
-                            lane._record_sample(next_sample)
-                            next_sample += interval
-                        lane._next_sample = next_sample
-                    lane._time = t_new
-                    lane.metrics.wasted_contacts += k
-                    lane.draws.advance(4 * k)
-                    lane._events += k
-                    if clean[i]:
+                    if k == win_widths[i]:
                         window = lane._stk_window * 2
                         lane._stk_window = (
                             window if window < _MAX_WINDOW else _MAX_WINDOW
                         )
+                        continue
+                    # Broken streak: the breaking candidate is already
+                    # classified — apply it through the cohort primitives
+                    # instead of burning a round on a scalar re-step.  The
+                    # next window is sized to the streak the lane actually
+                    # ran (plus a small margin) rather than blind halving:
+                    # a broken lane re-windows every round regardless of
+                    # width, so anything past its streak is pure speculative
+                    # classification waste.
+                    window = k + 8
+                    lane._stk_window = (
+                        window if window > _MIN_WINDOW else _MIN_WINDOW
+                    )
+                    ev = lane._events
+                    if (
+                        (
+                            suspend_after_events is not None
+                            and ev >= suspend_after_events
+                        )
+                        or (max_events is not None and ev >= max_events)
+                        or (
+                            max_population is not None
+                            and lane._n >= max_population
+                        )
+                    ):
+                        continue  # retires at the next classification
+                    t_next = float(times[i, k + 1])
+                    if t_next > horizon:
+                        lane.draws._pos += 1
+                        lane._time = horizon
+                        results[slot] = self._finalize(
+                            lane, horizon, interval, True
+                        )
+                        continue
+                    gi = seg_list[i] + k
+                    if is_tick[gi]:
+                        # A useful peer tick — the canonical streak breaker.
+                        # Ticker / target rows come from the classification
+                        # above; the transfer primitive consumes the piece
+                        # pick exactly like the scalar handler.
+                        next_sample = lane._next_sample
+                        if next_sample <= horizon and next_sample < t_next:
+                            while next_sample <= horizon and next_sample < t_next:
+                                lane._record_sample(next_sample)
+                                next_sample += interval
+                            lane._next_sample = next_sample
+                        lane._time = t_next
+                        # Inline advance(4): candidate k+1 sits fully inside
+                        # the window's 4·width pending draws.
+                        lane.draws._pos += 4
+                        lane._apply_transfer_tick(int(ticker[gi]), int(target[gi]))
+                        lane._events = ev + 1
+                        lane._stk_dirty = True
+                        continue
+                    s_val = float(sel[gi])
+                    rates = lane._stk_rates
+                    if (s_val <= rates[0] and lane._thin_arrivals) or (
+                        rates[0] < s_val <= lane._stk_r01 and lane._thin_seed
+                    ):
+                        # Thinnable candidate: leave it (draws untouched)
+                        # for the next round's thinned-reject batch.
+                        continue
+                    next_sample = lane._next_sample
+                    if next_sample <= horizon and next_sample < t_next:
+                        while next_sample <= horizon and next_sample < t_next:
+                            lane._record_sample(next_sample)
+                            next_sample += interval
+                        lane._next_sample = next_sample
+                    lane._time = t_next
+                    lane.draws._pos += 2
+                    if s_val <= rates[0]:
+                        lane._apply_arrival_event()
+                    elif s_val <= lane._stk_r01:
+                        lane._apply_seed_tick_event()
+                    elif s_val <= lane._stk_r012:
+                        lane._apply_peer_tick_event()
                     else:
-                        lane._stk_window = _MIN_WINDOW
-                    still_active.append((slot, lane))
+                        lane._apply_departure_event()
+                    lane._events = ev + 1
+                    lane._stk_dirty = True
 
-            active = still_active
+            active = [
+                (slot, lane) for slot, lane in active if results[slot] is None
+            ]
         return results
 
 

@@ -361,26 +361,50 @@ class _SwarmEventLoop:
         seed_departure = self._total_seed_departure_rate()
         return arrival, seed_tick, peer_tick, seed_departure
 
+    # -- typed event application (cohort-apply primitives) ---------------------
+    #
+    # One method per selector branch of `_apply_event`, thinning included.
+    # The stacked mega-kernel's cohort dispatcher classifies each lane's
+    # pending selector *without* consuming it and then applies the event
+    # through the matching primitive directly, so the branch bodies must
+    # stay draw-for-draw identical to the scalar dispatch below.
+
+    def _apply_arrival_event(self) -> None:
+        """One (candidate) arrival: thinning acceptance, then the handler."""
+        if self._thin_arrivals and not self._thin_accept(
+            self._arrival_schedule, self._arrival_bound
+        ):
+            return
+        self._handle_arrival()
+
+    def _apply_seed_tick_event(self) -> None:
+        """One (candidate) fixed-seed tick: thinning, then the handler."""
+        if self._thin_seed and not self._thin_accept(
+            self._seed_schedule, self._seed_bound
+        ):
+            return
+        self._handle_seed_tick()
+
+    def _apply_peer_tick_event(self) -> None:
+        """One peer tick (draws its own ticker / target rows)."""
+        self._handle_peer_tick()
+
+    def _apply_departure_event(self) -> None:
+        """One peer-seed departure."""
+        self._handle_seed_departure()
+
     def _apply_event(self, rates: Tuple[float, float, float, float]) -> None:
         """Apply one event drawn proportionally to the given rates."""
         total = sum(rates)
         threshold = self.draws.uniform(0.0, total)
         if threshold <= rates[0]:
-            if self._thin_arrivals and not self._thin_accept(
-                self._arrival_schedule, self._arrival_bound
-            ):
-                return
-            self._handle_arrival()
+            self._apply_arrival_event()
         elif threshold <= rates[0] + rates[1]:
-            if self._thin_seed and not self._thin_accept(
-                self._seed_schedule, self._seed_bound
-            ):
-                return
-            self._handle_seed_tick()
+            self._apply_seed_tick_event()
         elif threshold <= rates[0] + rates[1] + rates[2]:
-            self._handle_peer_tick()
+            self._apply_peer_tick_event()
         else:
-            self._handle_seed_departure()
+            self._apply_departure_event()
 
     def step(self) -> bool:
         """Execute one event; returns False when no event can occur."""
@@ -503,9 +527,7 @@ class _SwarmEventLoop:
             self._apply_event(rates)
             events += 1
         if not suspended:
-            while next_sample <= horizon:
-                self._record_sample(next_sample)
-                next_sample += interval
+            next_sample = self._flush_samples(next_sample, horizon, interval)
         self._next_sample = next_sample
         self._events = events
         if not suspended:
@@ -519,6 +541,21 @@ class _SwarmEventLoop:
             suspended=suspended,
             events_executed=events,
         )
+
+    def _flush_samples(
+        self, next_sample: float, horizon: float, interval: float
+    ) -> float:
+        """Record every remaining grid point up to ``horizon``.
+
+        Called once the event loop has ended with the state frozen for the
+        rest of the horizon; backends may override with a bulk append (the
+        grid times must still be generated by the same repeated addition,
+        so the recorded floats are bit-identical to the scalar walk).
+        """
+        while next_sample <= horizon:
+            self._record_sample(next_sample)
+            next_sample += interval
+        return next_sample
 
     def _batch_stage(
         self,

@@ -1,0 +1,138 @@
+"""Stacked execution of the adaptive fleet driver.
+
+The contract (ISSUE 7): ``stacked=True`` on the adaptive driver is purely an
+execution property.  Every round-chunk runs inside one
+:class:`~repro.swarm.stacked.StackedSwarmKernel`, but the records are
+bit-identical to the per-swarm path, so the sampled-point trail, the
+boundary estimate and the full result fingerprint are equal at any worker
+count — including runs killed mid-round (with a mid-swarm kernel snapshot)
+and resumed through *either* path.
+"""
+
+import pytest
+
+from repro.fleet import (
+    AdaptiveFleetDriver,
+    AdaptiveFleetSpec,
+    ScenarioWeight,
+    load_checkpoint,
+    resume_adaptive_fleet,
+    run_adaptive_fleet,
+)
+
+
+def tiny_spec(**overrides) -> AdaptiveFleetSpec:
+    defaults = dict(
+        name="tiny-stacked-adaptive",
+        arrival_rates=(0.8, 1.6, 2.4),
+        seed_rates=(0.5,),
+        scenario_mix=(
+            ScenarioWeight.of(None, weight=2.0),
+            ScenarioWeight.of("free-rider", weight=1.0, leech_fraction=0.6),
+        ),
+        num_pieces=5,
+        swarm_budget=18,
+        round_size=6,
+        horizon=6.0,
+        max_events=150,
+        initial_club_size=10,
+        backend="array",
+    )
+    defaults.update(overrides)
+    return AdaptiveFleetSpec(**defaults)
+
+
+class TestStackedEquality:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_trail_and_boundary_match_per_swarm(self, workers):
+        """Identical sampled-point trails, boundary estimates and
+        fingerprints with ``stacked=True`` and ``stacked=False``."""
+        spec = tiny_spec()
+        per_swarm = run_adaptive_fleet(spec, seed=31, workers=workers)
+        stacked = run_adaptive_fleet(
+            spec, seed=31, workers=workers, stacked=True
+        )
+        assert stacked.trail() == per_swarm.trail()
+        assert stacked.boundary_estimate() == per_swarm.boundary_estimate()
+        assert stacked.fingerprint() == per_swarm.fingerprint()
+        assert stacked.fleet == per_swarm.fleet
+
+    def test_worker_counts_agree_on_stacked_path(self):
+        spec = tiny_spec()
+        fingerprints = [
+            run_adaptive_fleet(
+                spec, seed=31, workers=workers, stacked=True
+            ).fingerprint()
+            for workers in (1, 2, 4)
+        ]
+        assert fingerprints[0] == fingerprints[1] == fingerprints[2]
+
+
+class TestStackedResume:
+    def test_midround_kill_resume_stacked(self, tmp_path):
+        """Killed mid-round on the stacked path (mid-swarm kernel snapshot
+        in the checkpoint), resumed on the stacked path: exact equality
+        with the uninterrupted per-swarm run."""
+        spec = tiny_spec()
+        uninterrupted = run_adaptive_fleet(spec, seed=31)
+        path = tmp_path / "adaptive.ckpt"
+        partial = run_adaptive_fleet(
+            spec,
+            seed=31,
+            stacked=True,
+            checkpoint_path=path,
+            stop_after_swarms=8,  # mid-round: 6 + 2
+            suspend_after_events=40,
+        )
+        assert not partial.complete
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.in_flight is not None or len(partial.fleet.records) > 8
+        resumed = resume_adaptive_fleet(path, workers=2, stacked=True)
+        assert resumed.complete
+        assert resumed.boundary_estimate() == uninterrupted.boundary_estimate()
+        assert resumed.trail() == uninterrupted.trail()
+        assert resumed.fingerprint() == uninterrupted.fingerprint()
+
+    @pytest.mark.parametrize(
+        "kill_stacked,resume_stacked", [(True, False), (False, True)]
+    )
+    def test_cross_path_resume(self, tmp_path, kill_stacked, resume_stacked):
+        """A run suspended by one execution path resumes bit-identically
+        through the other (snapshots are the ordinary per-swarm payloads)."""
+        spec = tiny_spec()
+        uninterrupted = run_adaptive_fleet(spec, seed=31)
+        path = tmp_path / "adaptive.ckpt"
+        run_adaptive_fleet(
+            spec,
+            seed=31,
+            stacked=kill_stacked,
+            checkpoint_path=path,
+            stop_after_swarms=8,
+            suspend_after_events=40,
+        )
+        resumed = resume_adaptive_fleet(path, stacked=resume_stacked)
+        assert resumed.fingerprint() == uninterrupted.fingerprint()
+
+    def test_from_checkpoint_carries_stacked_flag(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "adaptive.ckpt"
+        run_adaptive_fleet(
+            spec, seed=31, checkpoint_path=path, stop_after_swarms=8
+        )
+        driver = AdaptiveFleetDriver.from_checkpoint(path, stacked=True)
+        assert driver.stacked
+        resumed = driver.resume()
+        assert resumed.fingerprint() == run_adaptive_fleet(spec, seed=31).fingerprint()
+
+
+class TestStackedValidation:
+    def test_rejects_non_array_backend(self):
+        with pytest.raises(ValueError, match="array"):
+            AdaptiveFleetDriver(tiny_spec(backend="object"), stacked=True)
+
+    def test_rejects_unrepresentable_piece_count(self):
+        """num_pieces beyond the array kernel's 64-bit mask bound is caught
+        at task-build time, naming the swarm."""
+        spec = tiny_spec(num_pieces=65, scenario_mix=())
+        with pytest.raises(ValueError, match="num_pieces <= 64"):
+            run_adaptive_fleet(spec, seed=31, stacked=True)
