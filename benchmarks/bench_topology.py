@@ -1,0 +1,41 @@
+"""Overlay smoke benchmark: both backends on the tracker-overlay workload.
+
+Measures events/second of the object simulator and the array kernel on the
+shared ``OVERLAY_BENCH_WORKLOAD`` (10 000 one-club peers, ``K = 10``,
+contacts restricted to a degree-8 tracker overlay), asserting the topology
+subsystem's invariants: the backends stay trajectory-identical from a
+shared seed on the overlay path, and the array kernel's adjacency-gather
+batch stage keeps a healthy speedup over the per-event object walk.  The
+numbers land in the ``"overlay"`` section of ``BENCH_swarm.json`` via the
+session-finish hook in ``conftest.py``, so overlay-path regressions are
+visible per-PR next to the complete-graph baselines.
+"""
+
+from conftest import (
+    OVERLAY_BENCH_WORKLOAD,
+    measure_overlay_throughput,
+    run_once,
+)
+
+
+def test_overlay_throughput_smoke(benchmark, capsys):
+    object_run = measure_overlay_throughput("object")
+    array_run = run_once(benchmark, measure_overlay_throughput, backend="array")
+    speedup = array_run["events_per_second"] / object_run["events_per_second"]
+    with capsys.disabled():
+        print()
+        print(
+            f"overlay smoke ({OVERLAY_BENCH_WORKLOAD['initial_one_club']} "
+            f"peers, K={OVERLAY_BENCH_WORKLOAD['num_pieces']}, "
+            f"{OVERLAY_BENCH_WORKLOAD['topology']} overlay, "
+            f"degree {OVERLAY_BENCH_WORKLOAD['degree']}): "
+            f"object {object_run['events_per_second']:,.0f} ev/s, "
+            f"array {array_run['events_per_second']:,.0f} ev/s "
+            f"({speedup:.1f}x)"
+        )
+    # Trajectory equivalence holds on the overlay code path too.
+    assert array_run["final_population"] == object_run["final_population"]
+    # The overlay batch stage gathers targets from the adjacency matrix
+    # instead of drawing uniforms over the population; it must still keep
+    # the SoA kernel clearly ahead of the object simulator.
+    assert speedup >= 3.0

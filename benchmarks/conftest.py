@@ -12,8 +12,10 @@ benchmark session (and from ``python benchmarks/conftest.py`` directly), the
 events-per-second of both simulation backends is measured on two workloads —
 the reference homogeneous 10k-peer, ``K = 10`` one-club workload and a
 scenario workload (heterogeneous fast/slow classes plus a flash-crowd
-arrival pulse) exercising the scenario code path — plus the *fleet*
-workload: 200 swarms of 500 one-club peers each (100k peers total, mixed
+arrival pulse) exercising the scenario code path — plus an *overlay*
+workload (the same one-club shape on a degree-8 tracker overlay, so the
+adjacency-gather contact path of both backends sits under the gate) — plus
+the *fleet* workload: 200 swarms of 500 one-club peers each (100k peers total, mixed
 plain/flash-crowd/free-rider scenario distribution) scheduled through
 ``repro.fleet`` on the array backend, recording the aggregate events/sec of
 the whole fleet — once through the per-swarm path and once through the
@@ -87,6 +89,25 @@ SCENARIO_BENCH_WORKLOAD = {
     "seed": 7,
 }
 
+#: The overlay workload of the baseline (``swarm.overlay``): the reference
+#: one-club shape with contacts restricted to a degree-8 tracker overlay, so
+#: the per-contact neighbor draw (object backend) and the adjacency gather in
+#: the batch stage (array backend) are the hot path.
+OVERLAY_BENCH_WORKLOAD = {
+    "num_pieces": 10,
+    "initial_one_club": 10_000,
+    "arrival_rate": 5.0,
+    "seed_rate": 1.0,
+    "peer_rate": 1.0,
+    "seed_departure_rate": 2.0,
+    "topology": "tracker",
+    "degree": 8,
+    "horizon": 5.0,
+    "sample_interval": 0.025,
+    "max_events": 20_000,
+    "seed": 7,
+}
+
 #: The fleet workload of the baseline: >= 200 swarms / >= 100k total peers
 #: on the array backend, drawn through a mixed scenario distribution, run
 #: serially through the fleet scheduler (serial keeps the measurement free
@@ -129,6 +150,7 @@ BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_swarm.json"
 # matches the asserted numbers and the workloads are not simulated twice.
 _session_measurements: dict = {}
 _scenario_measurements: dict = {}
+_overlay_measurements: dict = {}
 _fleet_measurements: dict = {}
 _adaptive_measurements: dict = {}
 
@@ -257,6 +279,32 @@ def measure_scenario_throughput(backend: str) -> dict:
         SCENARIO_BENCH_WORKLOAD, backend, scenario=_scenario_bench_spec()
     )
     _scenario_measurements[backend] = measurement
+    return measurement
+
+
+def _overlay_bench_spec():
+    """The ScenarioSpec of the overlay smoke workload."""
+    from repro.core.scenario import make_scenario
+
+    spec = OVERLAY_BENCH_WORKLOAD
+    return make_scenario(
+        "sparse-overlay",
+        topology=spec["topology"],
+        degree=spec["degree"],
+        num_pieces=spec["num_pieces"],
+        arrival_rate=spec["arrival_rate"],
+        seed_rate=spec["seed_rate"],
+        peer_rate=spec["peer_rate"],
+        seed_departure_rate=spec["seed_departure_rate"],
+    )
+
+
+def measure_overlay_throughput(backend: str) -> dict:
+    """Events/second of one backend on the tracker-overlay workload."""
+    measurement = _measure_throughput(
+        OVERLAY_BENCH_WORKLOAD, backend, scenario=_overlay_bench_spec()
+    )
+    _overlay_measurements[backend] = measurement
     return measurement
 
 
@@ -399,6 +447,11 @@ def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
         or measure_scenario_throughput(backend)
         for backend in ("object", "array")
     }
+    overlay_backends = {
+        backend: _overlay_measurements.get(backend)
+        or measure_overlay_throughput(backend)
+        for backend in ("object", "array")
+    }
     speedup = (
         backends["array"]["events_per_second"]
         / backends["object"]["events_per_second"]
@@ -406,6 +459,10 @@ def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
     scenario_speedup = (
         scenario_backends["array"]["events_per_second"]
         / scenario_backends["object"]["events_per_second"]
+    )
+    overlay_speedup = (
+        overlay_backends["array"]["events_per_second"]
+        / overlay_backends["object"]["events_per_second"]
     )
     fleet = _fleet_measurements.get("array") or measure_fleet_throughput()
     fleet_stacked = _fleet_measurements.get("stacked") or measure_fleet_throughput(
@@ -422,6 +479,11 @@ def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
             "workload": dict(SCENARIO_BENCH_WORKLOAD),
             "backends": scenario_backends,
             "array_speedup_over_object": round(scenario_speedup, 2),
+        },
+        "overlay": {
+            "workload": dict(OVERLAY_BENCH_WORKLOAD),
+            "backends": overlay_backends,
+            "array_speedup_over_object": round(overlay_speedup, 2),
         },
         "fleet": {
             "workload": dict(FLEET_BENCH_WORKLOAD),
@@ -463,6 +525,9 @@ def pytest_sessionfinish(session, exitstatus):
         f"scenario workload at "
         f"{baseline['scenario']['backends']['array']['events_per_second']:,.0f} ev/s "
         f"({baseline['scenario']['array_speedup_over_object']:.1f}x); "
+        f"overlay workload at "
+        f"{baseline['overlay']['backends']['array']['events_per_second']:,.0f} ev/s "
+        f"({baseline['overlay']['array_speedup_over_object']:.1f}x); "
         f"fleet ({baseline['fleet']['array']['num_swarms']} swarms, "
         f"{baseline['fleet']['array']['total_initial_peers'] // 1000}k peers) at "
         f"{baseline['fleet']['array']['events_per_second']:,.0f} ev/s per-swarm, "

@@ -27,8 +27,13 @@ Usage::
     PYTHONPATH=src python benchmarks/profile_kernel.py
     PYTHONPATH=src python benchmarks/profile_kernel.py --backend object
     PYTHONPATH=src python benchmarks/profile_kernel.py --scenario --events 100000
+    PYTHONPATH=src python benchmarks/profile_kernel.py --topology     # tracker overlay
     PYTHONPATH=src python benchmarks/profile_kernel.py --block-size 1   # scalar draws
     PYTHONPATH=src python benchmarks/profile_kernel.py --stacked        # fleet mega-kernel
+
+With ``--topology`` the phase table gains overlay rows — arrival wiring,
+churn rewiring and the per-contact neighbor draw — so overlay overhead is
+attributable next to the draw/apply/census split.
 """
 
 from __future__ import annotations
@@ -42,8 +47,10 @@ from contextlib import contextmanager
 from conftest import (
     BENCH_WORKLOAD,
     FLEET_BENCH_WORKLOAD,
+    OVERLAY_BENCH_WORKLOAD,
     SCENARIO_BENCH_WORKLOAD,
     _fleet_bench_spec,
+    _overlay_bench_spec,
     _scenario_bench_spec,
 )
 
@@ -53,9 +60,16 @@ def _build(args):
     from repro.core.state import SystemState
     from repro.swarm.swarm import make_simulator
 
-    spec = dict(SCENARIO_BENCH_WORKLOAD if args.scenario else BENCH_WORKLOAD)
+    if args.topology:
+        spec = dict(OVERLAY_BENCH_WORKLOAD)
+        scenario = _overlay_bench_spec()
+    elif args.scenario:
+        spec = dict(SCENARIO_BENCH_WORKLOAD)
+        scenario = _scenario_bench_spec()
+    else:
+        spec = dict(BENCH_WORKLOAD)
+        scenario = None
     spec["max_events"] = args.events
-    scenario = _scenario_bench_spec() if args.scenario else None
     params = (
         scenario.params
         if scenario is not None
@@ -90,6 +104,7 @@ def _phase_timers():
     from repro.swarm.drawbuf import DrawBuffer
     from repro.swarm.kernel import ArraySwarmKernel
     from repro.swarm.swarm import SwarmSimulator, _SwarmEventLoop
+    from repro.swarm.topology import OverlayState
 
     totals: dict = {}
     patched = []
@@ -115,6 +130,11 @@ def _phase_timers():
     # _record_sample lives on each backend, not the shared driver.
     instrument(ArraySwarmKernel, "_record_sample", "census (sampling)")
     instrument(SwarmSimulator, "_record_sample", "census (sampling)")
+    # Overlay rows stay at zero calls (and are omitted from the table)
+    # unless the workload carries a topology (``--topology``).
+    instrument(OverlayState, "on_arrival", "overlay (arrival wiring)")
+    instrument(OverlayState, "on_departure", "overlay (churn rewiring)")
+    instrument(OverlayState, "draw_target", "overlay (target draw)")
     try:
         yield totals
     finally:
@@ -278,10 +298,16 @@ def main() -> None:
         default=BENCH_WORKLOAD["max_events"],
         help="event cap (default: the BENCH_swarm.json workload's)",
     )
-    parser.add_argument(
+    workload = parser.add_mutually_exclusive_group()
+    workload.add_argument(
         "--scenario",
         action="store_true",
         help="profile the heterogeneous flash-crowd scenario workload",
+    )
+    workload.add_argument(
+        "--topology",
+        action="store_true",
+        help="profile the tracker-overlay workload (adds overlay phase rows)",
     )
     parser.add_argument(
         "--block-size",

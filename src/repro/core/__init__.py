@@ -26,9 +26,12 @@ from .scenario import (
     RateSchedule,
     ScenarioSpec,
     base_params,
+    flash_exit_scenario,
     make_scenario,
+    partitioned_scenario,
     register_scenario,
     registered_scenarios,
+    sparse_overlay_scenario,
 )
 from .schedule_stability import (
     OUT_OF_THEORY,
@@ -70,16 +73,19 @@ __all__ = [
     "critical_departure_rate",
     "critical_seed_rate",
     "delta_s",
+    "flash_exit_scenario",
     "format_type",
     "is_stable",
     "is_unstable",
     "make_scenario",
     "minimum_mean_dwell_time",
     "one_club_type",
+    "partitioned_scenario",
     "piece_threshold",
     "piecewise_stability",
     "register_scenario",
     "registered_scenarios",
+    "sparse_overlay_scenario",
     "stability_margin",
     "uniform_single_piece_rates",
 ]

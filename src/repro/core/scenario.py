@@ -41,12 +41,24 @@ import bisect
 import math
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from .parameters import SystemParameters
 from .types import PieceSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (swarm -> scenario)
+    from ..swarm.topology import TopologySpec
 
 
 # ---------------------------------------------------------------------------
@@ -282,6 +294,13 @@ class ScenarioSpec:
     (every peer uses ``params.peer_rate`` / ``params.seed_departure_rate``).
     ``arrival_schedule`` multiplies the total arrival rate and
     ``seed_schedule`` multiplies the fixed seed's rate ``U_s`` over time.
+
+    ``topology`` restricts peer contact ticks to an overlay graph (see
+    :class:`repro.swarm.topology.TopologySpec`); ``None`` or the
+    ``complete`` kind keep the legacy uniform-contact model.  ``cull_time``
+    schedules a correlated-churn "flash exit": at that simulation time every
+    incomplete (non-seed) peer independently departs with probability
+    ``cull_fraction``.
     """
 
     name: str
@@ -293,9 +312,23 @@ class ScenarioSpec:
     seed_schedule: RateSchedule = field(
         default_factory=lambda: RateSchedule.constant(1.0)
     )
+    topology: Optional["TopologySpec"] = None
+    cull_time: Optional[float] = None
+    cull_fraction: float = 0.0
     description: str = ""
 
     def __post_init__(self) -> None:
+        if self.cull_time is not None:
+            if not self.cull_time > 0:
+                raise ValueError(
+                    f"cull_time must be > 0, got {self.cull_time}"
+                )
+            if not 0.0 <= self.cull_fraction <= 1.0:
+                raise ValueError(
+                    f"cull_fraction must be in [0, 1], got {self.cull_fraction}"
+                )
+        elif self.cull_fraction != 0.0:
+            raise ValueError("cull_fraction requires cull_time")
         classes = tuple(self.classes)
         names = [cls.name for cls in classes]
         if len(set(names)) != len(names):
@@ -352,9 +385,24 @@ class ScenarioSpec:
         )
 
     @property
+    def has_overlay(self) -> bool:
+        """True when contacts are restricted to a non-complete overlay."""
+        return self.topology is not None and not self.topology.is_complete
+
+    @property
+    def has_cull(self) -> bool:
+        """True when a flash-exit cull is scheduled."""
+        return self.cull_time is not None
+
+    @property
     def is_trivial(self) -> bool:
         """True when the spec is exactly the homogeneous constant-rate model."""
-        return not self.is_heterogeneous and not self.has_schedules
+        return (
+            not self.is_heterogeneous
+            and not self.has_schedules
+            and not self.has_overlay
+            and not self.has_cull
+        )
 
     def class_fractions(self) -> Tuple[float, ...]:
         """Normalised arrival fractions over the classes (``(1.0,)`` when
@@ -412,6 +460,15 @@ class ScenarioSpec:
             f"  arrival schedule: {_format_schedule(self.arrival_schedule)}"
         )
         lines.append(f"  seed schedule: {_format_schedule(self.seed_schedule)}")
+        if self.has_overlay:
+            lines.append(
+                f"  topology: {self.topology.kind} degree={self.topology.degree}"
+            )
+        if self.has_cull:
+            lines.append(
+                f"  flash exit: {self.cull_fraction:.0%} of incomplete peers "
+                f"at t={self.cull_time:g}"
+            )
         return "\n".join(lines)
 
     @classmethod
@@ -446,13 +503,20 @@ def register_scenario(name: str, factory: ScenarioFactory) -> None:
 
 
 def make_scenario(name: str, **overrides) -> ScenarioSpec:
-    """Build a registered scenario, forwarding keyword overrides."""
-    try:
-        factory = _SCENARIO_REGISTRY[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown scenario {name!r}; known scenarios: {sorted(_SCENARIO_REGISTRY)}"
-        ) from exc
+    """Build a registered scenario, forwarding keyword overrides.
+
+    Raises
+    ------
+    ValueError
+        When ``name`` is not registered; the message lists every registered
+        scenario name.
+    """
+    factory = _SCENARIO_REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{', '.join(sorted(_SCENARIO_REGISTRY))}"
+        )
     return factory(**overrides)
 
 
@@ -661,12 +725,100 @@ def free_rider_scenario(
     )
 
 
+def sparse_overlay_scenario(
+    topology: str = "random-regular",
+    degree: int = 8,
+    max_degree: Optional[int] = None,
+    **params_kwargs,
+) -> ScenarioSpec:
+    """Contacts restricted to a sparse overlay graph.
+
+    ``topology`` picks any non-partitioned generator from
+    :data:`repro.swarm.topology.TOPOLOGY_KINDS` (``"complete"`` reduces to
+    the legacy uniform-contact swarm on the shared base parameters).
+    """
+    # Imported lazily: repro.swarm imports this module at package-init time.
+    from ..swarm.topology import TopologySpec
+
+    spec = TopologySpec(kind=topology, degree=degree, max_degree=max_degree)
+    return ScenarioSpec(
+        name="sparse-overlay",
+        params=_base_params(**params_kwargs),
+        topology=None if spec.is_complete else spec,
+        description=(
+            f"contact ticks restricted to a {topology} overlay of "
+            f"degree {degree}"
+        ),
+    )
+
+
+def partitioned_scenario(
+    num_components: int = 3,
+    bridge_prob: float = 0.05,
+    degree: int = 8,
+    **params_kwargs,
+) -> ScenarioSpec:
+    """Weakly-bridged overlay components: arrivals are assigned round-robin
+    to ``num_components`` clusters and wire ``degree`` edges, each crossing
+    components with probability ``bridge_prob``."""
+    from ..swarm.topology import TopologySpec
+
+    return ScenarioSpec(
+        name="partitioned",
+        params=_base_params(**params_kwargs),
+        topology=TopologySpec(
+            kind="partitioned",
+            degree=degree,
+            num_components=num_components,
+            bridge_prob=bridge_prob,
+        ),
+        description=(
+            f"{num_components} overlay components bridged with "
+            f"probability {bridge_prob:g}"
+        ),
+    )
+
+
+def flash_exit_scenario(
+    exit_time: float = 30.0,
+    exit_fraction: float = 0.5,
+    topology: Optional[str] = None,
+    degree: int = 8,
+    **params_kwargs,
+) -> ScenarioSpec:
+    """Correlated churn: at ``exit_time`` every incomplete peer departs
+    independently with probability ``exit_fraction``.
+
+    ``topology`` optionally runs the flash exit on a contact overlay (any
+    non-partitioned kind); the default keeps the complete contact graph.
+    """
+    topo = None
+    if topology is not None and topology != "complete":
+        from ..swarm.topology import TopologySpec
+
+        topo = TopologySpec(kind=topology, degree=degree)
+    return ScenarioSpec(
+        name="flash-exit",
+        params=_base_params(**params_kwargs),
+        topology=topo,
+        cull_time=exit_time,
+        cull_fraction=exit_fraction,
+        description=(
+            f"{exit_fraction:.0%} of incomplete peers exit at t={exit_time:g}"
+            + (f" on a {topology} overlay" if topo is not None else "")
+        ),
+    )
+
+
 register_scenario("flash-crowd", flash_crowd_scenario)
 register_scenario("seed-outage", seed_outage_scenario)
 register_scenario("heterogeneous-classes", heterogeneous_classes_scenario)
 register_scenario("diurnal", diurnal_scenario)
 register_scenario("high-churn", high_churn_scenario)
 register_scenario("free-rider", free_rider_scenario)
+register_scenario("sparse-overlay", sparse_overlay_scenario)
+register_scenario("partitioned", partitioned_scenario)
+register_scenario("flash-exit", flash_exit_scenario)
 
 
 __all__ = [
@@ -681,6 +833,9 @@ __all__ = [
     "diurnal_scenario",
     "high_churn_scenario",
     "free_rider_scenario",
+    "sparse_overlay_scenario",
+    "partitioned_scenario",
+    "flash_exit_scenario",
     "make_scenario",
     "register_scenario",
     "registered_scenarios",

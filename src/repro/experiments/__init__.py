@@ -15,7 +15,9 @@ One module per experiment of the DESIGN.md index:
 * E11 :mod:`repro.experiments.scenarios` — one-club dynamics under scenario
   workloads (flash crowd, seed outage, heterogeneous classes, ...);
 * E12 :mod:`repro.experiments.fleet` — fleet phase diagram: one-club capture
-  prevalence over the ``(λ, U_s)`` plane, per-scenario breakdown.
+  prevalence over the ``(λ, U_s)`` plane, per-scenario breakdown;
+* E13 :mod:`repro.experiments.topology` — capture prevalence vs. overlay
+  degree across contact topologies (vs. the complete-graph baseline).
 
 The :mod:`repro.experiments.runner` module provides the shared stability-trial
 harness plus the batched :func:`~repro.experiments.runner.run_scenario`
@@ -49,6 +51,11 @@ from .scenarios import (
     ScenarioDynamicsRun,
     run_scenario_dynamics,
 )
+from .topology import (
+    TopologyCell,
+    TopologySweepResult,
+    run_topology_sweep,
+)
 
 __all__ = [
     "CodingResult",
@@ -67,6 +74,8 @@ __all__ = [
     "ScenarioDynamicsRun",
     "StabilityTrialResult",
     "SweepResult",
+    "TopologyCell",
+    "TopologySweepResult",
     "run_coding_experiment",
     "run_dwell_time_experiment",
     "run_example1",
@@ -82,4 +91,5 @@ __all__ = [
     "run_scenario_dynamics",
     "run_stability_trial",
     "run_sweep",
+    "run_topology_sweep",
 ]

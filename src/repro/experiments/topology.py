@@ -1,0 +1,200 @@
+"""Experiment E13 — one-club capture prevalence under topology overlays.
+
+The paper's missing-piece analysis (and every other experiment in this
+repo) assumes uniform random contacts over the whole population.  This
+experiment measures how the one-club's grip changes when contacts are
+restricted to a sparse neighbor graph: a fleet of swarms is pre-seeded
+with a modest one-club at Theorem-1-stable base rates, and the capture
+census is swept over ``topology × degree`` cells, with a complete-graph
+baseline cell for reference.
+
+Mechanically each cell is one :class:`~repro.fleet.spec.FleetSpec` whose
+scenario mix is a single ``sparse-overlay`` (or ``partitioned``) entry
+carrying the cell's topology overrides, run through the ordinary
+:class:`~repro.fleet.scheduler.FleetScheduler` — so overlay fleets get
+checkpointing, worker counts, and the stacked kernel for free, and the
+per-cell fingerprints are reproducible at any worker count.
+
+Interpretation: under uniform contacts a one-club at stable rates
+dissolves (the seed's rare-piece uploads reach everyone); at low overlay
+degree, peers holding the rare piece are reachable from few neighbors, so
+infection spreads slower and capture persists longer.  The sweep makes
+that shift measurable — the first number in this repo the paper's
+complete-graph theory cannot predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.tables import format_table
+from ..fleet.result import FleetResult
+from ..fleet.scheduler import FleetScheduler
+from ..fleet.spec import FleetSpec, FixedSampler, ScenarioWeight
+from ..simulation.rng import SeedLike
+
+#: Baseline label for the complete-graph (no overlay) cell.
+COMPLETE_LABEL = "complete"
+
+#: Default overlay kinds swept (each crossed with every degree).
+DEFAULT_TOPOLOGIES: Tuple[str, ...] = (
+    "k-regular",
+    "random-regular",
+    "scale-free",
+    "tracker",
+)
+
+
+def _cell_mix(kind: str, degree: int) -> Tuple[ScenarioWeight, ...]:
+    """The single-entry scenario mix of one ``(topology, degree)`` cell."""
+    if kind == COMPLETE_LABEL:
+        return (ScenarioWeight.of(None),)
+    if kind == "partitioned":
+        return (ScenarioWeight.of("partitioned", degree=degree),)
+    return (ScenarioWeight.of("sparse-overlay", topology=kind, degree=degree),)
+
+
+@dataclass(frozen=True)
+class TopologyCell:
+    """Capture census of one ``(topology, degree)`` cell."""
+
+    topology: str
+    degree: Optional[int]  # None for the complete-graph baseline
+    swarms: int
+    captured: int
+    fingerprint: str
+
+    @property
+    def captured_fraction(self) -> float:
+        return self.captured / self.swarms if self.swarms else 0.0
+
+
+@dataclass
+class TopologySweepResult:
+    """Capture prevalence over the ``topology × degree`` grid."""
+
+    topologies: Tuple[str, ...]
+    degrees: Tuple[int, ...]
+    cells: Dict[Tuple[str, Optional[int]], TopologyCell]
+    fleets: Dict[Tuple[str, Optional[int]], FleetResult]
+
+    def cell(self, topology: str, degree: Optional[int]) -> TopologyCell:
+        return self.cells[(topology, degree)]
+
+    @property
+    def baseline(self) -> TopologyCell:
+        return self.cells[(COMPLETE_LABEL, None)]
+
+    def report(self) -> str:
+        """Capture-prevalence table (rows: topology, columns: degree)."""
+        headers = ["topology \\ degree"] + [f"{d}" for d in self.degrees]
+        rows: List[List[str]] = []
+        for kind in self.topologies:
+            row = [kind]
+            for degree in self.degrees:
+                cell = self.cells[(kind, degree)]
+                row.append(f"{cell.captured_fraction:.0%}")
+            rows.append(row)
+        base = self.baseline
+        rows.append(
+            [COMPLETE_LABEL, f"{base.captured_fraction:.0%}"]
+            + ["·"] * (len(self.degrees) - 1)
+        )
+        return format_table(
+            headers=headers,
+            rows=rows,
+            title=(
+                "One-club capture prevalence vs. overlay degree "
+                f"({base.swarms} swarms/cell; complete-graph baseline below)"
+            ),
+        )
+
+
+def run_topology_sweep(
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    degrees: Sequence[int] = (2, 4, 8),
+    swarms_per_cell: int = 8,
+    num_pieces: int = 5,
+    arrival_rate: float = 1.2,
+    seed_rate: float = 1.0,
+    horizon: float = 60.0,
+    initial_club_size: int = 30,
+    max_events: Optional[int] = 20_000,
+    max_population: Optional[int] = 5_000,
+    backend: str = "array",
+    workers: Optional[int] = None,
+    seed: SeedLike = 0,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    stacked: bool = False,
+) -> TopologySweepResult:
+    """Sweep one-club capture prevalence over ``topology × degree`` fleets.
+
+    Each cell (plus one complete-graph baseline cell) is a fleet of
+    ``swarms_per_cell`` swarms pre-seeded with a one-club at the given base
+    rates; a swarm counts as *captured* when the club still dominates the
+    final population (the shared fleet census criterion).  All cells share
+    the master ``seed``, so the sweep is reproducible at any worker count;
+    ``checkpoint_dir`` (optional) gives each cell's fleet its own
+    checkpoint file.  ``stacked=True`` drives each chunk through the
+    stacked mega-kernel — overlay lanes batch through their per-lane
+    adjacency-aware stage, so the census is bit-identical either way.
+    """
+    grid: List[Tuple[str, Optional[int]]] = [(COMPLETE_LABEL, None)]
+    for kind in topologies:
+        for degree in degrees:
+            grid.append((kind, int(degree)))
+    cells: Dict[Tuple[str, Optional[int]], TopologyCell] = {}
+    fleets: Dict[Tuple[str, Optional[int]], FleetResult] = {}
+    for kind, degree in grid:
+        spec = FleetSpec(
+            name=f"topology-{kind}" + (f"-d{degree}" if degree else ""),
+            num_swarms=swarms_per_cell,
+            sampler=FixedSampler.of(
+                num_pieces=num_pieces,
+                arrival_rate=arrival_rate,
+                seed_rate=seed_rate,
+            ),
+            scenario_mix=_cell_mix(kind, degree if degree is not None else 0),
+            horizon=horizon,
+            max_events=max_events,
+            max_population=max_population,
+            backend=backend,
+            initial_club_size=initial_club_size,
+        )
+        checkpoint_path = (
+            Path(checkpoint_dir) / f"{spec.name}.ckpt.json"
+            if checkpoint_dir is not None
+            else None
+        )
+        scheduler = FleetScheduler(
+            spec,
+            workers=workers,
+            checkpoint_path=checkpoint_path,
+            stacked=stacked,
+        )
+        fleet = scheduler.run(seed=seed)
+        fleets[(kind, degree)] = fleet
+        cells[(kind, degree)] = TopologyCell(
+            topology=kind,
+            degree=degree,
+            swarms=len(fleet.records),
+            captured=sum(1 for record in fleet.records if record.captured),
+            fingerprint=fleet.fingerprint(),
+        )
+    return TopologySweepResult(
+        topologies=tuple(topologies),
+        degrees=tuple(int(d) for d in degrees),
+        cells=cells,
+        fleets=fleets,
+    )
+
+
+__all__ = [
+    "COMPLETE_LABEL",
+    "DEFAULT_TOPOLOGIES",
+    "TopologyCell",
+    "TopologySweepResult",
+    "run_topology_sweep",
+]

@@ -41,6 +41,12 @@ from .policies import (
     registered_policies,
 )
 from .stacked import StackedSwarmKernel
+from .topology import (
+    TOPOLOGY_KINDS,
+    OverlayState,
+    TopologySpec,
+    build_overlay,
+)
 from .swarm import (
     BACKENDS,
     MAX_ARRAY_BACKEND_PIECES,
@@ -62,6 +68,7 @@ __all__ = [
     "DrawBuffer",
     "GroupSnapshot",
     "MostCommonFirstSelection",
+    "OverlayState",
     "Peer",
     "PeerGroup",
     "PieceSelectionPolicy",
@@ -70,9 +77,12 @@ __all__ = [
     "SequentialSelection",
     "StackedSwarmKernel",
     "SwarmMetrics",
+    "TOPOLOGY_KINDS",
+    "TopologySpec",
     "SwarmResult",
     "SwarmSimulator",
     "SwarmView",
+    "build_overlay",
     "classify_peer",
     "gifted_fraction_arrivals",
     "group_counts",

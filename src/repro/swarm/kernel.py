@@ -304,9 +304,15 @@ class ArraySwarmKernel(_SwarmEventLoop):
         ):
             self._add_seed(row)
         self.metrics.total_arrivals += 1
+        if self._overlay is not None:
+            self._overlay.on_arrival(row, self.draws)
         return row
 
     def _remove_peer(self, row: int) -> None:
+        if self._overlay is not None:
+            # Detach (and, for tracker overlays, rewire) before the rows
+            # move; the overlay applies the same swap-remove internally.
+            self._overlay.on_departure(row, self.draws)
         self._membership_version += 1
         arrival = float(self._arrival_time[row])
         sojourn = self._time - arrival
@@ -478,7 +484,18 @@ class ArraySwarmKernel(_SwarmEventLoop):
         trajectory is unchanged; on fleet workloads (hundreds of swarms,
         each pre-seeded with a one-club) the per-peer loop used to dominate
         the whole run.
+
+        Under a topology overlay the bulk fill cannot be used: overlay
+        wiring consumes draws per arrival in slot order, so seeding falls
+        back to the object simulator's per-peer loop (and, like it, cancels
+        the arrival counting — pre-seeded peers are not exogenous arrivals).
         """
+        if self._overlay is not None:
+            for type_c, count in initial_state.items():
+                for _ in range(count):
+                    self._add_peer(type_c.mask)
+            self.metrics.total_arrivals -= initial_state.total_peers
+            return
         for type_c, count in initial_state.items():
             if count <= 0:
                 continue
@@ -629,6 +646,26 @@ class ArraySwarmKernel(_SwarmEventLoop):
         if self._n == 0:
             return
         uploader = self._sample_ticking_row()
+        overlay = self._overlay
+        if overlay is not None:
+            # Overlay contact: the target is one uniform over the ticker's
+            # neighbor row (a zero-degree ticker still consumes it).
+            self._discard_sped(uploader)
+            slot = overlay.draw_target(uploader, self.draws.next())
+            if slot < 0:
+                self.metrics.wasted_contacts += 1
+                success = False
+            else:
+                success = self._transfer(
+                    int(self._masks[uploader]), slot, from_seed=False
+                )
+            if success:
+                self.metrics.neighbor_useful_ticks += 1
+            else:
+                self.metrics.neighbor_useless_ticks += 1
+                if self.retry_speedup > 1.0:
+                    self._add_sped(uploader)
+            return
         target = self.draws.integers(self._n)
         self._apply_transfer_tick(uploader, target)
 
@@ -653,6 +690,14 @@ class ArraySwarmKernel(_SwarmEventLoop):
             )
         if not success and self.retry_speedup > 1.0:
             self._add_sped(uploader)
+
+    # -- flash-exit cull hooks ---------------------------------------------------
+
+    def _slot_is_complete(self, slot: int) -> bool:
+        return int(self._masks[slot]) == self._full_mask
+
+    def _remove_slot(self, slot: int) -> None:
+        self._remove_peer(slot)
 
     def _handle_seed_departure(self) -> None:
         if self._classes is not None:
@@ -807,6 +852,7 @@ class ArraySwarmKernel(_SwarmEventLoop):
         uniforms = draws.uniforms_view(4 * candidates)
         hetero = self._classes is not None
         masks = self._masks
+        overlay = self._overlay
 
         def leading_ok(window: int) -> int:
             chunk = uniforms[: 4 * window]
@@ -819,10 +865,23 @@ class ArraySwarmKernel(_SwarmEventLoop):
             else:
                 ticker = (chunk[2::4] * n).astype(np.int64)
                 np.minimum(ticker, n - 1, out=ticker)
-            target = (chunk[3::4] * n).astype(np.int64)
-            np.minimum(target, n - 1, out=target)
-            useless = (masks[ticker] & ~masks[target]) == 0
-            ok = is_peer_tick & ((ticker == target) | useless)
+            if overlay is not None:
+                # Adjacency gather: the target draw maps onto the ticker's
+                # neighbor row with the scalar truncate-and-clamp.  A
+                # zero-degree ticker wastes its tick regardless of the
+                # (clamped, garbage) gather, so the `zero` mask gates it.
+                degree = overlay.deg[ticker]
+                index = (chunk[3::4] * degree).astype(np.int64)
+                np.minimum(index, degree - 1, out=index)
+                np.maximum(index, 0, out=index)
+                target = overlay.adj[ticker, index]
+                useless = (masks[ticker] & ~masks[target]) == 0
+                ok = is_peer_tick & ((degree == 0) | useless)
+            else:
+                target = (chunk[3::4] * n).astype(np.int64)
+                np.minimum(target, n - 1, out=target)
+                useless = (masks[ticker] & ~masks[target]) == 0
+                ok = is_peer_tick & ((ticker == target) | useless)
             bad = np.flatnonzero(~ok)
             return int(bad[0]) if bad.size else window
 
@@ -856,6 +915,10 @@ class ArraySwarmKernel(_SwarmEventLoop):
         if applied:
             self._time = time
             self.metrics.wasted_contacts += applied
+            if overlay is not None:
+                # Both scalar overlay waste cases (zero degree, useless
+                # neighbor) bump the locality counter too.
+                self.metrics.neighbor_useless_ticks += applied
             draws.advance(4 * applied)
         return applied, next_sample
 

@@ -37,6 +37,13 @@ class SwarmMetrics:
     #: Candidate scheduled events rejected by Poisson thinning (only nonzero
     #: when a scenario runs a non-constant arrival or seed rate schedule).
     thinned_events: int = 0
+    #: Contact-locality counters (only nonzero under a topology overlay):
+    #: peer ticks whose overlay neighbor accepted a piece vs. ticks wasted on
+    #: a useless (or absent) neighbor.  Fixed-seed ticks are not counted.
+    neighbor_useful_ticks: int = 0
+    neighbor_useless_ticks: int = 0
+    #: Peers removed by a flash-exit cull (scenario ``cull_time``).
+    culled_peers: int = 0
     sojourn_times: List[float] = field(default_factory=list)
     download_times: List[float] = field(default_factory=list)
 
@@ -156,6 +163,9 @@ class SwarmMetrics:
             "total_departures": float(self.total_departures),
             "total_downloads": float(self.total_downloads),
             "wasted_contacts": float(self.wasted_contacts),
+            "neighbor_useful_ticks": float(self.neighbor_useful_ticks),
+            "neighbor_useless_ticks": float(self.neighbor_useless_ticks),
+            "culled_peers": float(self.culled_peers),
             "mean_sojourn_time": self.mean_sojourn_time(),
             "mean_download_time": self.mean_download_time(),
         }

@@ -67,6 +67,7 @@ from .kernel import ArraySwarmKernel
 from .metrics import SwarmMetrics
 from .policies import PieceSelectionPolicy, SwarmView
 from .swarm import SwarmResult
+from .topology import build_overlay
 
 #: Sentinel larger than any candidate window (first-bad reduction).
 _BIG = np.int64(1) << np.int64(40)
@@ -138,6 +139,10 @@ def _clone_lane(template: _StackedLane, seed: SeedLike) -> _StackedLane:
     lane._one_club_count = 0
     lane._piece_counts = {k: 0 for k in range(1, template.params.num_pieces + 1)}
     lane._time = 0.0
+    # The dict update aliased the template's mutable overlay (and its cull
+    # progress); rebuild both per lane.
+    lane._overlay = build_overlay(template._topology)
+    lane._cull_done = False
     lane._membership_version = 0
     lane._ticker_cache = None
     lane._class_member_bufs = None
@@ -356,6 +361,14 @@ class StackedSwarmKernel:
                 lane._events = 0
             lane._stk_dirty = True
             lane._stk_window = _MIN_WINDOW
+            # Overlay lanes cannot join the cross-lane classification:
+            # phases 3/4 draw contact targets uniformly over the mask sheet,
+            # but an overlay target is one uniform over the ticker's
+            # *neighbor* row.  Such lanes batch through their own
+            # (adjacency-aware) solo stage in ``classify`` instead.
+            lane._stk_windowable = (
+                lane._batch_enabled and lane._overlay is None
+            )
             # Homogeneous lanes recompute rates from three counters and four
             # per-lane constants; digesting the constants once lets
             # ``classify`` skip the ``_event_rates`` call chain.  The
@@ -460,10 +473,25 @@ class StackedSwarmKernel:
                     # scalar draw would trigger the identical refill.
                     draws._refill()
                     remaining = draws._len
+                cull_time = lane._cull_time
+                cull_pending = cull_time is not None and not lane._cull_done
                 if remaining == 1:
                     # The selector sits in the next block; take one generic
                     # scalar step (solo semantics, refill mid-event).
                     net = lane._time + draws.exponential(lane._stk_scale)
+                    if cull_pending and cull_time <= horizon and net >= cull_time:
+                        # Flash-exit interrupt (solo semantics: the consumed
+                        # exponential is discarded, the selector not drawn).
+                        next_sample = lane._next_sample
+                        while next_sample <= horizon and next_sample < cull_time:
+                            lane._record_sample(next_sample)
+                            next_sample += interval
+                        lane._next_sample = next_sample
+                        lane._time = cull_time
+                        lane._execute_cull()
+                        lane._events = events + 1
+                        lane._stk_dirty = True
+                        continue
                     next_sample = lane._next_sample
                     while next_sample <= horizon and next_sample < net:
                         lane._record_sample(next_sample)
@@ -482,7 +510,11 @@ class StackedSwarmKernel:
                     continue
                 # Inline peek_uniform(1): this runs once per lane per round.
                 sel = draws._uniforms.item(draws._pos + 1) * total
-                if lane._batch_enabled and lane._stk_r01 < sel <= lane._stk_r012:
+                if (
+                    not cull_pending
+                    and lane._batch_enabled
+                    and lane._stk_r01 < sel <= lane._stk_r012
+                ):
                     window = remaining >> 2
                     if window > lane._stk_window:
                         window = lane._stk_window
@@ -495,14 +527,36 @@ class StackedSwarmKernel:
                     if budget is not None and window > budget:
                         window = budget
                     if window > 0:
-                        win_slots.append(slot)
-                        win_lanes.append(lane)
-                        win_widths.append(window)
-                        return
-                    # remaining < 4: the tick takes the typed scalar path
-                    # below, exactly like the solo batch stage declining.
-                elif (sel <= rates[0] and lane._thin_arrivals) or (
-                    rates[0] < sel <= lane._stk_r01 and lane._thin_seed
+                        if lane._stk_windowable:
+                            win_slots.append(slot)
+                            win_lanes.append(lane)
+                            win_widths.append(window)
+                            return
+                        # Overlay lane: batch through its own solo stage
+                        # (adjacency-aware classification); draw-invisible,
+                        # so the trajectory stays bit-identical to solo.
+                        applied_b, next_sample = lane._batch_stage(
+                            rates,
+                            total,
+                            horizon,
+                            interval,
+                            lane._next_sample,
+                            budget,
+                        )
+                        # The stage may have recorded grid samples even when
+                        # it applied nothing (a first candidate crossing the
+                        # horizon): keep its grid cursor unconditionally,
+                        # like the solo loop does.
+                        lane._next_sample = next_sample
+                        if applied_b:
+                            lane._events = events + applied_b
+                            continue
+                    # remaining < 4 (or nothing batchable): the tick takes
+                    # the typed scalar path below, exactly like the solo
+                    # batch stage declining.
+                elif not cull_pending and (
+                    (sel <= rates[0] and lane._thin_arrivals)
+                    or (rates[0] < sel <= lane._stk_r01 and lane._thin_seed)
                 ):
                     budget = (
                         max_events - events if max_events is not None else None
@@ -513,15 +567,32 @@ class StackedSwarmKernel:
                     applied_thin, next_sample = lane._batch_thinned(
                         rates, total, horizon, interval, lane._next_sample, budget
                     )
+                    # Keep the grid cursor even on zero applied events: the
+                    # probe may have recorded samples before a first
+                    # candidate crossed the horizon (solo loop semantics).
+                    lane._next_sample = next_sample
                     if applied_thin:
                         lane._events = events + applied_thin
-                        lane._next_sample = next_sample
                         continue
                     # The first candidate is accepted (or crosses the
                     # horizon): file it as a typed scalar event below.
                 # Typed scalar candidate: its event time and selector are
                 # classified here; the cohort apply consumes the draws.
                 net = lane._time + lane._stk_scale * draws._exp.item(draws._pos)
+                if cull_pending and cull_time <= horizon and net >= cull_time:
+                    # Flash-exit interrupt: consume (and discard) the peeked
+                    # exponential, fire the cull; the selector stays pending.
+                    draws._pos += 1
+                    next_sample = lane._next_sample
+                    while next_sample <= horizon and next_sample < cull_time:
+                        lane._record_sample(next_sample)
+                        next_sample += interval
+                    lane._next_sample = next_sample
+                    lane._time = cull_time
+                    lane._execute_cull()
+                    lane._events = events + 1
+                    lane._stk_dirty = True
+                    continue
                 if net > horizon:
                     # Solo crossing semantics: the exponential is consumed,
                     # the grid flushed, the run closed.
@@ -610,7 +681,11 @@ class StackedSwarmKernel:
                                     * lane._stk_total
                                 )
                                 if (
-                                    lane._batch_enabled
+                                    lane._stk_windowable
+                                    and (
+                                        lane._cull_time is None
+                                        or lane._cull_done
+                                    )
                                     and lane._stk_r01 < sel <= lane._stk_r012
                                 ):
                                     window = rem >> 2

@@ -54,6 +54,7 @@ from .groups import GroupSnapshot
 from .metrics import SwarmMetrics
 from .peer import Peer
 from .policies import PieceSelectionPolicy, RandomUsefulSelection, SwarmView
+from .topology import OverlayState, TopologySpec, build_overlay
 
 
 @dataclass
@@ -169,6 +170,9 @@ class _SwarmEventLoop:
         #: :mod:`repro.swarm.drawbuf`); both backends consume it identically.
         self.draws = DrawBuffer(self.rng, draw_block_size)
         self._init_scenario(scenario)
+        #: Slot-indexed contact overlay shared (by construction, not by
+        #: reference) between backends; ``None`` keeps uniform contacts.
+        self._overlay: Optional[OverlayState] = build_overlay(self._topology)
         self._run_active = False
         self._run_horizon: Optional[float] = None
         self._run_interval: Optional[float] = None
@@ -196,6 +200,10 @@ class _SwarmEventLoop:
         self._class_members: Optional[List[List[int]]] = None
         self._class_seeds: Optional[List[List[int]]] = None
         self._class_sped: Optional[List[List[int]]] = None
+        self._topology: Optional[TopologySpec] = None
+        self._cull_time: Optional[float] = None
+        self._cull_fraction = 0.0
+        self._cull_done = False
         if scenario is None:
             return
         if scenario.params != self.params:
@@ -214,6 +222,13 @@ class _SwarmEventLoop:
             self._seed_schedule = seed_schedule
             self._seed_bound = seed_schedule.max_value
             self._thin_seed = not seed_schedule.is_constant
+        topology = getattr(scenario, "topology", None)
+        if topology is not None and not topology.is_complete:
+            self._topology = topology
+        cull_time = getattr(scenario, "cull_time", None)
+        if cull_time is not None:
+            self._cull_time = float(cull_time)
+            self._cull_fraction = float(scenario.cull_fraction)
         if scenario.is_heterogeneous:
             self._classes = scenario.effective_classes()
             # Cumulative probabilities: one uniform draw + searchsorted per
@@ -406,13 +421,57 @@ class _SwarmEventLoop:
         else:
             self._apply_departure_event()
 
+    # -- flash-exit cull (scenario ``cull_time`` / ``cull_fraction``) ----------
+
+    def _execute_cull(self) -> None:
+        """Remove each incomplete peer independently with ``cull_fraction``.
+
+        One uniform per incomplete peer in slot order, then removals in
+        *descending* slot order (stable under the backends' swap-remove
+        discipline); tracker-overlay rewiring draws happen inside each
+        removal.  Runs in the shared driver so both backends consume the RNG
+        identically.
+        """
+        fraction = self._cull_fraction
+        draws = self.draws
+        marked: List[int] = []
+        for slot in range(self.population):
+            if self._slot_is_complete(slot):
+                continue
+            if draws.next() < fraction:
+                marked.append(slot)
+        for slot in reversed(marked):
+            self._remove_slot(slot)
+        self.metrics.culled_peers += len(marked)
+        self._cull_done = True
+
+    def _slot_is_complete(self, slot: int) -> bool:
+        """Whether the peer at population slot ``slot`` holds every piece."""
+        raise NotImplementedError
+
+    def _remove_slot(self, slot: int) -> None:
+        """Remove the peer at population slot ``slot`` (departure semantics)."""
+        raise NotImplementedError
+
     def step(self) -> bool:
         """Execute one event; returns False when no event can occur."""
         rates = self._event_rates()
         total = sum(rates)
         if total <= 0:
             return False
-        self._time += self.draws.exponential(1.0 / total)
+        next_time = self._time + self.draws.exponential(1.0 / total)
+        if (
+            self._cull_time is not None
+            and not self._cull_done
+            and next_time >= self._cull_time
+        ):
+            # The flash-exit cull fires as a deterministic interrupt; the
+            # exponential is discarded (memoryless, so statistically exact)
+            # and the selector has not been drawn yet.
+            self._time = self._cull_time
+            self._execute_cull()
+            return True
+        self._time = next_time
         self._apply_event(rates)
         return True
 
@@ -496,7 +555,9 @@ class _SwarmEventLoop:
                 # No events possible (no arrivals configured and system empty).
                 self._time = horizon
                 break
-            if batch_enabled:
+            cull_time = self._cull_time
+            cull_pending = cull_time is not None and not self._cull_done
+            if batch_enabled and not cull_pending:
                 # Vectorized fast path: consume a run of state-neutral events
                 # (wasted peer ticks) in one go.  The stage consumes exactly
                 # the draws the scalar path would and stops short of any
@@ -515,6 +576,22 @@ class _SwarmEventLoop:
                     events += applied
                     continue
             next_event_time = self._time + self.draws.exponential(1.0 / total)
+            if (
+                cull_pending
+                and cull_time <= horizon
+                and next_event_time >= cull_time
+            ):
+                # Flash-exit interrupt: the cull fires *instead of* the drawn
+                # event.  The consumed exponential is discarded (memoryless,
+                # so statistically exact) before the selector draw, and both
+                # backends take this exact path, preserving bit-identity.
+                while next_sample <= horizon and next_sample < cull_time:
+                    self._record_sample(next_sample)
+                    next_sample += interval
+                self._time = cull_time
+                self._execute_cull()
+                events += 1
+                continue
             # The current population holds until the next event: record every
             # grid point in between before applying it (time-correct sampling).
             while next_sample <= horizon and next_sample < next_event_time:
@@ -617,6 +694,10 @@ class _SwarmEventLoop:
                 "events": self._events,
             },
             "class_lists": None,
+            "overlay": (
+                self._overlay.capture() if self._overlay is not None else None
+            ),
+            "cull_done": self._cull_done,
             "backend_state": self._capture_backend_state(),
         }
         if self._classes is not None:
@@ -682,6 +763,15 @@ class _SwarmEventLoop:
                 target[:] = source
             for target, source in zip(self._class_sped, sped):
                 target[:] = source
+        overlay_state = snapshot.get("overlay")
+        if (overlay_state is not None) != (self._overlay is not None):
+            raise ValueError(
+                "snapshot overlay state does not match the simulator's "
+                "topology configuration"
+            )
+        if overlay_state is not None:
+            self._overlay.restore(overlay_state)
+        self._cull_done = bool(snapshot.get("cull_done", False))
         self._restore_backend_state(copy.deepcopy(snapshot["backend_state"]))
 
     def _capture_backend_state(self) -> Dict[str, Any]:
@@ -810,10 +900,16 @@ class SwarmSimulator(_SwarmEventLoop):
         if peer.is_seed and not self._class_departs_immediately(class_index):
             self._add_seed(peer.peer_id)
         self.metrics.total_arrivals += 1
+        if self._overlay is not None:
+            self._overlay.on_arrival(len(self._order) - 1, self.draws)
         return peer
 
     def _remove_peer(self, peer: Peer) -> None:
         pid = peer.peer_id
+        if self._overlay is not None:
+            # Detach (and, for tracker overlays, rewire) before the order
+            # list mutates; the overlay applies the same swap-remove move.
+            self._overlay.on_departure(self._position[pid], self.draws)
         index = self._position.pop(pid)
         last_id = self._order.pop()
         if last_id != pid:
@@ -884,6 +980,29 @@ class SwarmSimulator(_SwarmEventLoop):
                 self._add_peer(type_c)
         # The pre-seeded peers are not exogenous arrivals.
         self.metrics.total_arrivals -= initial_state.total_peers
+
+    # -- flash-exit cull hooks ---------------------------------------------------
+
+    def _slot_is_complete(self, slot: int) -> bool:
+        return self._peers[self._order[slot]].is_seed
+
+    def _remove_slot(self, slot: int) -> None:
+        self._remove_peer(self._peers[self._order[slot]])
+
+    # -- overlay views -----------------------------------------------------------
+
+    def peer_neighbors(self, peer_id: int) -> List[int]:
+        """The overlay neighbor *peer ids* of a peer (empty without overlay).
+
+        The per-peer neighbor list is a translated view of the shared
+        slot-indexed :class:`~repro.swarm.topology.OverlayState`, so it is
+        always consistent with what the array kernel's adjacency table holds
+        for the same trajectory.
+        """
+        if self._overlay is None:
+            return []
+        slot = self._position[peer_id]
+        return [self._order[s] for s in self._overlay.neighbors(slot)]
 
     # -- snapshot hooks ----------------------------------------------------------
 
@@ -1012,14 +1131,34 @@ class SwarmSimulator(_SwarmEventLoop):
         uploader = self._sample_ticking_peer()
         # A ticking peer's speedup (if any) is consumed by this tick.
         self._discard_sped(uploader.peer_id)
-        target = self._sample_uniform_peer()
-        if target.peer_id == uploader.peer_id:
-            self.metrics.wasted_contacts += 1
-            success = False
-        else:
-            success = self._transfer(uploader.pieces, target, from_seed=False)
+        overlay = self._overlay
+        if overlay is not None:
+            # Overlay contact: the target is one uniform over the ticker's
+            # neighbor row (a zero-degree ticker still consumes it).
+            slot = overlay.draw_target(
+                self._position[uploader.peer_id], self.draws.next()
+            )
+            if slot < 0:
+                self.metrics.wasted_contacts += 1
+                success = False
+            else:
+                target = self._peers[self._order[slot]]
+                success = self._transfer(uploader.pieces, target, from_seed=False)
+                if success:
+                    uploader.record_upload()
             if success:
-                uploader.record_upload()
+                self.metrics.neighbor_useful_ticks += 1
+            else:
+                self.metrics.neighbor_useless_ticks += 1
+        else:
+            target = self._sample_uniform_peer()
+            if target.peer_id == uploader.peer_id:
+                self.metrics.wasted_contacts += 1
+                success = False
+            else:
+                success = self._transfer(uploader.pieces, target, from_seed=False)
+                if success:
+                    uploader.record_upload()
         # No peer is removed on a failed tick, so the uploader is still in
         # the system here (mirrors ArraySwarmKernel._handle_peer_tick).
         if not success and self.retry_speedup > 1.0:

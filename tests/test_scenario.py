@@ -246,12 +246,18 @@ class TestRegistry:
             "heterogeneous-classes",
             "diurnal",
             "high-churn",
+            "sparse-overlay",
+            "partitioned",
+            "flash-exit",
         ):
             assert expected in names
 
     def test_unknown_scenario_raises(self):
-        with pytest.raises(KeyError, match="unknown scenario"):
+        with pytest.raises(ValueError, match="unknown scenario") as excinfo:
             make_scenario("no-such-workload")
+        # The DX contract: the error lists every registered name.
+        for name in registered_scenarios():
+            assert name in str(excinfo.value)
 
     def test_overrides_forwarded(self):
         spec = make_scenario("flash-crowd", surge_factor=3.0, num_pieces=4)
