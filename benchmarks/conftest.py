@@ -15,6 +15,9 @@ scenario workload (heterogeneous fast/slow classes plus a flash-crowd
 arrival pulse) exercising the scenario code path — plus an *overlay*
 workload (the same one-club shape on a degree-8 tracker overlay, so the
 adjacency-gather contact path of both backends sits under the gate) — plus
+a *gossip* workload (the one-club shape with policies reading the
+flow-updating gossip census, which disables the array kernel's cross-event
+batching, so the scalar fallback path sits under the gate) — plus
 the *fleet* workload: 200 swarms of 500 one-club peers each (100k peers total, mixed
 plain/flash-crowd/free-rider scenario distribution) scheduled through
 ``repro.fleet`` on the array backend, recording the aggregate events/sec of
@@ -108,6 +111,26 @@ OVERLAY_BENCH_WORKLOAD = {
     "seed": 7,
 }
 
+#: The gossip workload of the baseline (``swarm.gossip``): the reference
+#: one-club shape with a flow-updating gossip census in front of the
+#: policies.  Gossip consumes one extra uniform per peer tick and keeps the
+#: array kernel on its scalar (non-batched) path, so this workload tracks
+#: the estimator's bookkeeping plus the cost of losing the batch stage.
+GOSSIP_BENCH_WORKLOAD = {
+    "num_pieces": 10,
+    "initial_one_club": 10_000,
+    "arrival_rate": 5.0,
+    "seed_rate": 1.0,
+    "peer_rate": 1.0,
+    "seed_departure_rate": 2.0,
+    "exchange_rate": 0.35,
+    "damping": 1.0,
+    "horizon": 5.0,
+    "sample_interval": 0.025,
+    "max_events": 20_000,
+    "seed": 7,
+}
+
 #: The fleet workload of the baseline: >= 200 swarms / >= 100k total peers
 #: on the array backend, drawn through a mixed scenario distribution, run
 #: serially through the fleet scheduler (serial keeps the measurement free
@@ -151,6 +174,7 @@ BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_swarm.json"
 _session_measurements: dict = {}
 _scenario_measurements: dict = {}
 _overlay_measurements: dict = {}
+_gossip_measurements: dict = {}
 _fleet_measurements: dict = {}
 _adaptive_measurements: dict = {}
 
@@ -308,6 +332,38 @@ def measure_overlay_throughput(backend: str) -> dict:
     return measurement
 
 
+def _gossip_bench_spec():
+    """The ScenarioSpec of the gossip-census smoke workload."""
+    from repro.core.parameters import SystemParameters
+    from repro.core.scenario import ScenarioSpec
+    from repro.swarm.gossip import CensusSpec
+
+    spec = GOSSIP_BENCH_WORKLOAD
+    params = SystemParameters.flash_crowd(
+        num_pieces=spec["num_pieces"],
+        arrival_rate=spec["arrival_rate"],
+        seed_rate=spec["seed_rate"],
+        peer_rate=spec["peer_rate"],
+        seed_departure_rate=spec["seed_departure_rate"],
+    )
+    return ScenarioSpec(
+        name="bench-gossip",
+        params=params,
+        census=CensusSpec.gossip(
+            exchange_rate=spec["exchange_rate"], damping=spec["damping"]
+        ),
+    )
+
+
+def measure_gossip_throughput(backend: str) -> dict:
+    """Events/second of one backend on the gossip-census workload."""
+    measurement = _measure_throughput(
+        GOSSIP_BENCH_WORKLOAD, backend, scenario=_gossip_bench_spec()
+    )
+    _gossip_measurements[backend] = measurement
+    return measurement
+
+
 def _fleet_bench_spec():
     """The FleetSpec of the fleet throughput workload."""
     from repro.fleet import FixedSampler, FleetSpec, ScenarioWeight
@@ -452,6 +508,11 @@ def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
         or measure_overlay_throughput(backend)
         for backend in ("object", "array")
     }
+    gossip_backends = {
+        backend: _gossip_measurements.get(backend)
+        or measure_gossip_throughput(backend)
+        for backend in ("object", "array")
+    }
     speedup = (
         backends["array"]["events_per_second"]
         / backends["object"]["events_per_second"]
@@ -463,6 +524,10 @@ def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
     overlay_speedup = (
         overlay_backends["array"]["events_per_second"]
         / overlay_backends["object"]["events_per_second"]
+    )
+    gossip_speedup = (
+        gossip_backends["array"]["events_per_second"]
+        / gossip_backends["object"]["events_per_second"]
     )
     fleet = _fleet_measurements.get("array") or measure_fleet_throughput()
     fleet_stacked = _fleet_measurements.get("stacked") or measure_fleet_throughput(
@@ -484,6 +549,11 @@ def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
             "workload": dict(OVERLAY_BENCH_WORKLOAD),
             "backends": overlay_backends,
             "array_speedup_over_object": round(overlay_speedup, 2),
+        },
+        "gossip": {
+            "workload": dict(GOSSIP_BENCH_WORKLOAD),
+            "backends": gossip_backends,
+            "array_speedup_over_object": round(gossip_speedup, 2),
         },
         "fleet": {
             "workload": dict(FLEET_BENCH_WORKLOAD),
@@ -528,6 +598,9 @@ def pytest_sessionfinish(session, exitstatus):
         f"overlay workload at "
         f"{baseline['overlay']['backends']['array']['events_per_second']:,.0f} ev/s "
         f"({baseline['overlay']['array_speedup_over_object']:.1f}x); "
+        f"gossip workload at "
+        f"{baseline['gossip']['backends']['array']['events_per_second']:,.0f} ev/s "
+        f"({baseline['gossip']['array_speedup_over_object']:.1f}x); "
         f"fleet ({baseline['fleet']['array']['num_swarms']} swarms, "
         f"{baseline['fleet']['array']['total_initial_peers'] // 1000}k peers) at "
         f"{baseline['fleet']['array']['events_per_second']:,.0f} ev/s per-swarm, "

@@ -58,6 +58,7 @@ from .parameters import SystemParameters
 from .types import PieceSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (swarm -> scenario)
+    from ..swarm.gossip import CensusSpec
     from ..swarm.topology import TopologySpec
 
 
@@ -301,6 +302,12 @@ class ScenarioSpec:
     schedules a correlated-churn "flash exit": at that simulation time every
     incomplete (non-seed) peer independently departs with probability
     ``cull_fraction``.
+
+    ``census`` selects the piece-frequency census served to policies: the
+    exact ``"oracle"`` (the default, and the historical behaviour) or a
+    flow-updating ``"gossip"`` estimate — pass a kind name or a
+    :class:`repro.swarm.gossip.CensusSpec` for the knobs, e.g.
+    ``CensusSpec.gossip(exchange_rate=0.5, damping=1.0)``.
     """
 
     name: str
@@ -315,9 +322,15 @@ class ScenarioSpec:
     topology: Optional["TopologySpec"] = None
     cull_time: Optional[float] = None
     cull_fraction: float = 0.0
+    census: "CensusSpec | str" = "oracle"
     description: str = ""
 
     def __post_init__(self) -> None:
+        # Imported lazily: repro.swarm imports this module at package-init
+        # time (same cycle guard as the topology import above).
+        from ..swarm.gossip import CensusSpec
+
+        object.__setattr__(self, "census", CensusSpec.coerce(self.census))
         if self.cull_time is not None:
             if not self.cull_time > 0:
                 raise ValueError(
@@ -395,6 +408,11 @@ class ScenarioSpec:
         return self.cull_time is not None
 
     @property
+    def has_gossip(self) -> bool:
+        """True when policies read a gossip-estimated census."""
+        return not self.census.is_oracle
+
+    @property
     def is_trivial(self) -> bool:
         """True when the spec is exactly the homogeneous constant-rate model."""
         return (
@@ -402,6 +420,7 @@ class ScenarioSpec:
             and not self.has_schedules
             and not self.has_overlay
             and not self.has_cull
+            and not self.has_gossip
         )
 
     def class_fractions(self) -> Tuple[float, ...]:
@@ -469,6 +488,8 @@ class ScenarioSpec:
                 f"  flash exit: {self.cull_fraction:.0%} of incomplete peers "
                 f"at t={self.cull_time:g}"
             )
+        if self.has_gossip:
+            lines.append(f"  census: {self.census.describe()}")
         return "\n".join(lines)
 
     @classmethod
@@ -558,6 +579,7 @@ def flash_crowd_scenario(
     surge_start: float = 20.0,
     surge_end: float = 50.0,
     surge_factor: float = 8.0,
+    census: "CensusSpec | str" = "oracle",
     **params_kwargs,
 ) -> ScenarioSpec:
     """Arrivals surge by ``surge_factor`` on ``[surge_start, surge_end)``."""
@@ -565,6 +587,7 @@ def flash_crowd_scenario(
         name="flash-crowd",
         params=_base_params(**params_kwargs),
         arrival_schedule=RateSchedule.pulse(surge_start, surge_end, surge_factor),
+        census=census,
         description=(
             f"arrival rate x{surge_factor:g} during [{surge_start:g}, {surge_end:g})"
         ),
@@ -574,6 +597,7 @@ def flash_crowd_scenario(
 def seed_outage_scenario(
     outage_start: float = 20.0,
     outage_end: float = 60.0,
+    census: "CensusSpec | str" = "oracle",
     **params_kwargs,
 ) -> ScenarioSpec:
     """The fixed seed goes dark on ``[outage_start, outage_end)``."""
@@ -581,6 +605,7 @@ def seed_outage_scenario(
         name="seed-outage",
         params=_base_params(**params_kwargs),
         seed_schedule=RateSchedule.outage(outage_start, outage_end),
+        census=census,
         description=(
             f"fixed seed offline during [{outage_start:g}, {outage_end:g})"
         ),
@@ -591,6 +616,7 @@ def heterogeneous_classes_scenario(
     fast_contact_rate: float = 2.0,
     slow_contact_rate: float = 0.5,
     fast_fraction: float = 0.3,
+    census: "CensusSpec | str" = "oracle",
     **params_kwargs,
 ) -> ScenarioSpec:
     """Two peer classes: a fast minority and a slow majority."""
@@ -613,6 +639,7 @@ def heterogeneous_classes_scenario(
                 arrival_fraction=1.0 - fast_fraction,
             ),
         ),
+        census=census,
         description=(
             f"{fast_fraction:.0%} fast peers (mu={fast_contact_rate:g}) vs "
             f"slow peers (mu={slow_contact_rate:g})"
@@ -625,6 +652,7 @@ def diurnal_scenario(
     high: float = 3.0,
     low: float = 0.3,
     horizon: float = 200.0,
+    census: "CensusSpec | str" = "oracle",
     **params_kwargs,
 ) -> ScenarioSpec:
     """Arrivals alternate between a busy and a quiet half-period.
@@ -636,6 +664,7 @@ def diurnal_scenario(
         name="diurnal",
         params=_base_params(**params_kwargs),
         arrival_schedule=RateSchedule.square_wave(period, high, low, horizon),
+        census=census,
         description=(
             f"square-wave arrivals x{high:g}/x{low:g} with period {period:g}"
         ),
@@ -645,6 +674,7 @@ def diurnal_scenario(
 def high_churn_scenario(
     patient_gamma: float = 1.0,
     impatient_fraction: float = 0.6,
+    census: "CensusSpec | str" = "oracle",
     **params_kwargs,
 ) -> ScenarioSpec:
     """A majority of completing peers leave instantly; the rest dwell."""
@@ -667,6 +697,7 @@ def high_churn_scenario(
                 arrival_fraction=1.0 - impatient_fraction,
             ),
         ),
+        census=census,
         description=(
             f"{impatient_fraction:.0%} of peers depart on completion, the "
             f"rest dwell with gamma={patient_gamma:g}"
@@ -678,6 +709,7 @@ def free_rider_scenario(
     leech_fraction: float = 0.6,
     leech_contact_rate: float = 0.02,
     leech_departure_rate: Optional[float] = None,
+    census: "CensusSpec | str" = "oracle",
     **params_kwargs,
 ) -> ScenarioSpec:
     """Free riders: a class that uploads at ``µ_c ≈ 0`` but downloads normally.
@@ -718,6 +750,7 @@ def free_rider_scenario(
                 arrival_fraction=leech_fraction,
             ),
         ),
+        census=census,
         description=(
             f"{leech_fraction:.0%} free riders uploading at "
             f"mu={leech_contact_rate:g} (downloads unimpaired)"
@@ -729,6 +762,7 @@ def sparse_overlay_scenario(
     topology: str = "random-regular",
     degree: int = 8,
     max_degree: Optional[int] = None,
+    census: "CensusSpec | str" = "oracle",
     **params_kwargs,
 ) -> ScenarioSpec:
     """Contacts restricted to a sparse overlay graph.
@@ -745,6 +779,7 @@ def sparse_overlay_scenario(
         name="sparse-overlay",
         params=_base_params(**params_kwargs),
         topology=None if spec.is_complete else spec,
+        census=census,
         description=(
             f"contact ticks restricted to a {topology} overlay of "
             f"degree {degree}"
@@ -756,6 +791,7 @@ def partitioned_scenario(
     num_components: int = 3,
     bridge_prob: float = 0.05,
     degree: int = 8,
+    census: "CensusSpec | str" = "oracle",
     **params_kwargs,
 ) -> ScenarioSpec:
     """Weakly-bridged overlay components: arrivals are assigned round-robin
@@ -772,6 +808,7 @@ def partitioned_scenario(
             num_components=num_components,
             bridge_prob=bridge_prob,
         ),
+        census=census,
         description=(
             f"{num_components} overlay components bridged with "
             f"probability {bridge_prob:g}"
@@ -784,6 +821,7 @@ def flash_exit_scenario(
     exit_fraction: float = 0.5,
     topology: Optional[str] = None,
     degree: int = 8,
+    census: "CensusSpec | str" = "oracle",
     **params_kwargs,
 ) -> ScenarioSpec:
     """Correlated churn: at ``exit_time`` every incomplete peer departs
@@ -803,6 +841,7 @@ def flash_exit_scenario(
         topology=topo,
         cull_time=exit_time,
         cull_fraction=exit_fraction,
+        census=census,
         description=(
             f"{exit_fraction:.0%} of incomplete peers exit at t={exit_time:g}"
             + (f" on a {topology} overlay" if topo is not None else "")

@@ -17,7 +17,9 @@ One module per experiment of the DESIGN.md index:
 * E12 :mod:`repro.experiments.fleet` — fleet phase diagram: one-club capture
   prevalence over the ``(λ, U_s)`` plane, per-scenario breakdown;
 * E13 :mod:`repro.experiments.topology` — capture prevalence vs. overlay
-  degree across contact topologies (vs. the complete-graph baseline).
+  degree across contact topologies (vs. the complete-graph baseline);
+* E14 :mod:`repro.experiments.gossip` — capture prevalence vs. gossip-census
+  staleness under rarest-first (vs. the exact-oracle baseline).
 
 The :mod:`repro.experiments.runner` module provides the shared stability-trial
 harness plus the batched :func:`~repro.experiments.runner.run_scenario`
@@ -33,6 +35,11 @@ from .fleet import (
     FleetPhaseDiagramResult,
     PhaseCell,
     run_fleet_phase_diagram,
+)
+from .gossip import (
+    GossipCell,
+    GossipCensusResult,
+    run_gossip_census_experiment,
 )
 from .lyapunov_exp import LyapunovResult, run_lyapunov_experiment
 from .mu_infinity_exp import MuInfinityResult, run_mu_infinity_experiment
@@ -64,6 +71,8 @@ __all__ = [
     "Example2Result",
     "Example3Result",
     "FleetPhaseDiagramResult",
+    "GossipCell",
+    "GossipCensusResult",
     "LyapunovResult",
     "PhaseCell",
     "MuInfinityResult",
@@ -82,6 +91,7 @@ __all__ = [
     "run_example2",
     "run_example3",
     "run_fleet_phase_diagram",
+    "run_gossip_census_experiment",
     "run_lyapunov_experiment",
     "run_mu_infinity_experiment",
     "run_one_club_experiment",

@@ -50,7 +50,13 @@ from ..markov.classify import (
 from ..simulation.rng import SeedLike, spawn_generators
 from ..swarm.metrics import SwarmMetrics
 from ..swarm.policies import PieceSelectionPolicy
-from ..swarm.swarm import _RUN_KWARGS, _SIM_KWARGS, SwarmResult, make_simulator
+from ..swarm.swarm import (
+    _RUN_KWARGS,
+    _SIM_KWARGS,
+    SwarmResult,
+    make_simulator,
+    unsupported_option,
+)
 
 #: Same keyword split as :func:`repro.swarm.swarm.run_swarm`, except that
 #: ``scenario`` is an explicit parameter of :func:`run_scenario`, not a
@@ -210,6 +216,7 @@ def run_scenario(
     initial_state: Optional[SystemState] = None,
     backend: str = "object",
     workers: Optional[int] = None,
+    stacked: bool = False,
     scenario_kwargs: Optional[Dict] = None,
     **kwargs,
 ) -> BatchSwarmResult:
@@ -223,6 +230,12 @@ def run_scenario(
     ``track_groups``) and ``run`` (``sample_interval``, ``max_events``,
     ``max_population``), exactly as in :func:`repro.swarm.swarm.run_swarm`.
     """
+    if stacked:
+        raise unsupported_option(
+            "run_scenario", "stacked", stacked,
+            "stacked execution batches fleets of independent swarms; use "
+            "run_fleet(stacked=True) or run_adaptive_fleet(stacked=True)",
+        )
     if isinstance(scenario, str):
         scenario = make_scenario(scenario, **(scenario_kwargs or {}))
     elif scenario_kwargs:

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..analysis.tables import format_table
 from ..simulation.rng import SeedLike
+from ..swarm.swarm import unsupported_option
 from .checkpoint import load_checkpoint
 from .persistence import FleetLogWriter, read_log
 from .result import FleetResult, FleetSwarmRecord
@@ -673,10 +674,10 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
         stacked: bool = False,
     ):
         if stacked and spec.backend != "array":
-            raise ValueError(
-                f"stacked fleet execution requires the 'array' backend, but "
-                f"spec {spec.name!r} requests backend={spec.backend!r}; run "
-                f"with stacked=False or switch the spec to the array backend"
+            raise unsupported_option(
+                "stacked fleet execution", "backend", spec.backend,
+                f"spec {spec.name!r} must use the 'array' backend; run with "
+                f"stacked=False or switch the spec to the array backend",
             )
         self.spec = spec
         self.stacked = stacked
@@ -985,6 +986,7 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
 def run_adaptive_fleet(
     spec: AdaptiveFleetSpec,
     seed: SeedLike = 0,
+    backend: Optional[str] = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
@@ -995,7 +997,18 @@ def run_adaptive_fleet(
     fsync_every_n: int = 1,
     stacked: bool = False,
 ) -> AdaptiveFleetResult:
-    """One-call adaptive execution (see :class:`AdaptiveFleetDriver`)."""
+    """One-call adaptive execution (see :class:`AdaptiveFleetDriver`).
+
+    ``backend=`` is accepted for signature uniformity with ``run_swarm`` /
+    ``run_scenario`` but the execution backend is declared on the spec, so
+    any non-``None`` value is rejected.
+    """
+    if backend is not None:
+        raise unsupported_option(
+            "run_adaptive_fleet", "backend", backend,
+            "the execution backend is declared on the fleet spec; construct "
+            "AdaptiveFleetSpec(backend=...) instead",
+        )
     driver = AdaptiveFleetDriver(
         spec,
         workers=workers,

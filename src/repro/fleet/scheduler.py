@@ -46,7 +46,7 @@ import numpy as np
 
 from ..core.state import SystemState
 from ..simulation.rng import SeedLike
-from ..swarm.swarm import make_simulator
+from ..swarm.swarm import make_simulator, unsupported_option
 from .checkpoint import (
     FleetCheckpoint,
     default_log_path,
@@ -351,10 +351,10 @@ class FleetScheduler(PersistentFleetExecution):
         stacked: bool = False,
     ):
         if stacked and spec.backend != "array":
-            raise ValueError(
-                f"stacked fleet execution requires the 'array' backend, but "
-                f"spec {spec.name!r} requests backend={spec.backend!r}; run "
-                f"with stacked=False or switch the spec to the array backend"
+            raise unsupported_option(
+                "stacked fleet execution", "backend", spec.backend,
+                f"spec {spec.name!r} must use the 'array' backend; run with "
+                f"stacked=False or switch the spec to the array backend",
             )
         self.spec = spec
         self.stacked = stacked
@@ -564,6 +564,7 @@ class FleetScheduler(PersistentFleetExecution):
 def run_fleet(
     spec: FleetSpec,
     seed: SeedLike = 0,
+    backend: Optional[str] = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
@@ -574,7 +575,18 @@ def run_fleet(
     fsync_every_n: int = 1,
     stacked: bool = False,
 ) -> FleetResult:
-    """One-call fleet execution (see :class:`FleetScheduler`)."""
+    """One-call fleet execution (see :class:`FleetScheduler`).
+
+    ``backend=`` is accepted for signature uniformity with ``run_swarm`` /
+    ``run_scenario`` but the execution backend is declared on the spec, so
+    any non-``None`` value is rejected.
+    """
+    if backend is not None:
+        raise unsupported_option(
+            "run_fleet", "backend", backend,
+            "the execution backend is declared on the fleet spec; construct "
+            "FleetSpec(backend=...) instead",
+        )
     scheduler = FleetScheduler(
         spec,
         workers=workers,

@@ -241,7 +241,10 @@ class FleetSpec:
         if self.horizon <= 0:
             raise ValueError(f"horizon must be positive, got {self.horizon}")
         if self.backend not in ("object", "array"):
-            raise ValueError(f"unknown backend {self.backend!r}")
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"('object', 'array')"
+            )
         if self.initial_club_size < 0:
             raise ValueError("initial_club_size must be >= 0")
         if not 0.0 < self.capture_fraction <= 1.0:

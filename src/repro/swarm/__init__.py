@@ -8,7 +8,10 @@
   independent array-kernel swarms through one round-based loop, each lane
   bit-identical to its solo run;
 * :mod:`repro.swarm.policies` — piece-selection policies (Theorem 14), with
-  both ``PieceSet``-level and mask-level entry points;
+  both ``PieceSet``-level and mask-level entry points, reading the piece
+  census through the ``CensusSource`` seam;
+* :mod:`repro.swarm.gossip` — the flow-updating gossip census estimator
+  behind ``ScenarioSpec(census="gossip")``;
 * :mod:`repro.swarm.groups` — the Figure-2 group decomposition;
 * :mod:`repro.swarm.metrics` — collected statistics;
 * :mod:`repro.swarm.network_coding` — the random-linear-coding variant
@@ -19,6 +22,13 @@ Backend selection goes through :func:`repro.swarm.swarm.make_simulator` /
 """
 
 from .drawbuf import DEFAULT_BLOCK_SIZE, DrawBuffer
+from .gossip import (
+    CENSUS_KINDS,
+    CensusSpec,
+    GossipCensus,
+    GossipState,
+    build_gossip,
+)
 from .groups import GroupSnapshot, PeerGroup, classify_peer, group_counts
 from .kernel import ArraySwarmKernel
 from .metrics import SwarmMetrics
@@ -31,7 +41,9 @@ from .network_coding import (
 from .peer import Peer
 from .policies import (
     CallablePolicy,
+    CensusSource,
     MostCommonFirstSelection,
+    OracleCensus,
     PieceSelectionPolicy,
     RandomUsefulSelection,
     RarestFirstSelection,
@@ -59,15 +71,21 @@ from .swarm import (
 __all__ = [
     "ArraySwarmKernel",
     "BACKENDS",
+    "CENSUS_KINDS",
     "MAX_ARRAY_BACKEND_PIECES",
     "CallablePolicy",
+    "CensusSource",
+    "CensusSpec",
     "CodedArrivalSpec",
     "CodedSwarmResult",
     "CodedSwarmSimulator",
     "DEFAULT_BLOCK_SIZE",
     "DrawBuffer",
+    "GossipCensus",
+    "GossipState",
     "GroupSnapshot",
     "MostCommonFirstSelection",
+    "OracleCensus",
     "OverlayState",
     "Peer",
     "PeerGroup",
@@ -82,6 +100,7 @@ __all__ = [
     "SwarmResult",
     "SwarmSimulator",
     "SwarmView",
+    "build_gossip",
     "build_overlay",
     "classify_peer",
     "gifted_fraction_arrivals",

@@ -62,7 +62,6 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from types import MappingProxyType
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -161,9 +160,13 @@ class ArraySwarmKernel(_SwarmEventLoop):
         # The vectorized batch stage needs wasted peer ticks to be provably
         # state-neutral: retry speedups turn a wasted tick into a rate
         # change, and only policies flagged rng-free-when-useless are known
-        # not to consume draws on a useless contact.
-        self._batch_enabled = retry_speedup == 1.0 and getattr(
-            self.policy, "rng_free_when_useless", False
+        # not to consume draws on a useless contact.  A gossip census adds a
+        # draw (and a state mutation) to *every* peer tick, so gossip swarms
+        # stay on the scalar per-event path wholesale.
+        self._batch_enabled = (
+            retry_speedup == 1.0
+            and getattr(self.policy, "rng_free_when_useless", False)
+            and self._gossip is None
         )
         self._membership_version = 0
         self._ticker_cache: Optional[dict] = None
@@ -189,7 +192,7 @@ class ArraySwarmKernel(_SwarmEventLoop):
             self._class_member_revs = [0] * len(self._classes)
         self._view = SwarmView(
             num_pieces=num_pieces,
-            piece_counts=MappingProxyType(self._piece_counts),
+            census=self._make_census(),
             total_peers=0,
             time=0.0,
         )
@@ -306,6 +309,8 @@ class ArraySwarmKernel(_SwarmEventLoop):
         self.metrics.total_arrivals += 1
         if self._overlay is not None:
             self._overlay.on_arrival(row, self.draws)
+        if self._gossip is not None:
+            self._gossip.on_arrival(row, mask, self._time)
         return row
 
     def _remove_peer(self, row: int) -> None:
@@ -313,6 +318,9 @@ class ArraySwarmKernel(_SwarmEventLoop):
             # Detach (and, for tracker overlays, rewire) before the rows
             # move; the overlay applies the same swap-remove internally.
             self._overlay.on_departure(row, self.draws)
+        if self._gossip is not None:
+            # Same swap-remove move on the estimate rows.
+            self._gossip.on_departure(row)
         self._membership_version += 1
         arrival = float(self._arrival_time[row])
         sojourn = self._time - arrival
@@ -541,6 +549,9 @@ class ArraySwarmKernel(_SwarmEventLoop):
                     len(seeds), len(seeds) + count, dtype=np.int64
                 )
                 seeds.extend(rows)
+            if self._gossip is not None:
+                # Draw-free bulk init, matching per-slot on_arrival exactly.
+                self._gossip.on_bulk_arrivals(start, stop, mask, self._time)
 
     # -- event mechanics -------------------------------------------------------
 
@@ -581,6 +592,9 @@ class ArraySwarmKernel(_SwarmEventLoop):
     def _transfer(self, uploader_mask: int, row: int, from_seed: bool) -> bool:
         """Attempt a useful upload into the peer at ``row``."""
         downloader_mask = int(self._masks[row])
+        if self._gossip is not None:
+            # The policy reads the census as the *downloader* estimates it.
+            self._gossip.focus(row, self._n, self._time)
         piece = self.policy.select_piece_mask(
             downloader_mask, uploader_mask, self._refresh_view(), self.draws
         )
@@ -611,6 +625,8 @@ class ArraySwarmKernel(_SwarmEventLoop):
         if new_mask == self._club_mask:
             self._one_club_count += 1
         self._piece_counts[piece] += 1
+        if self._gossip is not None:
+            self._gossip.on_piece(row, piece, self._time)
         self.metrics.total_downloads += 1
         if from_seed:
             self.metrics.total_seed_uploads += 1
@@ -652,6 +668,8 @@ class ArraySwarmKernel(_SwarmEventLoop):
             # neighbor row (a zero-degree ticker still consumes it).
             self._discard_sped(uploader)
             slot = overlay.draw_target(uploader, self.draws.next())
+            if self._gossip is not None:
+                self._gossip_tick(uploader, slot)
             if slot < 0:
                 self.metrics.wasted_contacts += 1
                 success = False
@@ -681,6 +699,13 @@ class ArraySwarmKernel(_SwarmEventLoop):
         """
         # A ticking peer's speedup (if any) is consumed by this tick.
         self._discard_sped(uploader)
+        if self._gossip is not None:
+            # One gossip uniform per peer tick, after the ticker/target
+            # draws and before the transfer — mirroring the object backend.
+            # (Gossip lanes are never windowable, so the stacked phase-4
+            # fast path, which lands here with the draws pre-consumed,
+            # cannot reach this branch.)
+            self._gossip_tick(uploader, target)
         if target == uploader:
             self.metrics.wasted_contacts += 1
             success = False
@@ -1108,6 +1133,7 @@ class ArraySwarmKernel(_SwarmEventLoop):
 
     def _record_sample(self, sample_time: float) -> None:
         snapshot = self._group_snapshot(sample_time) if self.track_groups else None
+        gossip = self._gossip
         self.metrics.record_sample(
             time=sample_time,
             population=self._n,
@@ -1115,6 +1141,14 @@ class ArraySwarmKernel(_SwarmEventLoop):
             one_club_size=self._one_club_count,
             min_piece_count=min(self._piece_counts.values()),
             group_snapshot=snapshot,
+            census_error=(
+                gossip.mean_error(self._piece_counts, self._n)
+                if gossip is not None
+                else None
+            ),
+            census_staleness=(
+                gossip.mean_staleness(sample_time) if gossip is not None else None
+            ),
         )
 
     def _flush_samples(
@@ -1123,8 +1157,10 @@ class ArraySwarmKernel(_SwarmEventLoop):
         # The state is frozen for the whole trailing grid, so append it in
         # bulk: the grid times are still generated by the same repeated
         # addition as the scalar walk, the constant columns extended once.
-        # Group tracking snapshots per sample, so it keeps the scalar walk.
-        if self.track_groups or next_sample > horizon:
+        # Group tracking snapshots per sample, so it keeps the scalar walk —
+        # as does a gossip census, whose staleness varies with the sample
+        # time (this trailing flush runs once per run, so it is not hot).
+        if self.track_groups or self._gossip is not None or next_sample > horizon:
             return super()._flush_samples(next_sample, horizon, interval)
         times: List[float] = []
         while next_sample <= horizon:

@@ -28,6 +28,14 @@ class SwarmMetrics:
     one_club_size: List[int] = field(default_factory=list)
     min_piece_count: List[int] = field(default_factory=list)
     group_snapshots: List[GroupSnapshot] = field(default_factory=list)
+    #: Census-estimate quality series, recorded at sample times only when a
+    #: gossip census is active (empty lists under the exact oracle):
+    #: ``census_error[i]`` is the mean (over live peers) L1 distance between
+    #: the peer's estimated piece-frequency vector and the oracle counts at
+    #: ``sample_times[i]``; ``census_staleness[i]`` is the mean time since a
+    #: peer's estimate last changed.
+    census_error: List[float] = field(default_factory=list)
+    census_staleness: List[float] = field(default_factory=list)
 
     total_arrivals: int = 0
     total_departures: int = 0
@@ -57,6 +65,8 @@ class SwarmMetrics:
         one_club_size: int,
         min_piece_count: int,
         group_snapshot: Optional[GroupSnapshot] = None,
+        census_error: Optional[float] = None,
+        census_staleness: Optional[float] = None,
     ) -> None:
         self.sample_times.append(time)
         self.population.append(population)
@@ -65,6 +75,10 @@ class SwarmMetrics:
         self.min_piece_count.append(min_piece_count)
         if group_snapshot is not None:
             self.group_snapshots.append(group_snapshot)
+        if census_error is not None:
+            self.census_error.append(census_error)
+        if census_staleness is not None:
+            self.census_staleness.append(census_staleness)
 
     def record_departure(self, sojourn: float, download_time: Optional[float]) -> None:
         self.total_departures += 1
@@ -144,6 +158,20 @@ class SwarmMetrics:
             return float("nan")
         return float(np.mean(self.download_times))
 
+    def mean_census_error(self) -> float:
+        """Mean over samples of the mean-L1 census-estimate error (NaN when
+        the run used the exact oracle census)."""
+        if not self.census_error:
+            return float("nan")
+        return float(np.mean(self.census_error))
+
+    def mean_census_staleness(self) -> float:
+        """Mean over samples of the mean estimate staleness (NaN under the
+        exact oracle census, whose staleness is identically zero)."""
+        if not self.census_staleness:
+            return float("nan")
+        return float(np.mean(self.census_staleness))
+
     def fraction_time_empty(self) -> float:
         """Fraction of samples at which the system was empty."""
         values = self.population_array()
@@ -168,6 +196,8 @@ class SwarmMetrics:
             "culled_peers": float(self.culled_peers),
             "mean_sojourn_time": self.mean_sojourn_time(),
             "mean_download_time": self.mean_download_time(),
+            "mean_census_error": self.mean_census_error(),
+            "mean_census_staleness": self.mean_census_staleness(),
         }
 
 

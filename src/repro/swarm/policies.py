@@ -36,20 +36,97 @@ both backends automatically.  Both paths consume the RNG identically, which is
 what makes the two simulation backends trajectory-equivalent under a shared
 seed.
 
-Each policy receives a :class:`SwarmView` giving read-only access to the piece
-census of the current population so that global policies (rarest first) can be
-expressed.
+.. warning:: **Perf cliff** — the legacy ``select_piece_mask`` shim on the
+   abstract base class allocates two :class:`~repro.core.types.PieceSet`
+   objects on *every* contact, which on the array kernel's hot path costs a
+   large constant factor over the built-ins' allocation-free bit arithmetic.
+   Policies that never override the mask primitive get a one-time
+   ``DeprecationWarning`` pointing here; override ``select_piece_mask``
+   directly for array-kernel speed.
+
+Each policy receives a :class:`SwarmView` whose ``census`` attribute — a
+:class:`CensusSource` — gives read-only access to the piece-frequency census
+of the current population so that global policies (rarest first) can be
+expressed.  The default :class:`OracleCensus` serves the exact global counts;
+a :class:`~repro.swarm.gossip.GossipCensus` serves the contacting peer's
+flow-updating *estimate* instead (see :mod:`repro.swarm.gossip`), and
+well-behaved policies read counts only through ``view.census.count(k)`` so
+they work under either.
 """
 
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.types import PieceSet
+
+
+class CensusSource(abc.ABC):
+    """How a policy sees the piece-frequency census of the swarm.
+
+    ``count(k)`` is the (possibly estimated) number of peers currently
+    holding piece ``k``; ``counts_array()`` is the full 0-indexed vector
+    (entry ``k-1`` for piece ``k``); ``staleness()`` is how old the served
+    information is in simulation time — exactly ``0.0`` for the oracle,
+    the focused peer's time-since-last-update for a gossip estimate.
+    Counts are exact ints under :class:`OracleCensus` and floats under
+    :class:`~repro.swarm.gossip.GossipCensus`; policies should only
+    compare/rank them, never assume integrality.
+    """
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def count(self, piece: int) -> float:
+        """Number of peers currently holding ``piece`` (possibly estimated)."""
+
+    @abc.abstractmethod
+    def counts_array(self) -> np.ndarray:
+        """The full piece-frequency vector (float64, entry ``k-1`` = piece ``k``)."""
+
+    @abc.abstractmethod
+    def staleness(self) -> float:
+        """Age of the served census in simulation time (0.0 = exact)."""
+
+
+class OracleCensus(CensusSource):
+    """The exact global census (the historical behaviour and the default).
+
+    Wraps the simulator's live piece-count mapping — reads always reflect
+    the population at the instant of the policy call, so staleness is
+    identically ``0.0``.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, piece_counts: Mapping[int, int]) -> None:
+        self._counts = piece_counts
+
+    @property
+    def mapping(self) -> Mapping[int, int]:
+        """The underlying (read-only) piece-count mapping."""
+        return self._counts
+
+    def count(self, piece: int) -> int:
+        return self._counts.get(piece, 0)
+
+    def counts_array(self) -> np.ndarray:
+        counts = self._counts
+        return np.array(
+            [counts.get(k, 0) for k in range(1, len(counts) + 1)], dtype=np.float64
+        )
+
+    def staleness(self) -> float:
+        return 0.0
+
+
+#: One-per-process guard for the deprecated ``SwarmView.piece_counts`` read.
+_PIECE_COUNTS_WARNED = False
 
 
 @dataclass
@@ -60,9 +137,12 @@ class SwarmView:
     ----------
     num_pieces:
         Number of pieces ``K``.
-    piece_counts:
-        ``piece_counts[k]`` is the number of peers currently holding piece
-        ``k`` (1-based dict).
+    census:
+        The :class:`CensusSource` serving piece-frequency reads — the exact
+        :class:`OracleCensus` by default, a
+        :class:`~repro.swarm.gossip.GossipCensus` when the scenario runs a
+        gossip census.  ``census.count(k)`` is the number of peers holding
+        piece ``k`` as this census knows it.
     total_peers:
         Current population size.
     time:
@@ -77,20 +157,43 @@ class SwarmView:
     Policies must treat the view as read-only and must not hold on to it
     beyond the duration of one ``select_piece`` call: for speed, both
     simulation backends reuse a single live view whose fields (including the
-    ``piece_counts`` mapping) are updated in place between events.  The
-    simulators hand policies a read-only ``MappingProxyType`` census, so a
-    policy that tries to mutate ``piece_counts`` raises ``TypeError``.
+    census) are updated in place between events.  Under an oracle census the
+    simulators wrap the count mapping in a read-only ``MappingProxyType``, so
+    a policy that tries to mutate it raises ``TypeError``.
     """
 
     num_pieces: int
-    piece_counts: Dict[int, int]
+    census: CensusSource
     total_peers: int
     time: float
     class_counts: Optional[Tuple[int, ...]] = None
 
-    def piece_count(self, piece: int) -> int:
-        """Number of peers currently holding ``piece`` (zero if unseen)."""
-        return self.piece_counts.get(piece, 0)
+    def piece_count(self, piece: int) -> float:
+        """Number of peers currently holding ``piece`` per the census."""
+        return self.census.count(piece)
+
+    @property
+    def piece_counts(self) -> Mapping[int, float]:
+        """Deprecated 1-based census mapping (read ``view.census`` instead).
+
+        Kept as a thin backward-compat shim: for an oracle census this is
+        the live count mapping as before; for a gossip census it is a dict
+        materialised from the estimate on every access.  Emits a
+        ``DeprecationWarning`` once per process.
+        """
+        global _PIECE_COUNTS_WARNED
+        if not _PIECE_COUNTS_WARNED:
+            _PIECE_COUNTS_WARNED = True
+            warnings.warn(
+                "SwarmView.piece_counts is deprecated; read the census through "
+                "view.census.count(k) / view.census.counts_array()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        census = self.census
+        if isinstance(census, OracleCensus):
+            return census.mapping
+        return {k: census.count(k) for k in range(1, self.num_pieces + 1)}
 
 
 def _mask_bits(mask: int) -> List[int]:
@@ -111,6 +214,10 @@ def _nth_set_bit(mask: int, index: int) -> int:
         mask &= mask - 1
         index -= 1
     return (mask & -mask).bit_length()
+
+
+#: One-per-process guard for the legacy ``select_piece_mask`` shim warning.
+_MASK_SHIM_WARNED = False
 
 
 class PieceSelectionPolicy(abc.ABC):
@@ -160,11 +267,26 @@ class PieceSelectionPolicy(abc.ABC):
         The default implementation wraps the masks into
         :class:`~repro.core.types.PieceSet` objects and defers to
         :meth:`select_piece`, so legacy policies work on the array kernel
-        unchanged.  Built-in policies override this with allocation-free bit
-        arithmetic; custom policies may do the same for speed.  Overrides must
-        consume the RNG exactly as their ``select_piece`` counterpart does,
-        otherwise the two backends lose trajectory equivalence.
+        unchanged — at the cost of two ``PieceSet`` allocations per contact
+        (the perf cliff flagged in the module docstring), which is why the
+        first use of this shim emits a one-time ``DeprecationWarning``.
+        Built-in policies override this with allocation-free bit arithmetic;
+        custom policies should do the same for speed.  Overrides must consume
+        the RNG exactly as their ``select_piece`` counterpart does, otherwise
+        the two backends lose trajectory equivalence.
         """
+        global _MASK_SHIM_WARNED
+        if not _MASK_SHIM_WARNED:
+            _MASK_SHIM_WARNED = True
+            warnings.warn(
+                f"policy {type(self).__name__!r} does not override "
+                "select_piece_mask; the legacy shim allocates two PieceSet "
+                "objects per contact on the array kernel — override the mask "
+                "primitive for speed (see the repro.swarm.policies module "
+                "docstring)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return self.select_piece(
             PieceSet.from_mask(downloader_mask, view.num_pieces),
             PieceSet.from_mask(uploader_mask, view.num_pieces),
@@ -235,7 +357,7 @@ class RarestFirstSelection(_MaskNativePolicy):
         if not useful:
             return None
         pieces = _mask_bits(useful)
-        counts = [view.piece_count(piece) for piece in pieces]
+        counts = [view.census.count(piece) for piece in pieces]
         rarest = min(counts)
         candidates = [piece for piece, count in zip(pieces, counts) if count == rarest]
         return int(candidates[rng.integers(len(candidates))])
@@ -257,7 +379,7 @@ class MostCommonFirstSelection(_MaskNativePolicy):
         if not useful:
             return None
         pieces = _mask_bits(useful)
-        counts = [view.piece_count(piece) for piece in pieces]
+        counts = [view.census.count(piece) for piece in pieces]
         most = max(counts)
         candidates = [piece for piece, count in zip(pieces, counts) if count == most]
         return int(candidates[rng.integers(len(candidates))])
@@ -287,11 +409,21 @@ class CallablePolicy(PieceSelectionPolicy):
     The function receives the downloader's pieces, the uploader's pieces, the
     swarm view and an RNG, and must return a needed piece (or raise).  A
     usefulness check wraps the result so that a buggy function cannot violate
-    the Theorem-14 constraint silently.
+    the Theorem-14 constraint silently.  Census-aware callables should read
+    piece frequencies through ``view.census.count(k)`` (the deprecated
+    ``view.piece_counts[k]`` mapping still works but warns)::
+
+        def prefer_rare_evens(downloader, uploader, view, rng):
+            useful = sorted(downloader.useful_from(uploader))
+            evens = [k for k in useful if k % 2 == 0] or useful
+            return min(evens, key=lambda k: view.census.count(k))
+
+        policy = CallablePolicy(prefer_rare_evens, name="rare-evens")
 
     On the array kernel the inherited :meth:`select_piece_mask` shim converts
     the masks back into :class:`PieceSet` objects before calling the wrapped
-    function, so existing callables keep working unmodified.
+    function, so existing callables keep working unmodified (with the shim's
+    one-time ``DeprecationWarning`` and per-contact allocation cost).
     """
 
     #: The usefulness pre-check below returns before the wrapped function
@@ -350,6 +482,8 @@ def registered_policies() -> List[str]:
 
 
 __all__ = [
+    "CensusSource",
+    "OracleCensus",
     "SwarmView",
     "PieceSelectionPolicy",
     "RandomUsefulSelection",

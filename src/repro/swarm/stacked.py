@@ -53,7 +53,6 @@ other lanes simply take the scalar route every round.
 
 from __future__ import annotations
 
-from types import MappingProxyType
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -63,6 +62,7 @@ from ..core.scenario import ScenarioSpec
 from ..core.state import SystemState
 from ..simulation.rng import SeedLike, make_rng
 from .drawbuf import DrawBuffer
+from .gossip import build_gossip
 from .kernel import ArraySwarmKernel
 from .metrics import SwarmMetrics
 from .policies import PieceSelectionPolicy, SwarmView
@@ -140,8 +140,9 @@ def _clone_lane(template: _StackedLane, seed: SeedLike) -> _StackedLane:
     lane._piece_counts = {k: 0 for k in range(1, template.params.num_pieces + 1)}
     lane._time = 0.0
     # The dict update aliased the template's mutable overlay (and its cull
-    # progress); rebuild both per lane.
+    # progress); rebuild both per lane.  Same for the gossip census state.
     lane._overlay = build_overlay(template._topology)
+    lane._gossip = build_gossip(template._census_spec, template.params.num_pieces)
     lane._cull_done = False
     lane._membership_version = 0
     lane._ticker_cache = None
@@ -161,7 +162,7 @@ def _clone_lane(template: _StackedLane, seed: SeedLike) -> _StackedLane:
         lane._class_member_revs = [0] * num_classes
     lane._view = SwarmView(
         num_pieces=template.params.num_pieces,
-        piece_counts=MappingProxyType(lane._piece_counts),
+        census=lane._make_census(),
         total_peers=0,
         time=0.0,
     )

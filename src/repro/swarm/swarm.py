@@ -50,10 +50,17 @@ from ..core.state import SystemState
 from ..core.types import PieceSet
 from ..simulation.rng import SeedLike, make_rng
 from .drawbuf import DrawBuffer
+from .gossip import CensusSpec, GossipCensus, GossipState, build_gossip
 from .groups import GroupSnapshot
 from .metrics import SwarmMetrics
 from .peer import Peer
-from .policies import PieceSelectionPolicy, RandomUsefulSelection, SwarmView
+from .policies import (
+    CensusSource,
+    OracleCensus,
+    PieceSelectionPolicy,
+    RandomUsefulSelection,
+    SwarmView,
+)
 from .topology import OverlayState, TopologySpec, build_overlay
 
 
@@ -173,6 +180,11 @@ class _SwarmEventLoop:
         #: Slot-indexed contact overlay shared (by construction, not by
         #: reference) between backends; ``None`` keeps uniform contacts.
         self._overlay: Optional[OverlayState] = build_overlay(self._topology)
+        #: Slot-indexed flow-updating census state (same slot discipline as
+        #: the overlay); ``None`` keeps the exact oracle census.
+        self._gossip: Optional[GossipState] = build_gossip(
+            self._census_spec, self.params.num_pieces
+        )
         self._run_active = False
         self._run_horizon: Optional[float] = None
         self._run_interval: Optional[float] = None
@@ -201,6 +213,7 @@ class _SwarmEventLoop:
         self._class_seeds: Optional[List[List[int]]] = None
         self._class_sped: Optional[List[List[int]]] = None
         self._topology: Optional[TopologySpec] = None
+        self._census_spec: Optional[CensusSpec] = None
         self._cull_time: Optional[float] = None
         self._cull_fraction = 0.0
         self._cull_done = False
@@ -225,6 +238,9 @@ class _SwarmEventLoop:
         topology = getattr(scenario, "topology", None)
         if topology is not None and not topology.is_complete:
             self._topology = topology
+        census = getattr(scenario, "census", None)
+        if census is not None and not census.is_oracle:
+            self._census_spec = census
         cull_time = getattr(scenario, "cull_time", None)
         if cull_time is not None:
             self._cull_time = float(cull_time)
@@ -268,6 +284,30 @@ class _SwarmEventLoop:
         if not accept:
             self.metrics.thinned_events += 1
         return accept
+
+    # -- gossip census (shared by both backends) -------------------------------
+
+    def _make_census(self) -> CensusSource:
+        """The census source policies read through ``view.census``."""
+        if self._gossip is not None:
+            return GossipCensus(self._gossip)
+        return OracleCensus(MappingProxyType(self._piece_counts))
+
+    def _gossip_tick(self, ticker_slot: int, target_slot: int) -> None:
+        """The one gossip decision of a peer contact tick.
+
+        Called by both backends' ``_handle_peer_tick`` immediately after
+        the ticker/target draws, *before* the transfer.  Consumes exactly
+        one uniform on every call — self-contacts and zero-degree overlay
+        ticks included — so the per-event draw count stays a pure function
+        of the event type; the exchange itself fires only when the uniform
+        clears the exchange rate and the contact has a valid distinct
+        partner.  Seed ticks never gossip (the fixed seed has no slot).
+        """
+        gossip = self._gossip
+        fire = self.draws.next() < gossip.exchange_rate
+        if fire and target_slot >= 0 and target_slot != ticker_slot:
+            gossip.exchange(ticker_slot, target_slot, self._time)
 
     # -- heterogeneous-class sampling (shared by both backends) ----------------
 
@@ -697,6 +737,9 @@ class _SwarmEventLoop:
             "overlay": (
                 self._overlay.capture() if self._overlay is not None else None
             ),
+            "gossip": (
+                self._gossip.capture() if self._gossip is not None else None
+            ),
             "cull_done": self._cull_done,
             "backend_state": self._capture_backend_state(),
         }
@@ -771,6 +814,14 @@ class _SwarmEventLoop:
             )
         if overlay_state is not None:
             self._overlay.restore(overlay_state)
+        gossip_state = snapshot.get("gossip")
+        if (gossip_state is not None) != (self._gossip is not None):
+            raise ValueError(
+                "snapshot gossip state does not match the simulator's "
+                "census configuration"
+            )
+        if gossip_state is not None:
+            self._gossip.restore(gossip_state)
         self._cull_done = bool(snapshot.get("cull_done", False))
         self._restore_backend_state(copy.deepcopy(snapshot["backend_state"]))
 
@@ -839,12 +890,12 @@ class SwarmSimulator(_SwarmEventLoop):
         self._single_arrival_type = (
             self._arrival_types[0] if len(self._arrival_types) == 1 else None
         )
-        # One live view shared across policy calls; piece_counts is a
-        # read-only proxy of the live census dict (zero-copy, but a mutating
+        # One live view shared across policy calls; the oracle census is a
+        # read-only proxy of the live count dict (zero-copy, but a mutating
         # policy fails loudly), the scalar fields are refreshed per call.
         self._view = SwarmView(
             num_pieces=params.num_pieces,
-            piece_counts=MappingProxyType(self._piece_counts),
+            census=self._make_census(),
             total_peers=0,
             time=0.0,
         )
@@ -902,6 +953,8 @@ class SwarmSimulator(_SwarmEventLoop):
         self.metrics.total_arrivals += 1
         if self._overlay is not None:
             self._overlay.on_arrival(len(self._order) - 1, self.draws)
+        if self._gossip is not None:
+            self._gossip.on_arrival(len(self._order) - 1, pieces.mask, self._time)
         return peer
 
     def _remove_peer(self, peer: Peer) -> None:
@@ -910,6 +963,10 @@ class SwarmSimulator(_SwarmEventLoop):
             # Detach (and, for tracker overlays, rewire) before the order
             # list mutates; the overlay applies the same swap-remove move.
             self._overlay.on_departure(self._position[pid], self.draws)
+        if self._gossip is not None:
+            # Same swap-remove move on the estimate rows, before the order
+            # list mutates.
+            self._gossip.on_departure(self._position[pid])
         index = self._position.pop(pid)
         last_id = self._order.pop()
         if last_id != pid:
@@ -1091,6 +1148,11 @@ class SwarmSimulator(_SwarmEventLoop):
 
     def _transfer(self, uploader_pieces: PieceSet, downloader: Peer, from_seed: bool) -> bool:
         """Attempt a useful upload into ``downloader``; returns True on success."""
+        if self._gossip is not None:
+            # The policy reads the census as the *downloader* estimates it.
+            self._gossip.focus(
+                self._position[downloader.peer_id], self.population, self._time
+            )
         piece = self.policy.select_piece(
             downloader.pieces, uploader_pieces, self._swarm_view(), self.draws
         )
@@ -1099,6 +1161,10 @@ class SwarmSimulator(_SwarmEventLoop):
             return False
         downloader.receive_piece(piece, self._time, rare_piece=self.rare_piece)
         self._piece_counts[piece] += 1
+        if self._gossip is not None:
+            self._gossip.on_piece(
+                self._position[downloader.peer_id], piece, self._time
+            )
         self.metrics.total_downloads += 1
         if from_seed:
             self.metrics.total_seed_uploads += 1
@@ -1135,9 +1201,10 @@ class SwarmSimulator(_SwarmEventLoop):
         if overlay is not None:
             # Overlay contact: the target is one uniform over the ticker's
             # neighbor row (a zero-degree ticker still consumes it).
-            slot = overlay.draw_target(
-                self._position[uploader.peer_id], self.draws.next()
-            )
+            uploader_slot = self._position[uploader.peer_id]
+            slot = overlay.draw_target(uploader_slot, self.draws.next())
+            if self._gossip is not None:
+                self._gossip_tick(uploader_slot, slot)
             if slot < 0:
                 self.metrics.wasted_contacts += 1
                 success = False
@@ -1152,6 +1219,11 @@ class SwarmSimulator(_SwarmEventLoop):
                 self.metrics.neighbor_useless_ticks += 1
         else:
             target = self._sample_uniform_peer()
+            if self._gossip is not None:
+                self._gossip_tick(
+                    self._position[uploader.peer_id],
+                    self._position[target.peer_id],
+                )
             if target.peer_id == uploader.peer_id:
                 self.metrics.wasted_contacts += 1
                 success = False
@@ -1183,6 +1255,7 @@ class SwarmSimulator(_SwarmEventLoop):
                 sample_time, self.peers(), rare_piece=self.rare_piece
             )
         occupied = [count for count in self._piece_counts.values()]
+        gossip = self._gossip
         self.metrics.record_sample(
             time=sample_time,
             population=self.population,
@@ -1190,6 +1263,14 @@ class SwarmSimulator(_SwarmEventLoop):
             one_club_size=self.one_club_size(),
             min_piece_count=min(occupied) if occupied else 0,
             group_snapshot=snapshot,
+            census_error=(
+                gossip.mean_error(self._piece_counts, self.population)
+                if gossip is not None
+                else None
+            ),
+            census_staleness=(
+                gossip.mean_staleness(sample_time) if gossip is not None else None
+            ),
         )
 
 
@@ -1250,6 +1331,18 @@ _SIM_KWARGS = (
 _RUN_KWARGS = ("sample_interval", "max_events", "max_population")
 
 
+def unsupported_option(entry_point: str, option: str, value, hint: str) -> ValueError:
+    """Build the uniformly phrased rejection raised by every entry point.
+
+    The ``run_swarm`` / ``run_scenario`` / ``run_fleet`` /
+    ``run_adaptive_fleet`` family accepts the same execution keywords
+    (``backend=``, ``workers=``, ``stacked=``) wherever they are meaningful;
+    a combination an entry point cannot honour is rejected with this single
+    phrasing so callers can grep for one message shape.
+    """
+    return ValueError(f"{entry_point} does not support {option}={value!r}; {hint}")
+
+
 def run_swarm(
     params: SystemParameters,
     horizon: float,
@@ -1257,6 +1350,8 @@ def run_swarm(
     policy: Optional[PieceSelectionPolicy] = None,
     initial_state: Optional[SystemState] = None,
     backend: str = "object",
+    workers: Optional[int] = None,
+    stacked: bool = False,
     **kwargs,
 ) -> SwarmResult:
     """Convenience wrapper: build a simulator and run it.
@@ -1264,8 +1359,23 @@ def run_swarm(
     ``backend`` selects the simulation engine (``"object"`` or ``"array"``,
     see :func:`make_simulator`); the remaining keyword arguments are split
     between the constructor (including ``scenario=``) and
-    :meth:`SwarmSimulator.run`.
+    :meth:`SwarmSimulator.run`.  ``workers=`` and ``stacked=`` are accepted
+    for signature uniformity with the batched entry points but a single
+    swarm run supports neither — pass them to :func:`run_scenario` /
+    ``run_fleet`` instead.
     """
+    if workers is not None:
+        raise unsupported_option(
+            "run_swarm", "workers", workers,
+            "a single swarm run has nothing to parallelise; use "
+            "run_scenario(workers=...) or run_fleet(workers=...)",
+        )
+    if stacked:
+        raise unsupported_option(
+            "run_swarm", "stacked", stacked,
+            "stacked execution drives whole fleets of swarms; use "
+            "run_fleet(stacked=True) or run_adaptive_fleet(stacked=True)",
+        )
     unknown = set(kwargs) - set(_SIM_KWARGS) - set(_RUN_KWARGS)
     if unknown:
         raise TypeError(f"unknown run_swarm arguments: {sorted(unknown)}")
@@ -1285,4 +1395,5 @@ __all__ = [
     "SwarmResult",
     "make_simulator",
     "run_swarm",
+    "unsupported_option",
 ]

@@ -15,6 +15,7 @@ from repro.swarm.policies import (
     RandomUsefulSelection,
     RarestFirstSelection,
     SequentialSelection,
+    OracleCensus,
     SwarmView,
     make_policy,
     registered_policies,
@@ -26,7 +27,7 @@ def make_view(num_pieces=3, piece_counts=None, total_peers=10, time=0.0) -> Swar
     counts = piece_counts or {k: 1 for k in range(1, num_pieces + 1)}
     return SwarmView(
         num_pieces=num_pieces,
-        piece_counts=counts,
+        census=OracleCensus(counts),
         total_peers=total_peers,
         time=time,
     )

@@ -12,6 +12,7 @@ from repro.swarm.policies import (
     RandomUsefulSelection,
     RarestFirstSelection,
     SequentialSelection,
+    OracleCensus,
     SwarmView,
     make_policy,
     registered_policies,
@@ -20,7 +21,7 @@ from repro.swarm.policies import (
 
 def make_view(num_pieces=3, piece_counts=None, total_peers=10, time=0.0) -> SwarmView:
     counts = piece_counts if piece_counts is not None else {k: 1 for k in range(1, num_pieces + 1)}
-    return SwarmView(num_pieces=num_pieces, piece_counts=counts, total_peers=total_peers, time=time)
+    return SwarmView(num_pieces=num_pieces, census=OracleCensus(counts), total_peers=total_peers, time=time)
 
 
 class TestPeer:
