@@ -8,7 +8,8 @@ invariants the fleet layer promises: every swarm runs its full event budget,
 all three mix entries actually occur, and the sharded scheduler's result is
 identical at a different worker count.  The same workload is then measured
 through the stacked mega-kernel path (``stacked=True``), whose result must
-be bit-identical.  Both measurements land in the ``"fleet"`` section of
+be bit-identical, and through the supervised execution path
+(``max_retries=1``, again bit-identical).  All measurements land in the ``"fleet"`` section of
 ``BENCH_swarm.json`` via the session-finish hook in ``conftest.py``, so
 fleet-path regressions — per-swarm and stacked — are visible per-PR next to
 the kernel baselines.
@@ -72,6 +73,38 @@ def test_fleet_stacked_throughput_smoke(benchmark, capsys):
     per_swarm = run_fleet(fleet_spec, seed=spec["seed"])
     stacked = run_fleet(fleet_spec, seed=spec["seed"], stacked=True)
     assert stacked.fingerprint() == per_swarm.fingerprint()
+
+
+def test_fleet_supervised_throughput_smoke(benchmark, capsys):
+    """The supervised execution path of the same fleet workload.
+
+    Runs the identical 200-swarm workload with worker supervision switched
+    on (``max_retries=1``; no faults injected, so nothing actually retries)
+    and asserts the result is *bit-identical* to the unsupervised path with
+    zero failed records — supervision is pure insurance, never a semantic
+    change.  The measurement lands in ``fleet.supervised`` of
+    ``BENCH_swarm.json`` via the session-finish hook, putting the retry
+    wrapper's bookkeeping overhead under the CI bench gate.
+    """
+    from repro.fleet import run_fleet
+
+    from conftest import _fleet_bench_spec
+
+    measurement = run_once(benchmark, measure_fleet_throughput, supervised=True)
+    with capsys.disabled():
+        print()
+        print(
+            f"fleet supervised smoke ({measurement['num_swarms']} swarms, "
+            f"max_retries=1, no faults): "
+            f"{measurement['events_per_second']:,.0f} aggregate ev/s"
+        )
+    spec = FLEET_BENCH_WORKLOAD
+    assert measurement["events"] == spec["num_swarms"] * spec["max_events_per_swarm"]
+    fleet_spec = _fleet_bench_spec()
+    unsupervised = run_fleet(fleet_spec, seed=spec["seed"])
+    supervised = run_fleet(fleet_spec, seed=spec["seed"], max_retries=1)
+    assert supervised.failed_count == 0
+    assert supervised.fingerprint() == unsupervised.fingerprint()
 
 
 def test_fleet_log_fsync_batching(benchmark, capsys, tmp_path):

@@ -23,7 +23,10 @@ plain/flash-crowd/free-rider scenario distribution) scheduled through
 ``repro.fleet`` on the array backend, recording the aggregate events/sec of
 the whole fleet — once through the per-swarm path and once through the
 stacked mega-kernel (``stacked=True``), whose records are bit-identical, so
-both fleet execution paths sit under the CI bench gate — plus a small
+both fleet execution paths sit under the CI bench gate — and once with
+worker supervision switched on (``fleet.supervised``: ``max_retries=1``, no
+injected faults, bit-identical records), so the supervision wrapper's
+overhead is gated too — plus a small
 *adaptive* boundary-mapping workload driven through the stacked path
 (``fleet.stacked_adaptive``).  Each workload is timed a fixed number of
 times (``BENCH_REPETITIONS``, 3; fleet workloads use
@@ -394,7 +397,7 @@ def _fleet_bench_spec():
     )
 
 
-def measure_fleet_throughput(workers=None, stacked=False) -> dict:
+def measure_fleet_throughput(workers=None, stacked=False, supervised=False) -> dict:
     """Aggregate events/second of the 200-swarm / 100k-peer fleet workload.
 
     Like the kernel workloads, the fleet is run a fixed number of times
@@ -402,7 +405,10 @@ def measure_fleet_throughput(workers=None, stacked=False) -> dict:
     median elapsed time is recorded.  ``stacked=True`` runs every chunk
     through one ``StackedSwarmKernel`` — the records (and hence all
     non-timing fields) are bit-identical to the per-swarm path, only the
-    clock differs.
+    clock differs.  ``supervised=True`` turns on worker supervision
+    (``max_retries=1``) so the retry/bookkeeping wrapper of the supervised
+    execution path sits under the gate; with no injected faults the result
+    is again bit-identical, only the supervision overhead is measured.
     """
     from repro.fleet import run_fleet
 
@@ -413,13 +419,18 @@ def measure_fleet_throughput(workers=None, stacked=False) -> dict:
     for _ in range(FLEET_BENCH_REPETITIONS):
         start = time.perf_counter()
         result = run_fleet(
-            fleet_spec, seed=spec["seed"], workers=workers, stacked=stacked
+            fleet_spec,
+            seed=spec["seed"],
+            workers=workers,
+            stacked=stacked,
+            max_retries=1 if supervised else 0,
         )
         timings.append(time.perf_counter() - start)
     elapsed = statistics.median(timings)
     measurement = {
         "backend": "array",
         "stacked": stacked,
+        "supervised": supervised,
         "num_swarms": spec["num_swarms"],
         "total_initial_peers": spec["num_swarms"] * spec["initial_one_club"],
         "workers": workers or 1,
@@ -432,7 +443,8 @@ def measure_fleet_throughput(workers=None, stacked=False) -> dict:
             name: census.swarms for name, census in sorted(result.per_scenario.items())
         },
     }
-    _fleet_measurements["stacked" if stacked else "array"] = measurement
+    key = "supervised" if supervised else ("stacked" if stacked else "array")
+    _fleet_measurements[key] = measurement
     return measurement
 
 
@@ -533,6 +545,9 @@ def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
     fleet_stacked = _fleet_measurements.get("stacked") or measure_fleet_throughput(
         stacked=True
     )
+    fleet_supervised = _fleet_measurements.get(
+        "supervised"
+    ) or measure_fleet_throughput(supervised=True)
     stacked_adaptive = (
         _adaptive_measurements.get("stacked") or measure_stacked_adaptive_throughput()
     )
@@ -561,6 +576,12 @@ def emit_bench_baseline(path: Path = BENCH_OUTPUT) -> dict:
             "stacked": fleet_stacked,
             "stacked_speedup_over_per_swarm": round(
                 fleet_stacked["events_per_second"] / fleet["events_per_second"], 2
+            ),
+            "supervised": fleet_supervised,
+            "supervised_slowdown_over_unsupervised": round(
+                fleet["events_per_second"]
+                / fleet_supervised["events_per_second"],
+                2,
             ),
             "stacked_adaptive": {
                 "workload": {

@@ -125,6 +125,8 @@ def run_fleet_phase_diagram(
     seed: SeedLike = 0,
     checkpoint_path: Optional[Union[str, Path]] = None,
     stacked: bool = False,
+    max_retries: int = 0,
+    task_timeout: Optional[float] = None,
 ) -> FleetPhaseDiagramResult:
     """Run the capture phase diagram as one fleet.
 
@@ -133,6 +135,9 @@ def run_fleet_phase_diagram(
     index).  ``scenario_mix=None`` runs plain homogeneous swarms only.
     ``stacked=True`` executes each chunk in one stacked kernel (array
     backend only; the diagram is bit-identical either way).
+    ``max_retries`` / ``task_timeout`` switch on worker supervision (see
+    :class:`~repro.fleet.scheduler.FleetScheduler`): dead workers are
+    respawned and failed swarms retried, without changing the diagram.
     """
     sampler = GridSampler.of(
         {"arrival_rate": tuple(arrival_rates), "seed_rate": tuple(seed_rates)},
@@ -150,7 +155,12 @@ def run_fleet_phase_diagram(
         initial_club_size=initial_club_size,
     )
     scheduler = FleetScheduler(
-        spec, workers=workers, checkpoint_path=checkpoint_path, stacked=stacked
+        spec,
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        stacked=stacked,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
     )
     fleet = scheduler.run(seed=seed)
     cells: Dict[Tuple[float, float], PhaseCell] = {}
@@ -206,6 +216,8 @@ def run_adaptive_phase_diagram(
     patience: int = 2,
     variance_tol: float = 0.01,
     boundary_boost: float = 4.0,
+    max_retries: int = 0,
+    task_timeout: Optional[float] = None,
 ) -> AdaptiveFleetResult:
     """Map the capture boundary adaptively under a swarm/event budget.
 
@@ -240,7 +252,12 @@ def run_adaptive_phase_diagram(
         initial_club_size=initial_club_size,
     )
     driver = AdaptiveFleetDriver(
-        spec, workers=workers, checkpoint_path=checkpoint_path, log_path=log_path
+        spec,
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        log_path=log_path,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
     )
     return driver.run(seed=seed)
 

@@ -30,10 +30,12 @@ wall-clock, never the science.
 
 from __future__ import annotations
 
+import heapq
 import math
 import multiprocessing
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -73,28 +75,347 @@ def _run_replication(task) -> SwarmResult:
     return simulator.run(horizon, initial_state=initial_state, **run_kwargs)
 
 
-def map_tasks(function, tasks: Sequence, workers: Optional[int]):
+class TaskTimeoutError(RuntimeError):
+    """A supervised task overran its per-task deadline and was terminated."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died (segfault, OOM kill, ``os._exit``) mid-task."""
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A supervised task that exhausted its retry budget.
+
+    Yielded in the task's position (``on_exhausted="yield"``) so consumers
+    can degrade gracefully — e.g. the fleet scheduler records the swarm as
+    ``failed`` instead of losing the whole run.
+    """
+
+    task_index: int
+    error: str
+    error_type: str
+    attempts: int
+
+
+class _AttemptZero:
+    """Picklable adapter: always call ``function(task, attempt=0)``.
+
+    Keeps the unsupervised pool path (``pool.imap``) working for callers
+    that opted into ``with_attempt`` signatures without supervision.
+    """
+
+    def __init__(self, function):
+        self.function = function
+
+    def __call__(self, task):
+        return self.function(task, 0)
+
+
+def _invoke_task(function, task, attempt: int, with_attempt: bool):
+    if with_attempt:
+        return function(task, attempt)
+    return function(task)
+
+
+def _describe_error(error: BaseException) -> str:
+    return f"{type(error).__name__}: {error}"
+
+
+def _run_supervised_serial(
+    function,
+    tasks: Sequence,
+    max_retries: int,
+    retry_backoff: float,
+    on_exhausted: str,
+    with_attempt: bool,
+):
+    """In-process supervision: bounded retries only (a serial run has no
+    supervisor thread to enforce a deadline against, so ``task_timeout``
+    is not enforceable here — documented on :func:`map_tasks`)."""
+    for index, task in enumerate(tasks):
+        outcome = None
+        failure: Optional[BaseException] = None
+        for attempt in range(max_retries + 1):
+            try:
+                outcome = _invoke_task(function, task, attempt, with_attempt)
+                failure = None
+                break
+            except Exception as error:
+                failure = error
+                if attempt < max_retries and retry_backoff:
+                    time.sleep(retry_backoff * (2 ** attempt))
+        if failure is not None:
+            if on_exhausted == "yield":
+                yield TaskFailure(
+                    task_index=index,
+                    error=_describe_error(failure),
+                    error_type=type(failure).__name__,
+                    attempts=max_retries + 1,
+                )
+            else:
+                raise failure
+        else:
+            yield outcome
+
+
+def _run_supervised_pool(
+    function,
+    tasks: Sequence,
+    pool_size: int,
+    task_timeout: Optional[float],
+    max_retries: int,
+    retry_backoff: float,
+    on_exhausted: str,
+    with_attempt: bool,
+):
+    """Supervised process-pool execution: crash detection, deadlines, retry.
+
+    Uses ``concurrent.futures.ProcessPoolExecutor`` rather than
+    ``multiprocessing.Pool`` because a dead worker breaks the executor
+    *loudly* (``BrokenProcessPool`` on every in-flight future) instead of
+    silently swallowing the job.  On a broken pool, every in-flight task is
+    charged one attempt (the executor cannot attribute the death to a
+    single future) and the pool is rebuilt; on a deadline overrun, the
+    pool's processes are terminated, only the overrunning tasks are
+    charged, and everything else is requeued uncharged.  Results are
+    yielded strictly in task order.
+    """
+    import concurrent.futures as cf
+    from concurrent.futures.process import BrokenProcessPool
+
+    total = len(tasks)
+    attempts = [0] * total  # failed attempts consumed per task
+    resolved: Dict[int, Any] = {}  # index -> ("ok", result) | TaskFailure
+    ready: List[int] = list(range(total))
+    heapq.heapify(ready)
+    inflight: Dict[int, Tuple[Any, float]] = {}  # index -> (future, started)
+    executor = cf.ProcessPoolExecutor(pool_size)
+
+    def restart_pool(kill: bool) -> None:
+        nonlocal executor
+        if kill:
+            for process in list(getattr(executor, "_processes", {}).values()):
+                process.terminate()
+        executor.shutdown(wait=False, cancel_futures=True)
+        executor = cf.ProcessPoolExecutor(pool_size)
+
+    def record_failure(index: int, error: BaseException) -> None:
+        attempts[index] += 1
+        if attempts[index] <= max_retries:
+            if retry_backoff:
+                time.sleep(retry_backoff * (2 ** (attempts[index] - 1)))
+            heapq.heappush(ready, index)
+        elif on_exhausted == "yield":
+            resolved[index] = TaskFailure(
+                task_index=index,
+                error=_describe_error(error),
+                error_type=type(error).__name__,
+                attempts=attempts[index],
+            )
+        else:
+            raise error
+
+    def harvest() -> None:
+        broken = False
+        for index, (future, _started) in list(inflight.items()):
+            if not future.done():
+                continue
+            del inflight[index]
+            error = future.exception()
+            if error is None:
+                resolved[index] = ("ok", future.result())
+            elif isinstance(error, BrokenProcessPool):
+                broken = True
+                record_failure(
+                    index,
+                    WorkerCrashError(
+                        f"worker process died while running task {index}"
+                    ),
+                )
+            else:
+                record_failure(index, error)
+        if broken:
+            # Any future still pending on the broken pool is doomed too.
+            for index in list(inflight):
+                del inflight[index]
+                record_failure(
+                    index,
+                    WorkerCrashError(
+                        f"worker pool broke while task {index} was in flight"
+                    ),
+                )
+            restart_pool(kill=False)
+
+    def expire() -> None:
+        if task_timeout is None or not inflight:
+            return
+        now = time.monotonic()
+        overran = {
+            index
+            for index, (future, started) in inflight.items()
+            if now - started >= task_timeout and not future.done()
+        }
+        if not overran:
+            return
+        # Terminating the pool aborts *everything* in flight; only the
+        # overrunning tasks pay an attempt, the rest requeue uncharged.
+        for index, (future, _started) in list(inflight.items()):
+            del inflight[index]
+            if index in overran:
+                record_failure(
+                    index,
+                    TaskTimeoutError(
+                        f"task {index} exceeded the {task_timeout}s deadline"
+                    ),
+                )
+            else:
+                heapq.heappush(ready, index)
+        restart_pool(kill=True)
+
+    def fill() -> None:
+        while ready and len(inflight) < pool_size:
+            index = heapq.heappop(ready)
+            if index in resolved:
+                continue
+            try:
+                future = executor.submit(
+                    _invoke_task, function, tasks[index], attempts[index],
+                    with_attempt,
+                )
+            except (BrokenProcessPool, RuntimeError):
+                heapq.heappush(ready, index)
+                restart_pool(kill=False)
+                continue
+            inflight[index] = (future, time.monotonic())
+
+    try:
+        emit = 0
+        while emit < total:
+            harvest()
+            expire()
+            fill()
+            if emit in resolved:
+                value = resolved.pop(emit)
+                yield value if isinstance(value, TaskFailure) else value[1]
+                emit += 1
+                continue
+            futures = [future for future, _started in inflight.values()]
+            if not futures:
+                continue
+            if task_timeout is not None:
+                now = time.monotonic()
+                next_deadline = min(
+                    started + task_timeout for _f, started in inflight.values()
+                )
+                wait_for = max(next_deadline - now, 0.0) + 0.01
+            else:
+                wait_for = None
+            cf.wait(futures, timeout=wait_for, return_when=cf.FIRST_COMPLETED)
+    finally:
+        if inflight:
+            # Consumer stopped early: cancel outstanding work, like the
+            # unsupervised path's pool teardown.
+            processes = getattr(executor, "_processes", None) or {}
+            for process in list(processes.values()):
+                process.terminate()
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def map_tasks(
+    function,
+    tasks: Sequence,
+    workers: Optional[int],
+    *,
+    task_timeout: Optional[float] = None,
+    max_retries: int = 0,
+    retry_backoff: float = 0.0,
+    on_exhausted: str = "raise",
+    with_attempt: bool = False,
+):
     """Stream ``function`` over ``tasks``, serially or on a process pool.
 
     ``workers in (None, 0, 1)`` runs in-process; larger values use a
-    ``multiprocessing`` pool of ``min(workers, len(tasks))`` processes.
-    Results are yielded strictly in task order either way, so callers'
-    outcomes never depend on the worker count.  The pool is torn down when
-    the generator is exhausted *or* closed early (a consumer that stops
-    iterating — e.g. the fleet scheduler hitting a checkpoint stop — cancels
-    the outstanding work).
+    process pool of ``min(workers, len(tasks))`` processes.  Results are
+    yielded strictly in task order either way, so callers' outcomes never
+    depend on the worker count.  The pool is torn down when the generator
+    is exhausted *or* closed early (a consumer that stops iterating —
+    e.g. the fleet scheduler hitting a checkpoint stop — cancels the
+    outstanding work).
+
+    Supervision (off by default; the default path is byte-for-byte the
+    original ``multiprocessing.Pool``/serial execution):
+
+    * ``max_retries`` — failed tasks are retried up to this many times
+      with deterministic exponential backoff (``retry_backoff * 2**k``
+      seconds before retry ``k+1``); a worker-process death
+      (:class:`WorkerCrashError`) counts as a failed attempt for every
+      task that was in flight.
+    * ``task_timeout`` — per-task wall-clock deadline (seconds) on the
+      pool path; an overrunning task's workers are terminated and the
+      task is charged one attempt.  Unenforceable in-process (a serial
+      run has no supervisor), so serial supervision retries only.
+    * ``on_exhausted`` — ``"raise"`` re-raises the final error;
+      ``"yield"`` yields a :class:`TaskFailure` sentinel in the task's
+      position so the consumer can degrade gracefully.
+    * ``with_attempt`` — call ``function(task, attempt)`` instead of
+      ``function(task)``, letting deterministic fault plans key on the
+      attempt number.
 
     This is the one process-fan-out primitive of the experiment stack:
     :class:`BatchRunner` maps replications through it and
     :class:`repro.fleet.scheduler.FleetScheduler` maps swarm chunks.
     """
+    if not isinstance(max_retries, int) or isinstance(max_retries, bool) \
+            or max_retries < 0:
+        raise unsupported_option(
+            "map_tasks", "max_retries", max_retries,
+            "retries are a bounded non-negative count; pass 0 to disable "
+            "supervised retry",
+        )
+    if task_timeout is not None and not task_timeout > 0:
+        raise unsupported_option(
+            "map_tasks", "task_timeout", task_timeout,
+            "the per-task deadline is seconds of wall clock and must be "
+            "positive; pass None to disable it",
+        )
+    if retry_backoff < 0:
+        raise unsupported_option(
+            "map_tasks", "retry_backoff", retry_backoff,
+            "the retry backoff is seconds and must be >= 0",
+        )
+    if on_exhausted not in ("raise", "yield"):
+        raise ValueError(
+            f"on_exhausted must be 'raise' or 'yield', got {on_exhausted!r}"
+        )
+    supervised = (
+        task_timeout is not None or max_retries > 0 or on_exhausted != "raise"
+    )
     workers = workers or 0
     if workers > 1 and len(tasks) > 1:
-        with multiprocessing.Pool(min(workers, len(tasks))) as pool:
-            yield from pool.imap(function, tasks)
+        if supervised:
+            yield from _run_supervised_pool(
+                function,
+                tasks,
+                min(workers, len(tasks)),
+                task_timeout,
+                max_retries,
+                retry_backoff,
+                on_exhausted,
+                with_attempt,
+            )
+        else:
+            pool_function = _AttemptZero(function) if with_attempt else function
+            with multiprocessing.Pool(min(workers, len(tasks))) as pool:
+                yield from pool.imap(pool_function, tasks)
+    elif supervised:
+        yield from _run_supervised_serial(
+            function, tasks, max_retries, retry_backoff, on_exhausted,
+            with_attempt,
+        )
     else:
         for task in tasks:
-            yield function(task)
+            yield _invoke_task(function, task, 0, with_attempt)
 
 
 @dataclass
@@ -430,6 +751,9 @@ __all__ = [
     "BatchSwarmResult",
     "StabilityTrialResult",
     "SweepResult",
+    "TaskFailure",
+    "TaskTimeoutError",
+    "WorkerCrashError",
     "map_tasks",
     "run_scenario",
     "run_stability_trial",

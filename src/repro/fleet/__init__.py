@@ -18,14 +18,19 @@ dual-kernel runner into a phase-diagram machine:
   ``(λ, U_s, scenario)`` candidates by Beta-posterior uncertainty, with a
   boundary-stability stopping rule, same determinism and resume contract;
 * :mod:`repro.fleet.persistence` — the streaming JSONL fleet log (one
-  schema-versioned record per completed swarm, fsync'd batches, live
-  ``tail -f``, :meth:`FleetResult.from_log` reconstruction);
+  schema-versioned, CRC32-checksummed record per completed swarm, fsync'd
+  batches, live ``tail -f``, segment rotation and census compaction,
+  salvage-mode reads, :meth:`FleetResult.from_log` reconstruction);
 * :mod:`repro.fleet.result` — :class:`FleetSwarmRecord` and the incremental
   :class:`FleetResult` census (one-club prevalence, sojourn/download
   distributions, Theorem-1-vs-outcome confusion counts, per-scenario
-  breakdown);
-* :mod:`repro.fleet.checkpoint` — the atomic pickle checkpoint format
-  (a byte offset into the JSONL log + the in-flight kernel snapshot).
+  breakdown, ``failed`` records from exhausted retries);
+* :mod:`repro.fleet.checkpoint` — the crash-atomic pickle checkpoint format
+  (a ``(segment, byte offset)`` pointer into the JSONL log + the in-flight
+  kernel snapshot, with a ``.bak`` fallback copy);
+* :mod:`repro.fleet.faults` — the deterministic fault-injection harness
+  (:class:`FaultPlan`): planned worker crashes, task errors, torn appends,
+  failed fsyncs, corrupted checkpoints and SIGKILL points for chaos tests.
 
 The fleet-level experiments (uniform and adaptive capture phase diagrams
 over the Theorem-1 boundary) live in :mod:`repro.experiments.fleet`.
@@ -48,16 +53,33 @@ from .checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from .faults import (
+    FaultPlan,
+    InjectedCheckpointCrash,
+    InjectedFault,
+    InjectedFsyncFailure,
+    InjectedTaskError,
+    InjectedTornWrite,
+    InjectedWorkerCrash,
+    WORKER_CRASH_EXIT_CODE,
+)
 from .persistence import (
     FLEET_LOG_SCHEMA,
     FleetLog,
     FleetLogError,
     FleetLogHeader,
     FleetLogWriter,
+    compact_log,
     read_log,
     tail_summary,
 )
-from .result import FleetResult, FleetSwarmRecord, record_from_result, theory_verdict
+from .result import (
+    FleetResult,
+    FleetSwarmRecord,
+    failure_record,
+    record_from_result,
+    theory_verdict,
+)
 from .scheduler import FleetScheduler, resume_fleet, run_fleet
 from .spec import (
     FixedSampler,
@@ -81,6 +103,7 @@ __all__ = [
     "CaptureGrid",
     "CellKey",
     "FLEET_LOG_SCHEMA",
+    "FaultPlan",
     "FixedSampler",
     "FleetCheckpoint",
     "FleetLog",
@@ -92,6 +115,12 @@ __all__ = [
     "FleetSpec",
     "FleetSwarmRecord",
     "GridSampler",
+    "InjectedCheckpointCrash",
+    "InjectedFault",
+    "InjectedFsyncFailure",
+    "InjectedTaskError",
+    "InjectedTornWrite",
+    "InjectedWorkerCrash",
     "PLAIN_LABEL",
     "ParameterSampler",
     "RandomSampler",
@@ -99,8 +128,11 @@ __all__ = [
     "SAMPLABLE_FIELDS",
     "ScenarioWeight",
     "SwarmTask",
+    "WORKER_CRASH_EXIT_CODE",
     "beta_mean_variance",
+    "compact_log",
     "default_log_path",
+    "failure_record",
     "load_checkpoint",
     "materialize_tasks",
     "normalize_fleet_seed",

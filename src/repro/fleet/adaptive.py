@@ -44,6 +44,7 @@ from ..analysis.tables import format_table
 from ..simulation.rng import SeedLike
 from ..swarm.swarm import unsupported_option
 from .checkpoint import load_checkpoint
+from .faults import FaultPlan
 from .persistence import FleetLogWriter, read_log
 from .result import FleetResult, FleetSwarmRecord
 from .scheduler import (
@@ -672,6 +673,12 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
         log_path: Optional[Union[str, Path]] = None,
         fsync_every_n: int = 1,
         stacked: bool = False,
+        max_retries: int = 0,
+        task_timeout: Optional[float] = None,
+        retry_backoff: float = 0.0,
+        rotate_every: Optional[int] = None,
+        compact_after: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if stacked and spec.backend != "array":
             raise unsupported_option(
@@ -690,6 +697,12 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
             log_path,
             fsync_every_n,
             stacked,
+            max_retries=max_retries,
+            task_timeout=task_timeout,
+            retry_backoff=retry_backoff,
+            rotate_every=rotate_every,
+            compact_after=compact_after,
+            fault_plan=fault_plan,
         )
 
     def _swarm_target(self) -> int:
@@ -725,7 +738,7 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
             spec_name=self.spec.name, num_swarms=self.spec.swarm_budget
         )
         stream = _SeedStream(token)
-        writer = self._open_writer(token, resume_offset=None)
+        writer = self._open_writer(token)
         return self._drive(
             state,
             result,
@@ -737,6 +750,7 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
             in_flight=None,
             stop_after_swarms=stop_after_swarms,
             suspend_after_events=suspend_after_events,
+            fresh=True,
         )
 
     def resume(
@@ -784,9 +798,7 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
         )
         stream = _SeedStream(checkpoint.seed)
         stream.skip(len(records))
-        writer = self._open_writer(
-            checkpoint.seed, resume_offset=checkpoint.log_offset
-        )
+        writer = self._open_writer(checkpoint.seed, checkpoint=checkpoint)
         return self._drive(
             state,
             result,
@@ -809,12 +821,18 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
         checkpoint_every: int = 1,
         fsync_every_n: int = 1,
         stacked: bool = False,
+        max_retries: int = 0,
+        task_timeout: Optional[float] = None,
+        retry_backoff: float = 0.0,
+        rotate_every: Optional[int] = None,
+        compact_after: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> "AdaptiveFleetDriver":
         """Build a driver around the adaptive spec stored in a checkpoint.
 
-        ``stacked`` is an execution property, not part of the spec: a run
-        checkpointed by either path resumes (bit-identically) through the
-        other.
+        ``stacked`` (like the supervision and log-layout knobs) is an
+        execution property, not part of the spec: a run checkpointed by
+        either path resumes (bit-identically) through the other.
         """
         checkpoint = load_checkpoint(checkpoint_path)
         if not isinstance(checkpoint.spec, AdaptiveFleetSpec):
@@ -829,6 +847,12 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
             checkpoint_every=checkpoint_every,
             fsync_every_n=fsync_every_n,
             stacked=stacked,
+            max_retries=max_retries,
+            task_timeout=task_timeout,
+            retry_backoff=retry_backoff,
+            rotate_every=rotate_every,
+            compact_after=compact_after,
+            fault_plan=fault_plan,
         )
 
     # -- core ----------------------------------------------------------------
@@ -862,15 +886,19 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
         in_flight: Optional[Tuple[int, Dict[str, Any]]],
         stop_after_swarms: Optional[int],
         suspend_after_events: Optional[int],
+        fresh: bool = False,
     ) -> AdaptiveFleetResult:
-        # Deferred for the same layering reason as in the fixed scheduler.
-        from ..experiments.runner import map_tasks
-
         exec_spec = self.spec.execution_spec()
         cells = self.spec.cells
         run_task = _run_stacked_task if self.stacked else _run_swarm_task
         run_chunk = _run_stacked_chunk if self.stacked else _run_fleet_chunk
         try:
+            if fresh:
+                # An initial checkpoint pins the (spec, seed) pair on disk
+                # before any work: a crash at any later point can resume.
+                self._write_checkpoint(
+                    result, token, writer, in_flight=None, fresh=True
+                )
             if in_flight is not None:
                 # The suspended swarm is the next one of the interrupted
                 # round (or the first of a freshly allocated round when the
@@ -912,12 +940,16 @@ class AdaptiveFleetDriver(PersistentFleetExecution):
                     for offset, cell_index in enumerate(remaining[:run_now])
                 ]
                 chunks = [
-                    (exec_spec, tasks[start : start + self.chunk_size])
+                    (
+                        exec_spec,
+                        tasks[start : start + self.chunk_size],
+                        self.fault_plan,
+                    )
                     for start in range(0, len(tasks), self.chunk_size)
                 ]
                 since_checkpoint = 0
                 round_start = state.completed
-                for records in map_tasks(run_chunk, chunks, self.workers):
+                for records in self._map_chunks(run_chunk, run_task, chunks):
                     for record in records:
                         position_in_round = len(result.records) - round_start
                         result.add(record)
@@ -996,6 +1028,12 @@ def run_adaptive_fleet(
     suspend_after_events: Optional[int] = None,
     fsync_every_n: int = 1,
     stacked: bool = False,
+    max_retries: int = 0,
+    task_timeout: Optional[float] = None,
+    retry_backoff: float = 0.0,
+    rotate_every: Optional[int] = None,
+    compact_after: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> AdaptiveFleetResult:
     """One-call adaptive execution (see :class:`AdaptiveFleetDriver`).
 
@@ -1018,6 +1056,12 @@ def run_adaptive_fleet(
         log_path=log_path,
         fsync_every_n=fsync_every_n,
         stacked=stacked,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+        retry_backoff=retry_backoff,
+        rotate_every=rotate_every,
+        compact_after=compact_after,
+        fault_plan=fault_plan,
     )
     return driver.run(
         seed=seed,
@@ -1033,6 +1077,12 @@ def resume_adaptive_fleet(
     checkpoint_every: int = 1,
     fsync_every_n: int = 1,
     stacked: bool = False,
+    max_retries: int = 0,
+    task_timeout: Optional[float] = None,
+    retry_backoff: float = 0.0,
+    rotate_every: Optional[int] = None,
+    compact_after: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> AdaptiveFleetResult:
     """Resume a killed adaptive fleet (see :meth:`AdaptiveFleetDriver.resume`)."""
     driver = AdaptiveFleetDriver.from_checkpoint(
@@ -1042,6 +1092,12 @@ def resume_adaptive_fleet(
         checkpoint_every=checkpoint_every,
         fsync_every_n=fsync_every_n,
         stacked=stacked,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+        retry_backoff=retry_backoff,
+        rotate_every=rotate_every,
+        compact_after=compact_after,
+        fault_plan=fault_plan,
     )
     return driver.resume()
 

@@ -8,8 +8,9 @@ plus whatever cannot live in the log:
 * the spec (fixed :class:`~repro.fleet.spec.FleetSpec` or adaptive
   :class:`~repro.fleet.adaptive.AdaptiveFleetSpec`) and the normalized
   master-seed token,
-* ``num_records`` / ``log_offset`` — how many swarms the log held, and the
-  byte offset just past them, when the checkpoint was written,
+* ``num_records`` / ``(log_segment, log_offset)`` — how many swarms the log
+  held, and which segment file and byte offset sit just past them, when the
+  checkpoint was written,
 * optionally the suspended mid-swarm kernel snapshot from
   :meth:`~repro.swarm.swarm._SwarmEventLoop.capture_state`.
 
@@ -17,39 +18,59 @@ Because swarm assignment and simulation seeding are pure functions of
 ``(spec, seed)`` and kernel snapshots resume bit-identically, a resumed
 fleet reproduces the *exact* ``FleetResult`` an uninterrupted run would have
 produced, at any worker count.  Resume truncates the log back to
-``log_offset``, so records appended after the last checkpoint are simply
-re-run — the log and the checkpoint can never disagree.
+``(log_segment, log_offset)``, so records appended after the last checkpoint
+are simply re-run — the log and the checkpoint can never disagree.
 
-Checkpoints are pickled atomically (write to a sibling temp file, then
-``os.replace``), so a crash while checkpointing never corrupts the previous
-checkpoint.  The log file travels as a *sibling file name*, resolved against
-the checkpoint's directory, so a checkpoint+log pair can be moved together.
+Checkpoint writes are **crash-atomic and durable**: the pickle goes to a
+sibling temp file, is fsync'd, renamed into place with ``os.replace``, and
+the directory is fsync'd so the rename itself survives power loss.  The
+previous checkpoint is retained as ``<name>.bak`` before each overwrite;
+:func:`load_checkpoint` falls back to it (with a warning) if the primary is
+corrupt — so a crash *or* bit rot during/after a checkpoint write costs at
+most one checkpoint interval of re-run work, never the run.
+
+The log file travels as a *sibling file name*, resolved against the
+checkpoint's directory, so a checkpoint+log pair can be moved together.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
+from .faults import FaultState, InjectedCheckpointCrash, corrupt_file_bytes
+
 #: Version tag of the checkpoint payload layout.  Format 2 replaced the
 #: inline record list with a (num_records, log_offset) pointer into the
-#: sibling JSONL fleet log.  The in-flight kernel snapshot is opaque to this
-#: module and carries its *own* format tag: snapshots written before the
-#: blocked draw buffer existed (kernel snapshot format 1, no ``"draws"``
-#: entry) are still restored exactly by
+#: sibling JSONL fleet log; format 3 added ``log_segment`` so the pointer
+#: survives log rotation.  Format-2 checkpoints are still loaded (their
+#: segment defaults to 0, which is what an unrotated log is).  The
+#: in-flight kernel snapshot is opaque to this module and carries its
+#: *own* format tag: snapshots written before the blocked draw buffer
+#: existed (kernel snapshot format 1, no ``"draws"`` entry) are still
+#: restored exactly by
 #: :meth:`repro.swarm.swarm._SwarmEventLoop.restore_state`, so old
 #: checkpoints survive the buffer migration without a checkpoint-format
 #: bump.
-CHECKPOINT_FORMAT = 2
+CHECKPOINT_FORMAT = 3
+
+_LOADABLE_FORMATS = (2, 3)
 
 
 def default_log_path(checkpoint_path: Union[str, Path]) -> Path:
     """The sibling JSONL log a checkpoint pairs with by default."""
     target = Path(checkpoint_path)
     return target.with_name(target.name + ".jsonl")
+
+
+def backup_path(checkpoint_path: Union[str, Path]) -> Path:
+    """The previous-checkpoint file retained across overwrites."""
+    target = Path(checkpoint_path)
+    return target.with_name(target.name + ".bak")
 
 
 @dataclass
@@ -64,11 +85,15 @@ class FleetCheckpoint:
     #: Sibling file name of the JSONL fleet log (resolved relative to the
     #: checkpoint's directory).
     log_name: str
-    #: Byte offset just past record ``num_records - 1`` in the log.
+    #: Byte offset just past record ``num_records - 1`` within the log
+    #: segment named by ``log_segment``.
     log_offset: int
     #: ``(swarm index, kernel snapshot)`` of a mid-swarm suspension, if any;
     #: the index always equals ``num_records`` when present.
     in_flight: Optional[Tuple[int, Dict[str, Any]]] = None
+    #: Which log segment ``log_offset`` points into (0 for an unrotated
+    #: log, which is also what format-2 checkpoints imply).
+    log_segment: int = 0
     format: int = CHECKPOINT_FORMAT
 
     def __post_init__(self) -> None:
@@ -76,6 +101,8 @@ class FleetCheckpoint:
             raise ValueError(f"num_records must be >= 0, got {self.num_records}")
         if self.log_offset < 0:
             raise ValueError(f"log_offset must be >= 0, got {self.log_offset}")
+        if self.log_segment < 0:
+            raise ValueError(f"log_segment must be >= 0, got {self.log_segment}")
         if self.in_flight is not None and self.in_flight[0] != self.num_records:
             raise ValueError(
                 f"in-flight swarm {self.in_flight[0]} does not match "
@@ -92,34 +119,115 @@ class FleetCheckpoint:
         return Path(checkpoint_path).parent / self.log_name
 
 
-def save_checkpoint(path: Union[str, Path], checkpoint: FleetCheckpoint) -> Path:
-    """Atomically pickle ``checkpoint`` to ``path``."""
+def _fsync_dir(directory: Path) -> None:
+    """Fsync a directory so a rename is durable (best-effort on exotic FS)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    checkpoint: FleetCheckpoint,
+    faults: Optional[FaultState] = None,
+    keep_previous: bool = True,
+) -> Path:
+    """Durably and atomically pickle ``checkpoint`` to ``path``.
+
+    Write order: temp file → fsync → rotate the old primary to ``.bak``
+    (unless ``keep_previous=False``, which *removes* any stale backup — the
+    first checkpoint of a fresh run must not leave a previous run's state
+    loadable) → ``os.replace`` → directory fsync.  A crash between any two
+    steps leaves either the old checkpoint, the old checkpoint plus a
+    complete ``.bak`` copy, or the new checkpoint — never a torn file at
+    ``path``.
+
+    ``faults`` hooks the deterministic chaos harness in: a planned
+    *checkpoint crash* dies after writing half the temp file (the primary
+    is untouched), a planned *corruption* flips bytes in the finished file
+    (which :func:`load_checkpoint` detects and falls back from).
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
+    ordinal = faults.next_checkpoint_ordinal() if faults is not None else -1
     temp = target.with_name(target.name + ".tmp")
+    payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+    if faults is not None and faults.take_checkpoint_crash(ordinal):
+        temp.write_bytes(payload[: max(1, len(payload) // 2)])
+        raise InjectedCheckpointCrash(
+            f"injected crash during checkpoint write #{ordinal}"
+        )
     with temp.open("wb") as handle:
-        pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    backup = backup_path(target)
+    if keep_previous:
+        if target.exists():
+            os.replace(target, backup)
+    elif backup.exists():
+        backup.unlink()
     os.replace(temp, target)
+    _fsync_dir(target.parent)
+    if faults is not None and faults.take_corrupt_checkpoint(ordinal):
+        corrupt_file_bytes(target)
     return target
 
 
-def load_checkpoint(path: Union[str, Path]) -> FleetCheckpoint:
-    """Load a checkpoint written by :func:`save_checkpoint`."""
-    with Path(path).open("rb") as handle:
+def _load_checkpoint_file(path: Path) -> FleetCheckpoint:
+    with path.open("rb") as handle:
         checkpoint = pickle.load(handle)
     if not isinstance(checkpoint, FleetCheckpoint):
         raise ValueError(f"{path} does not contain a FleetCheckpoint")
-    if checkpoint.format != CHECKPOINT_FORMAT:
+    if checkpoint.format not in _LOADABLE_FORMATS:
         raise ValueError(
             f"unsupported checkpoint format {checkpoint.format} "
-            f"(expected {CHECKPOINT_FORMAT})"
+            f"(expected one of {list(_LOADABLE_FORMATS)})"
         )
+    if not hasattr(checkpoint, "log_segment"):
+        # A format-2 pickle restored into the format-3 dataclass: the field
+        # default does not apply through pickle's __dict__ path, so pin it.
+        checkpoint.log_segment = 0
     return checkpoint
+
+
+def load_checkpoint(path: Union[str, Path]) -> FleetCheckpoint:
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    If the primary file is corrupt or unreadable but a ``.bak`` copy from
+    the previous checkpoint write exists, loads that instead with a
+    warning — resuming from one checkpoint interval earlier re-runs a few
+    swarms deterministically rather than losing the run.
+    """
+    target = Path(path)
+    try:
+        return _load_checkpoint_file(target)
+    except FileNotFoundError:
+        raise
+    except Exception as error:
+        backup = backup_path(target)
+        if not backup.exists():
+            raise
+        checkpoint = _load_checkpoint_file(backup)
+        warnings.warn(
+            f"checkpoint {target} is unreadable ({type(error).__name__}: "
+            f"{error}); falling back to the previous checkpoint {backup}",
+            stacklevel=2,
+        )
+        return checkpoint
 
 
 __all__ = [
     "CHECKPOINT_FORMAT",
     "FleetCheckpoint",
+    "backup_path",
     "default_log_path",
     "load_checkpoint",
     "save_checkpoint",

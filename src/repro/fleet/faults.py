@@ -1,0 +1,287 @@
+"""Deterministic fault injection for the fleet execution stack.
+
+Robustness claims are only as good as the failures they were tested
+against, so the fleet layer carries its own chaos harness: a frozen,
+seeded :class:`FaultPlan` that injects failures at *planned*, reproducible
+points —
+
+* **worker crashes** — the process running a planned swarm dies with
+  ``os._exit`` mid-task (no exception, no cleanup), exactly like an OOM
+  kill, exercising dead-worker detection in
+  :func:`repro.experiments.runner.map_tasks`;
+* **task errors** — a planned swarm raises on its first attempt,
+  exercising the retry path;
+* **poison tasks** — a planned swarm raises on *every* attempt,
+  exercising quarantine and the ``failed``-record degradation path;
+* **stalls** — a planned swarm sleeps past any reasonable deadline on its
+  first attempt (worker processes only), exercising the per-task timeout;
+* **torn appends** — the log writer emits half a record line and raises,
+  leaving exactly the truncated-tail shape a crash mid-``write`` leaves;
+* **failed fsyncs** — the writer raises in place of ``os.fsync`` once a
+  planned number of records has been appended;
+* **corrupted / crashed checkpoints** — a planned checkpoint write either
+  flips bytes in the finished file (bit rot) or dies after a partial temp
+  file (crash mid-checkpoint);
+* **kill points** — the process SIGKILLs *itself* right after a planned
+  record is durably appended, for real-crash subprocess tests.
+
+The plan is plain frozen data (picklable, so it crosses process
+boundaries with the chunk jobs) and the default everywhere is ``None`` —
+production paths never construct, consult, or pay for any of this.
+Task-level faults are stateless functions of ``(swarm index, attempt)``,
+so a retried task deterministically succeeds (or keeps failing, for
+poison tasks) at any worker count; writer-side faults fire at most once
+per process lifetime, tracked by the mutable :class:`FaultState` the
+writer owns.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+#: Exit status of an injected worker crash (``os._exit``); distinctive so
+#: tests can tell an injected death from a genuine one.
+WORKER_CRASH_EXIT_CODE = 173
+
+
+class InjectedFault(RuntimeError):
+    """Base class of every failure raised by the fault harness."""
+
+
+class InjectedWorkerCrash(InjectedFault):
+    """A planned worker crash fired in-process (no worker to ``os._exit``)."""
+
+
+class InjectedTaskError(InjectedFault):
+    """A planned task exception (one-shot or poison)."""
+
+
+class InjectedTornWrite(InjectedFault):
+    """The log writer died mid-append, leaving a truncated tail line."""
+
+
+class InjectedFsyncFailure(InjectedFault):
+    """A planned fsync failure (disk gone read-only, quota hit, ...)."""
+
+
+class InjectedCheckpointCrash(InjectedFault):
+    """A planned crash mid-checkpoint-write (partial temp file left behind)."""
+
+
+def _in_worker_process() -> bool:
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen schedule of injected failures (all fields default to none).
+
+    ``worker_crashes`` / ``task_errors`` / ``stall_tasks`` name swarm
+    indices and fire on attempt 0 only — the retry reproduces the exact
+    record because per-swarm seeds are independent ``SeedSequence.spawn``
+    children.  ``poison_tasks`` fire on every attempt.  ``torn_appends``
+    and ``kill_points`` name *record* indices at the log writer;
+    ``failed_fsyncs`` name appended-record counts; the checkpoint faults
+    name checkpoint-write ordinals (0 is the initial checkpoint of a
+    fresh run).
+    """
+
+    worker_crashes: Tuple[int, ...] = ()
+    task_errors: Tuple[int, ...] = ()
+    poison_tasks: Tuple[int, ...] = ()
+    stall_tasks: Tuple[int, ...] = ()
+    stall_seconds: float = 30.0
+    torn_appends: Tuple[int, ...] = ()
+    failed_fsyncs: Tuple[int, ...] = ()
+    corrupt_checkpoints: Tuple[int, ...] = ()
+    checkpoint_crashes: Tuple[int, ...] = ()
+    kill_points: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            if spec.name == "stall_seconds":
+                continue
+            values = getattr(self, spec.name)
+            normalized = tuple(sorted(int(value) for value in values))
+            if any(value < 0 for value in normalized):
+                raise ValueError(
+                    f"FaultPlan.{spec.name} entries must be >= 0: {values}"
+                )
+            object.__setattr__(self, spec.name, normalized)
+        if self.stall_seconds <= 0:
+            raise ValueError(
+                f"stall_seconds must be positive, got {self.stall_seconds}"
+            )
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not any(
+            getattr(self, spec.name)
+            for spec in fields(self)
+            if spec.name != "stall_seconds"
+        )
+
+    @classmethod
+    def plan(
+        cls,
+        seed: int,
+        num_tasks: int,
+        *,
+        worker_crashes: int = 0,
+        task_errors: int = 0,
+        poison_tasks: int = 0,
+        stall_tasks: int = 0,
+        torn_appends: int = 0,
+        failed_fsyncs: int = 0,
+        corrupt_checkpoints: int = 0,
+        checkpoint_crashes: int = 0,
+        kill_points: int = 0,
+    ) -> "FaultPlan":
+        """Draw a deterministic plan of the requested fault counts.
+
+        Task/record indices are sampled without replacement from
+        ``range(num_tasks)``; checkpoint ordinals from ``range(1,
+        num_tasks + 1)`` (never the initial checkpoint, which has no
+        predecessor to fall back to).  The same ``(seed, num_tasks,
+        counts)`` always yields the same plan.
+        """
+        rng = np.random.default_rng(seed)
+
+        def pick(count: int, low: int, high: int) -> Tuple[int, ...]:
+            span = max(high - low, 0)
+            count = min(count, span)
+            if count <= 0:
+                return ()
+            drawn = rng.choice(span, size=count, replace=False)
+            return tuple(sorted(int(value) + low for value in drawn))
+
+        return cls(
+            worker_crashes=pick(worker_crashes, 0, num_tasks),
+            task_errors=pick(task_errors, 0, num_tasks),
+            poison_tasks=pick(poison_tasks, 0, num_tasks),
+            stall_tasks=pick(stall_tasks, 0, num_tasks),
+            torn_appends=pick(torn_appends, 0, num_tasks),
+            failed_fsyncs=pick(failed_fsyncs, 1, num_tasks + 1),
+            corrupt_checkpoints=pick(corrupt_checkpoints, 1, num_tasks + 1),
+            checkpoint_crashes=pick(checkpoint_crashes, 1, num_tasks + 1),
+            kill_points=pick(kill_points, 0, num_tasks),
+        )
+
+
+def fire_task_faults(
+    plan: Optional[FaultPlan], index: int, attempt: int
+) -> None:
+    """Fire any task-level fault planned for ``(swarm index, attempt)``.
+
+    Called at the top of every swarm-task execution.  Stateless: the same
+    arguments always produce the same outcome, so a task retried anywhere
+    (another worker, the in-process quarantine loop, a resumed run)
+    behaves identically.  ``plan=None`` is free.
+    """
+    if plan is None:
+        return
+    if index in plan.poison_tasks:
+        raise InjectedTaskError(
+            f"injected poison failure for swarm {index} (attempt {attempt})"
+        )
+    if attempt > 0:
+        return
+    if index in plan.worker_crashes:
+        if _in_worker_process():
+            os._exit(WORKER_CRASH_EXIT_CODE)
+        raise InjectedWorkerCrash(
+            f"injected worker crash at swarm {index} (in-process stand-in)"
+        )
+    if index in plan.task_errors:
+        raise InjectedTaskError(f"injected task error at swarm {index}")
+    if index in plan.stall_tasks and _in_worker_process():
+        # Stalls only make sense where a supervisor can time the worker
+        # out; in-process there is nobody to interrupt the sleep.
+        time.sleep(plan.stall_seconds)
+
+
+class FaultState:
+    """Once-only bookkeeping for the writer-side faults of one process.
+
+    Torn appends, failed fsyncs, kill points and checkpoint faults each
+    fire at most once per key per process lifetime — a resumed process
+    starts fresh, which is exactly the semantics of a transient disk
+    fault.  The state is deliberately *not* persisted anywhere.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan]):
+        self.plan = plan if plan is not None else FaultPlan()
+        self._fired: set = set()
+        self._checkpoints = 0
+
+    def _take(self, kind: str, key: int) -> bool:
+        if key in getattr(self.plan, kind) and (kind, key) not in self._fired:
+            self._fired.add((kind, key))
+            return True
+        return False
+
+    def take_torn_append(self, record_index: int) -> bool:
+        return self._take("torn_appends", record_index)
+
+    def take_kill_point(self, record_index: int) -> bool:
+        return self._take("kill_points", record_index)
+
+    def take_failed_fsync(self, total_records: int) -> bool:
+        for key in self.plan.failed_fsyncs:
+            if key <= total_records and ("failed_fsyncs", key) not in self._fired:
+                self._fired.add(("failed_fsyncs", key))
+                return True
+        return False
+
+    def next_checkpoint_ordinal(self) -> int:
+        ordinal = self._checkpoints
+        self._checkpoints += 1
+        return ordinal
+
+    def take_corrupt_checkpoint(self, ordinal: int) -> bool:
+        return self._take("corrupt_checkpoints", ordinal)
+
+    def take_checkpoint_crash(self, ordinal: int) -> bool:
+        return self._take("checkpoint_crashes", ordinal)
+
+
+def corrupt_file_bytes(path: Union[str, Path]) -> None:
+    """Flip a run of bytes in the middle of ``path`` (injected bit rot)."""
+    target = Path(path)
+    data = bytearray(target.read_bytes())
+    if not data:
+        return
+    middle = len(data) // 2
+    for position in range(middle, min(middle + 8, len(data))):
+        data[position] ^= 0xFF
+    target.write_bytes(data)
+
+
+def kill_self() -> None:
+    """SIGKILL the current process — the real, unhandleable ``kill -9``."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+__all__ = [
+    "FaultPlan",
+    "FaultState",
+    "InjectedCheckpointCrash",
+    "InjectedFault",
+    "InjectedFsyncFailure",
+    "InjectedTaskError",
+    "InjectedTornWrite",
+    "InjectedWorkerCrash",
+    "WORKER_CRASH_EXIT_CODE",
+    "corrupt_file_bytes",
+    "fire_task_faults",
+    "kill_self",
+]

@@ -81,9 +81,20 @@ class FleetSwarmRecord:
     download_count: int
     download_mean: float
     download_hist: Tuple[int, ...]
+    #: ``"ok"`` for a completed swarm, ``"failed"`` for one whose retries
+    #: were exhausted and which degraded to a placeholder record.  The
+    #: trailing defaults keep schema-1 log lines (which predate the
+    #: fields) parsing unchanged.
+    status: str = "ok"
+    error: str = ""
+    attempts: int = 0
 
     def key(self) -> Tuple:
         return astuple(self)
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
 
 
 #: Identity-keyed memo of Theorem-1 verdicts.  ``SystemParameters`` holds a
@@ -167,6 +178,45 @@ def record_from_result(
     )
 
 
+def failure_record(
+    task: SwarmTask, spec: FleetSpec, error: str, attempts: int
+) -> FleetSwarmRecord:
+    """The schema-versioned ``failed`` placeholder for an exhausted swarm.
+
+    Carries the task's full parameter point and theory verdict (both are
+    pure functions of the spec) next to zeroed empirical fields, so a
+    degraded fleet still reports *which* point failed and why — graceful
+    degradation, never silent loss.  ``empirical="failed"`` keeps the
+    record out of every capture statistic (``captured=False``, 0 events).
+    """
+    empty_hist = (0,) * (len(TIME_BIN_EDGES) + 1)
+    return FleetSwarmRecord(
+        index=task.index,
+        scenario=task.scenario_label,
+        arrival_rate=task.params.lambda_total,
+        seed_rate=task.params.seed_rate,
+        peer_rate=task.params.peer_rate,
+        seed_departure_rate=task.params.seed_departure_rate,
+        theory=theory_verdict(task),
+        empirical="failed",
+        captured=False,
+        final_population=0,
+        final_one_club=0,
+        final_seeds=0,
+        events=0,
+        horizon_reached=False,
+        sojourn_count=0,
+        sojourn_mean=0.0,
+        sojourn_hist=empty_hist,
+        download_count=0,
+        download_mean=0.0,
+        download_hist=empty_hist,
+        status="failed",
+        error=error,
+        attempts=attempts,
+    )
+
+
 @dataclass
 class _ScenarioCensus:
     """Per-scenario incremental tallies."""
@@ -190,6 +240,7 @@ class FleetResult:
     records: List[FleetSwarmRecord] = field(default_factory=list)
     complete: bool = False
     captured_count: int = 0
+    failed_count: int = 0
     total_events: int = 0
     confusion: Dict[Tuple[str, str], int] = field(default_factory=dict)
     per_scenario: Dict[str, _ScenarioCensus] = field(default_factory=dict)
@@ -207,6 +258,7 @@ class FleetResult:
             )
         self.records.append(record)
         self.captured_count += int(record.captured)
+        self.failed_count += int(record.failed)
         self.total_events += record.events
         pair = (record.theory, record.empirical)
         self.confusion[pair] = self.confusion.get(pair, 0) + 1
@@ -231,22 +283,40 @@ class FleetResult:
         return result
 
     @classmethod
-    def from_log(cls, path, max_records: "int | None" = None) -> "FleetResult":
+    def from_log(
+        cls, path, max_records: "int | None" = None, strict: bool = True
+    ) -> "FleetResult":
         """Rebuild the census of a (possibly still running) JSONL fleet log.
 
         Reads the log written by :class:`repro.fleet.persistence.FleetLogWriter`
-        — tolerating a truncated tail line — and replays its records, so the
+        — following closed segments and compacted census snapshots, and
+        tolerating a truncated tail line — and replays its records, so the
         reconstruction equals the census the run streamed incrementally.
         ``max_records`` truncates the replay (e.g. to a checkpoint's
-        ``num_records``).
+        ``num_records``).  ``strict=False`` salvages a damaged log: records
+        that fail their checksum are skipped with a warning and the replay
+        folds the longest index-contiguous prefix of what survived.
         """
         # Local import: persistence imports FleetSwarmRecord from this module.
         from .persistence import read_log
 
-        log = read_log(path, max_records=max_records)
-        return cls.from_records(
-            log.header.spec_name, log.header.num_swarms, list(log.records)
-        )
+        log = read_log(path, max_records=max_records, strict=strict)
+        records: List[FleetSwarmRecord] = []
+        for record in log.records:
+            if record.index != len(records):
+                if strict:
+                    break  # from_records would raise; keep the prefix contract
+                import warnings
+
+                warnings.warn(
+                    f"fleet log {path}: record index jumped from "
+                    f"{len(records)} to {record.index}; replay stops at the "
+                    f"contiguous prefix",
+                    stacklevel=2,
+                )
+                break
+            records.append(record)
+        return cls.from_records(log.header.spec_name, log.header.num_swarms, records)
 
     # -- aggregates ----------------------------------------------------------
 
@@ -255,6 +325,10 @@ class FleetResult:
         if not self.records:
             return 0.0
         return self.captured_count / len(self.records)
+
+    def failures(self) -> List[FleetSwarmRecord]:
+        """The ``failed`` placeholder records (exhausted-retry swarms)."""
+        return [record for record in self.records if record.failed]
 
     def mean_sojourn_time(self) -> float:
         """Departure-weighted mean sojourn time across the fleet."""
@@ -294,10 +368,11 @@ class FleetResult:
 
     def report(self) -> str:
         """Multi-table human-readable fleet summary."""
+        failed = f", {self.failed_count} failed" if self.failed_count else ""
         lines = [
             f"fleet {self.spec_name!r}: {len(self.records)}/{self.num_swarms} "
             f"swarms, one-club prevalence {self.prevalence():.1%}, "
-            f"{self.total_events} events",
+            f"{self.total_events} events{failed}",
         ]
         scenario_rows = [
             (
@@ -337,6 +412,7 @@ __all__ = [
     "FleetResult",
     "FleetSwarmRecord",
     "TIME_BIN_EDGES",
+    "failure_record",
     "record_from_result",
     "theory_verdict",
 ]

@@ -53,8 +53,14 @@ from .checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from .faults import FaultPlan, FaultState, fire_task_faults
 from .persistence import FLEET_LOG_SCHEMA, FleetLogHeader, FleetLogWriter, read_log
-from .result import FleetResult, FleetSwarmRecord, record_from_result
+from .result import (
+    FleetResult,
+    FleetSwarmRecord,
+    failure_record,
+    record_from_result,
+)
 from .spec import FleetSpec, SwarmTask, materialize_tasks, normalize_fleet_seed
 
 
@@ -72,9 +78,12 @@ def _run_swarm_task(
     task: SwarmTask,
     suspend_after_events: Optional[int] = None,
     snapshot: Optional[Dict[str, Any]] = None,
+    faults: Optional[FaultPlan] = None,
+    attempt: int = 0,
 ):
     """Run (or resume) one swarm; returns a record, or a kernel snapshot
     when the run suspended at ``suspend_after_events``."""
+    fire_task_faults(faults, task.index, attempt)
     simulator = _build_simulator(spec, task)
     run_kwargs = dict(
         sample_interval=spec.sample_interval,
@@ -101,10 +110,19 @@ def _run_swarm_task(
     return record_from_result(task, spec, result)
 
 
-def _run_fleet_chunk(job) -> List[FleetSwarmRecord]:
-    """Top-level pool worker: run one chunk of consecutive swarms."""
-    spec, tasks = job
-    return [_run_swarm_task(spec, task) for task in tasks]
+def _run_fleet_chunk(job, attempt: int = 0) -> List[FleetSwarmRecord]:
+    """Top-level pool worker: run one chunk of consecutive swarms.
+
+    ``job`` is ``(spec, tasks, fault_plan)``; the plan (``None`` in
+    production) fires planned task faults keyed on ``(swarm index,
+    attempt)``, so a retried chunk deterministically clears its one-shot
+    failures while poison tasks keep failing.
+    """
+    spec, tasks, plan = job
+    return [
+        _run_swarm_task(spec, task, faults=plan, attempt=attempt)
+        for task in tasks
+    ]
 
 
 def _run_stacked_task(
@@ -112,6 +130,8 @@ def _run_stacked_task(
     task: SwarmTask,
     suspend_after_events: Optional[int] = None,
     snapshot: Optional[Dict[str, Any]] = None,
+    faults: Optional[FaultPlan] = None,
+    attempt: int = 0,
 ):
     """Stacked-path twin of :func:`_run_swarm_task`: one-lane stack.
 
@@ -120,6 +140,7 @@ def _run_stacked_task(
     """
     from ..swarm.stacked import StackedSwarmKernel
 
+    fire_task_faults(faults, task.index, attempt)
     stack = StackedSwarmKernel()
     stack.add_lane(
         task.params,
@@ -148,7 +169,7 @@ def _run_stacked_task(
     return record_from_result(task, spec, result)
 
 
-def _run_stacked_chunk(job) -> List[FleetSwarmRecord]:
+def _run_stacked_chunk(job, attempt: int = 0) -> List[FleetSwarmRecord]:
     """Top-level pool worker: run one chunk of swarms in one stacked kernel.
 
     Every lane's trajectory is bit-identical to the solo kernel on the same
@@ -157,7 +178,12 @@ def _run_stacked_chunk(job) -> List[FleetSwarmRecord]:
     """
     from ..swarm.stacked import StackedSwarmKernel
 
-    spec, tasks = job
+    spec, tasks, plan = job
+    for task in tasks:
+        # The stack runs all lanes together, so planned faults fire up
+        # front — a crash/error takes the whole chunk, as it would when a
+        # real worker process dies mid-stack.
+        fire_task_faults(plan, task.index, attempt)
     stack = StackedSwarmKernel()
     for task in tasks:
         stack.add_lane(
@@ -229,6 +255,12 @@ class PersistentFleetExecution:
         log_path: Optional[Union[str, Path]],
         fsync_every_n: int = 1,
         stacked: bool = False,
+        max_retries: int = 0,
+        task_timeout: Optional[float] = None,
+        retry_backoff: float = 0.0,
+        rotate_every: Optional[int] = None,
+        compact_after: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -236,6 +268,31 @@ class PersistentFleetExecution:
             raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
         if fsync_every_n < 1:
             raise ValueError(f"fsync_every_n must be >= 1, got {fsync_every_n}")
+        if rotate_every is not None and rotate_every < 1:
+            raise ValueError(f"rotate_every must be >= 1, got {rotate_every}")
+        if compact_after is not None and compact_after < 1:
+            raise ValueError(f"compact_after must be >= 1, got {compact_after}")
+        if isinstance(max_retries, bool) or not isinstance(max_retries, int) or (
+            max_retries < 0
+        ):
+            raise unsupported_option(
+                "fleet execution", "max_retries", max_retries,
+                "retries are a bounded non-negative count; pass 0 to "
+                "disable supervised retry",
+            )
+        if task_timeout is not None and (
+            isinstance(task_timeout, bool) or task_timeout <= 0
+        ):
+            raise unsupported_option(
+                "fleet execution", "task_timeout", task_timeout,
+                "the per-task deadline is seconds of wall clock and must "
+                "be positive; pass None to disable it",
+            )
+        if retry_backoff < 0:
+            raise unsupported_option(
+                "fleet execution", "retry_backoff", retry_backoff,
+                "the retry backoff is seconds and must be >= 0",
+            )
         self.workers = workers
         self.fsync_every_n = fsync_every_n
         self.chunk_size = chunk_size or _default_chunk_size(
@@ -243,6 +300,14 @@ class PersistentFleetExecution:
         )
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.checkpoint_every = checkpoint_every
+        self.max_retries = max_retries
+        self.task_timeout = task_timeout
+        self.retry_backoff = retry_backoff
+        self.rotate_every = rotate_every
+        self.compact_after = compact_after
+        self.fault_plan = fault_plan
+        self._fault_state = FaultState(fault_plan) if fault_plan is not None else None
+        self._supervised = max_retries > 0 or task_timeout is not None
         if log_path is not None:
             self.log_path: Optional[Path] = Path(log_path)
         elif self.checkpoint_path is not None:
@@ -255,7 +320,7 @@ class PersistentFleetExecution:
         raise NotImplementedError
 
     def _open_writer(
-        self, seed: SeedLike, resume_offset: Optional[int]
+        self, seed: SeedLike, checkpoint: Optional[FleetCheckpoint] = None
     ) -> Optional[FleetLogWriter]:
         if self.log_path is None:
             return None
@@ -265,11 +330,25 @@ class PersistentFleetExecution:
             num_swarms=self._swarm_target(),
             seed=seed,
         )
+        if checkpoint is None:
+            return FleetLogWriter(
+                self.log_path,
+                header,
+                fsync_every_n=self.fsync_every_n,
+                rotate_every=self.rotate_every,
+                compact_after=self.compact_after,
+                faults=self._fault_state,
+            )
         return FleetLogWriter(
             self.log_path,
             header,
-            resume_offset=resume_offset,
+            resume_offset=checkpoint.log_offset,
             fsync_every_n=self.fsync_every_n,
+            rotate_every=self.rotate_every,
+            compact_after=self.compact_after,
+            resume_segment=checkpoint.log_segment,
+            resume_records=checkpoint.num_records,
+            faults=self._fault_state,
         )
 
     @staticmethod
@@ -285,6 +364,7 @@ class PersistentFleetExecution:
         seed: SeedLike,
         writer: Optional[FleetLogWriter],
         in_flight: Optional[Tuple[int, Dict[str, Any]]],
+        fresh: bool = False,
     ) -> None:
         if self.checkpoint_path is None:
             return
@@ -300,9 +380,77 @@ class PersistentFleetExecution:
                 num_records=len(result.records),
                 log_name=writer.path.name,
                 log_offset=writer.offset,
+                log_segment=writer.segment,
                 in_flight=in_flight,
             ),
+            faults=self._fault_state,
+            # The first checkpoint of a fresh run must also clear any stale
+            # backup a *previous* run left, or a later corruption could fall
+            # back to unrelated state.
+            keep_previous=not fresh,
         )
+
+    def _map_chunks(self, run_chunk, run_task, chunks):
+        """Map chunk jobs over the workers, supervised when configured.
+
+        Unsupervised (the default) this is a straight :func:`map_tasks`
+        call — byte-for-byte the historical execution path.  Supervised,
+        chunk failures are retried with backoff by the runner; a chunk
+        whose retries are exhausted is *quarantined*: re-run in-process
+        one task at a time, so one poison swarm costs only its own record
+        (degraded to a ``failed`` record), never its chunk-mates.
+        """
+        from ..experiments.runner import TaskFailure, map_tasks
+
+        if not self._supervised:
+            yield from map_tasks(run_chunk, chunks, self.workers)
+            return
+        outcomes = map_tasks(
+            run_chunk,
+            chunks,
+            self.workers,
+            task_timeout=self.task_timeout,
+            max_retries=self.max_retries,
+            retry_backoff=self.retry_backoff,
+            on_exhausted="yield",
+            with_attempt=True,
+        )
+        for outcome in outcomes:
+            if isinstance(outcome, TaskFailure):
+                _spec, chunk_tasks, plan = chunks[outcome.task_index]
+                yield self._quarantine_chunk(run_task, _spec, chunk_tasks, plan)
+            else:
+                yield outcome
+
+    def _quarantine_chunk(self, run_task, spec, tasks, plan):
+        """In-process fallback for a chunk that exhausted its retries.
+
+        Each swarm gets its own fresh attempts; one that still cannot
+        finish degrades to a schema-versioned ``failed`` record (with the
+        final error and attempt count) instead of poisoning the run.
+        """
+        records: List[FleetSwarmRecord] = []
+        for task in tasks:
+            outcome = None
+            last_error: Optional[BaseException] = None
+            for attempt in range(self.max_retries + 1):
+                try:
+                    outcome = run_task(spec, task, faults=plan, attempt=attempt)
+                    break
+                except Exception as error:  # noqa: BLE001 — quarantine boundary
+                    last_error = error
+            if outcome is None:
+                records.append(
+                    failure_record(
+                        task,
+                        spec,
+                        error=f"{type(last_error).__name__}: {last_error}",
+                        attempts=self.max_retries + 1,
+                    )
+                )
+            else:
+                records.append(outcome)
+        return records
 
 
 class FleetScheduler(PersistentFleetExecution):
@@ -337,6 +485,23 @@ class FleetScheduler(PersistentFleetExecution):
         checkpoint snapshot — is bit-identical to the per-swarm path;
         only throughput changes.  Requires the ``"array"`` backend and
         ``num_pieces <= 64`` for every swarm.
+    max_retries / task_timeout / retry_backoff:
+        Worker supervision (see :func:`repro.experiments.runner.map_tasks`):
+        any non-default value switches to the supervised pool, which
+        detects dead workers, respawns them, retries failed chunks with
+        deterministic backoff, and quarantines chunks that keep failing —
+        one poison swarm degrades to a ``failed`` record instead of
+        taking the run down.  Retried swarms reproduce their exact
+        records (per-swarm seeds are independent ``SeedSequence.spawn``
+        children), so fingerprints are unchanged.
+    rotate_every / compact_after:
+        Log segmentation (see :mod:`repro.fleet.persistence`): rotate the
+        active log file into a numbered closed segment every that many
+        records, and compact closed segments into one census snapshot
+        once that many have accumulated.  Resume stays exact across both.
+    fault_plan:
+        A :class:`~repro.fleet.faults.FaultPlan` of injected failures for
+        chaos testing; ``None`` (the default) costs nothing.
     """
 
     def __init__(
@@ -349,6 +514,12 @@ class FleetScheduler(PersistentFleetExecution):
         log_path: Optional[Union[str, Path]] = None,
         fsync_every_n: int = 1,
         stacked: bool = False,
+        max_retries: int = 0,
+        task_timeout: Optional[float] = None,
+        retry_backoff: float = 0.0,
+        rotate_every: Optional[int] = None,
+        compact_after: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if stacked and spec.backend != "array":
             raise unsupported_option(
@@ -367,6 +538,12 @@ class FleetScheduler(PersistentFleetExecution):
             log_path,
             fsync_every_n,
             stacked,
+            max_retries=max_retries,
+            task_timeout=task_timeout,
+            retry_backoff=retry_backoff,
+            rotate_every=rotate_every,
+            compact_after=compact_after,
+            fault_plan=fault_plan,
         )
 
     def _swarm_target(self) -> int:
@@ -405,7 +582,7 @@ class FleetScheduler(PersistentFleetExecution):
         seed = normalize_fleet_seed(seed)
         tasks = materialize_tasks(self.spec, seed)
         result = FleetResult(spec_name=self.spec.name, num_swarms=self.spec.num_swarms)
-        writer = self._open_writer(seed, resume_offset=None)
+        writer = self._open_writer(seed)
         return self._execute(
             tasks,
             result,
@@ -414,6 +591,7 @@ class FleetScheduler(PersistentFleetExecution):
             in_flight=None,
             stop_after_swarms=stop_after_swarms,
             suspend_after_events=suspend_after_events,
+            fresh=True,
         )
 
     def resume(self, checkpoint_path: Optional[Union[str, Path]] = None) -> FleetResult:
@@ -446,9 +624,7 @@ class FleetScheduler(PersistentFleetExecution):
         result = FleetResult.from_records(
             self.spec.name, self.spec.num_swarms, list(log.records)
         )
-        writer = self._open_writer(
-            checkpoint.seed, resume_offset=checkpoint.log_offset
-        )
+        writer = self._open_writer(checkpoint.seed, checkpoint=checkpoint)
         return self._execute(
             tasks,
             result,
@@ -468,12 +644,18 @@ class FleetScheduler(PersistentFleetExecution):
         checkpoint_every: int = 1,
         fsync_every_n: int = 1,
         stacked: bool = False,
+        max_retries: int = 0,
+        task_timeout: Optional[float] = None,
+        retry_backoff: float = 0.0,
+        rotate_every: Optional[int] = None,
+        compact_after: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> "FleetScheduler":
         """Build a scheduler around the spec stored in a checkpoint.
 
-        ``stacked`` is an execution property, not part of the spec: a fleet
-        checkpointed by either path resumes (bit-identically) through the
-        other.
+        ``stacked`` (like the supervision and log-layout knobs) is an
+        execution property, not part of the spec: a fleet checkpointed by
+        either path resumes (bit-identically) through the other.
         """
         checkpoint = load_checkpoint(checkpoint_path)
         return cls(
@@ -484,6 +666,12 @@ class FleetScheduler(PersistentFleetExecution):
             checkpoint_every=checkpoint_every,
             fsync_every_n=fsync_every_n,
             stacked=stacked,
+            max_retries=max_retries,
+            task_timeout=task_timeout,
+            retry_backoff=retry_backoff,
+            rotate_every=rotate_every,
+            compact_after=compact_after,
+            fault_plan=fault_plan,
         )
 
     # -- core ---------------------------------------------------------------
@@ -497,12 +685,8 @@ class FleetScheduler(PersistentFleetExecution):
         in_flight: Optional[Tuple[int, Dict[str, Any]]],
         stop_after_swarms: Optional[int],
         suspend_after_events: Optional[int],
+        fresh: bool = False,
     ) -> FleetResult:
-        # Deferred: repro.experiments.fleet (the phase-diagram experiment)
-        # sits on top of this module, so a module-level import of the
-        # experiments package here would be circular.
-        from ..experiments.runner import map_tasks
-
         spec = self.spec
         if self.stacked:
             for task in tasks:
@@ -510,6 +694,12 @@ class FleetScheduler(PersistentFleetExecution):
         run_task = _run_stacked_task if self.stacked else _run_swarm_task
         run_chunk = _run_stacked_chunk if self.stacked else _run_fleet_chunk
         try:
+            if fresh:
+                # An initial checkpoint pins the (spec, seed) pair on disk
+                # before any work: a crash at any later point can resume.
+                self._write_checkpoint(
+                    result, seed, writer, in_flight=None, fresh=True
+                )
             if in_flight is not None:
                 index, snapshot = in_flight
                 outcome = run_task(spec, tasks[index], snapshot=snapshot)
@@ -522,11 +712,11 @@ class FleetScheduler(PersistentFleetExecution):
                 target = min(target, max(stop_after_swarms, done))
             to_run = tasks[done:target]
             chunks = [
-                (spec, to_run[start : start + self.chunk_size])
+                (spec, to_run[start : start + self.chunk_size], self.fault_plan)
                 for start in range(0, len(to_run), self.chunk_size)
             ]
             since_checkpoint = 0
-            for records in map_tasks(run_chunk, chunks, self.workers):
+            for records in self._map_chunks(run_chunk, run_task, chunks):
                 for record in records:
                     result.add(record)
                 self._append(writer, records)
@@ -574,6 +764,12 @@ def run_fleet(
     suspend_after_events: Optional[int] = None,
     fsync_every_n: int = 1,
     stacked: bool = False,
+    max_retries: int = 0,
+    task_timeout: Optional[float] = None,
+    retry_backoff: float = 0.0,
+    rotate_every: Optional[int] = None,
+    compact_after: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> FleetResult:
     """One-call fleet execution (see :class:`FleetScheduler`).
 
@@ -596,6 +792,12 @@ def run_fleet(
         log_path=log_path,
         fsync_every_n=fsync_every_n,
         stacked=stacked,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+        retry_backoff=retry_backoff,
+        rotate_every=rotate_every,
+        compact_after=compact_after,
+        fault_plan=fault_plan,
     )
     return scheduler.run(
         seed=seed,
@@ -611,6 +813,12 @@ def resume_fleet(
     checkpoint_every: int = 1,
     fsync_every_n: int = 1,
     stacked: bool = False,
+    max_retries: int = 0,
+    task_timeout: Optional[float] = None,
+    retry_backoff: float = 0.0,
+    rotate_every: Optional[int] = None,
+    compact_after: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> FleetResult:
     """Resume a checkpointed fleet to completion (see :class:`FleetScheduler`)."""
     scheduler = FleetScheduler.from_checkpoint(
@@ -620,6 +828,12 @@ def resume_fleet(
         checkpoint_every=checkpoint_every,
         fsync_every_n=fsync_every_n,
         stacked=stacked,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+        retry_backoff=retry_backoff,
+        rotate_every=rotate_every,
+        compact_after=compact_after,
+        fault_plan=fault_plan,
     )
     return scheduler.resume()
 

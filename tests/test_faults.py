@@ -1,0 +1,593 @@
+"""Fault-tolerance tests: supervision, chaos recovery, durable persistence.
+
+The acceptance criteria of the robustness PR:
+
+* under an injected :class:`~repro.fleet.faults.FaultPlan` (worker kills
+  mid-chunk, torn tail appends, corrupted checkpoint bytes) a fleet and an
+  adaptive fleet both recover automatically — by supervised retry or by
+  resume — to the *exact* uninterrupted fingerprint at workers 1, 2 and 4;
+* a real ``kill -9`` (the subprocess harness SIGKILLs a running fleet at a
+  planned log record) resumes exactly;
+* a log rotated and compacted mid-run rebuilds the same ``FleetResult``
+  via ``FleetResult.from_log``;
+* a poison swarm degrades to a ``failed`` record without poisoning its
+  chunk-mates, and salvage mode recovers what a corrupted log still holds.
+
+The ``chaos``-named tests double as the CI chaos smoke step
+(``pytest tests/test_faults.py -k chaos``).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import (
+    TaskFailure,
+    map_tasks,
+)
+from repro.fleet import (
+    AdaptiveFleetSpec,
+    FaultPlan,
+    FleetLogWriter,
+    FleetResult,
+    FleetScheduler,
+    FleetSpec,
+    InjectedCheckpointCrash,
+    InjectedTornWrite,
+    RandomSampler,
+    ScenarioWeight,
+    compact_log,
+    read_log,
+    resume_adaptive_fleet,
+    resume_fleet,
+    run_adaptive_fleet,
+    run_fleet,
+)
+from repro.fleet.checkpoint import (
+    FleetCheckpoint,
+    backup_path,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.fleet.faults import FaultState, corrupt_file_bytes
+from repro.fleet.persistence import FleetLogError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+MIXED = (
+    ScenarioWeight.of(None, weight=2.0),
+    ScenarioWeight.of("free-rider", weight=1.0, leech_fraction=0.7),
+)
+
+
+def small_spec(num_swarms=12, **overrides) -> FleetSpec:
+    defaults = dict(
+        name="fault-fleet",
+        num_swarms=num_swarms,
+        sampler=RandomSampler.of({"arrival_rate": (0.8, 3.0)}, num_pieces=5),
+        scenario_mix=MIXED,
+        horizon=6.0,
+        max_events=150,
+        backend="array",
+        initial_club_size=10,
+    )
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+def tiny_adaptive_spec(**overrides) -> AdaptiveFleetSpec:
+    defaults = dict(
+        name="fault-adaptive",
+        arrival_rates=(0.8, 1.6, 2.4),
+        seed_rates=(0.5,),
+        scenario_mix=MIXED,
+        num_pieces=5,
+        swarm_budget=12,
+        round_size=6,
+        horizon=6.0,
+        max_events=150,
+        initial_club_size=10,
+        backend="array",
+    )
+    defaults.update(overrides)
+    return AdaptiveFleetSpec(**defaults)
+
+
+# -- the fault plan itself ----------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_plan_is_deterministic(self):
+        a = FaultPlan.plan(7, 20, worker_crashes=2, torn_appends=1, task_errors=3)
+        b = FaultPlan.plan(7, 20, worker_crashes=2, torn_appends=1, task_errors=3)
+        assert a == b
+        assert len(a.worker_crashes) == 2
+        assert len(a.task_errors) == 3
+
+    def test_plan_checkpoint_ordinals_skip_the_initial_checkpoint(self):
+        plan = FaultPlan.plan(3, 10, corrupt_checkpoints=4, checkpoint_crashes=4)
+        assert all(ordinal >= 1 for ordinal in plan.corrupt_checkpoints)
+        assert all(ordinal >= 1 for ordinal in plan.checkpoint_crashes)
+
+    def test_entries_are_sorted_and_validated(self):
+        plan = FaultPlan(task_errors=(5, 1, 3))
+        assert plan.task_errors == (1, 3, 5)
+        with pytest.raises(ValueError, match="must be >= 0"):
+            FaultPlan(worker_crashes=(-1,))
+        with pytest.raises(ValueError, match="stall_seconds"):
+            FaultPlan(stall_seconds=0.0)
+
+    def test_empty_property(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(torn_appends=(0,)).empty
+
+    def test_writer_faults_fire_once(self):
+        state = FaultState(FaultPlan(torn_appends=(2,), failed_fsyncs=(3,)))
+        assert not state.take_torn_append(1)
+        assert state.take_torn_append(2)
+        assert not state.take_torn_append(2)  # once per process lifetime
+        assert not state.take_failed_fsync(2)
+        assert state.take_failed_fsync(5)  # smallest unfired key <= total
+        assert not state.take_failed_fsync(9)
+
+
+# -- map_tasks supervision ----------------------------------------------------
+
+
+def _flaky_task(task, attempt):
+    value, failures_needed = task
+    if attempt < failures_needed:
+        raise RuntimeError(f"planned failure for {value} at attempt {attempt}")
+    return value * value
+
+
+def _crashing_task(task, attempt):
+    value, crashes = task
+    if crashes and attempt == 0:
+        os._exit(173)
+    return value + 100
+
+
+def _stalling_task(task, attempt):
+    value, stalls = task
+    if stalls and attempt == 0:
+        time.sleep(60.0)
+    return value * 2
+
+
+class TestSupervisedMapTasks:
+    def test_serial_retry_recovers_flaky_tasks(self):
+        tasks = [(0, 0), (1, 2), (2, 1)]
+        out = list(map_tasks(_flaky_task, tasks, None, max_retries=2,
+                             with_attempt=True))
+        assert out == [0, 1, 4]
+
+    def test_exhausted_retries_yield_task_failure_in_position(self):
+        tasks = [(0, 0), (1, 99), (2, 0)]  # task 1 fails every attempt
+        out = list(map_tasks(_flaky_task, tasks, None, max_retries=1,
+                             on_exhausted="yield", with_attempt=True))
+        assert out[0] == 0 and out[2] == 4
+        failure = out[1]
+        assert isinstance(failure, TaskFailure)
+        assert failure.task_index == 1
+        assert failure.attempts == 2
+        assert "planned failure" in failure.error
+
+    def test_exhausted_retries_raise_by_default(self):
+        with pytest.raises(RuntimeError, match="planned failure"):
+            list(map_tasks(_flaky_task, [(0, 99)], None, max_retries=1,
+                           with_attempt=True))
+
+    def test_pool_survives_worker_crash(self):
+        tasks = [(i, i == 2) for i in range(6)]  # task 2 kills its worker once
+        out = list(map_tasks(_crashing_task, tasks, 2, max_retries=2,
+                             with_attempt=True))
+        assert out == [100, 101, 102, 103, 104, 105]
+
+    def test_pool_times_out_stalled_task_and_retries(self):
+        tasks = [(i, i == 1) for i in range(4)]  # task 1 stalls on attempt 0
+        started = time.monotonic()
+        out = list(map_tasks(_stalling_task, tasks, 2, task_timeout=1.0,
+                             max_retries=1, with_attempt=True))
+        assert out == [0, 2, 4, 6]
+        assert time.monotonic() - started < 30.0  # far below the 60 s stall
+
+    def test_supervision_options_validated(self):
+        with pytest.raises(ValueError, match="does not support"):
+            list(map_tasks(_flaky_task, [(0, 0)], None, max_retries=-1))
+        with pytest.raises(ValueError, match="does not support"):
+            list(map_tasks(_flaky_task, [(0, 0)], None, task_timeout=0))
+        with pytest.raises(ValueError, match="does not support"):
+            list(map_tasks(_flaky_task, [(0, 0)], None, retry_backoff=-0.5))
+        with pytest.raises(ValueError, match="on_exhausted"):
+            list(map_tasks(_flaky_task, [(0, 0)], None, on_exhausted="bogus"))
+
+    def test_fleet_layer_validates_supervision_options(self):
+        with pytest.raises(ValueError, match="does not support"):
+            FleetScheduler(small_spec(), max_retries=-3)
+        with pytest.raises(ValueError, match="does not support"):
+            FleetScheduler(small_spec(), task_timeout=0.0)
+        with pytest.raises(ValueError, match="does not support"):
+            run_fleet(small_spec(), retry_backoff=-1.0)
+
+
+# -- chaos: automatic recovery to exact fingerprints --------------------------
+
+
+class TestChaosRecovery:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_chaos_fleet_recovers_from_crashes_and_errors(self, workers):
+        """Worker kills + task errors under supervision: exact fingerprint."""
+        spec = small_spec()
+        clean = run_fleet(spec, seed=42).fingerprint()
+        plan = FaultPlan(worker_crashes=(3, 8), task_errors=(5,))
+        faulty = run_fleet(
+            spec, seed=42, workers=workers, chunk_size=2,
+            max_retries=2, fault_plan=plan,
+        )
+        assert faulty.failed_count == 0
+        assert faulty.fingerprint() == clean
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_chaos_adaptive_fleet_recovers_from_crashes(self, workers):
+        spec = tiny_adaptive_spec()
+        clean = run_adaptive_fleet(spec, seed=9).fingerprint()
+        plan = FaultPlan(worker_crashes=(2,), task_errors=(7,))
+        faulty = run_adaptive_fleet(
+            spec, seed=9, workers=workers, chunk_size=2,
+            max_retries=2, fault_plan=plan,
+        )
+        assert faulty.fleet.failed_count == 0
+        assert faulty.fingerprint() == clean
+
+    def test_chaos_smoke_two_kills_torn_append_corrupt_checkpoint(self, tmp_path):
+        """The CI chaos scenario: 2 worker kills + 1 torn append + corrupted
+        checkpoint bytes; the resumed run equals the uninterrupted one."""
+        spec = small_spec()
+        clean = run_fleet(spec, seed=5).fingerprint()
+        checkpoint = tmp_path / "chaos-cp"
+        plan = FaultPlan(worker_crashes=(1, 5), torn_appends=(9,))
+        with pytest.raises(InjectedTornWrite):
+            run_fleet(
+                spec, seed=5, workers=2, chunk_size=2, max_retries=2,
+                checkpoint_path=checkpoint, fault_plan=plan,
+            )
+        # Bit-rot the checkpoint the crash left behind; resume must fall
+        # back to the .bak copy and still converge to the exact result.
+        corrupt_file_bytes(checkpoint)
+        with pytest.warns(UserWarning, match="falling back"):
+            resumed = resume_fleet(checkpoint, workers=2, max_retries=2)
+        assert resumed.complete
+        assert resumed.fingerprint() == clean
+
+    def test_chaos_poison_task_quarantined_as_failed_record(self):
+        """A swarm that fails every attempt degrades to one `failed` record
+        without contaminating its chunk-mates."""
+        spec = small_spec()
+        clean = run_fleet(spec, seed=13)
+        plan = FaultPlan(poison_tasks=(4,))
+        degraded = run_fleet(
+            spec, seed=13, chunk_size=3, max_retries=1, fault_plan=plan
+        )
+        assert degraded.complete
+        assert degraded.failed_count == 1
+        failures = degraded.failures()
+        assert len(failures) == 1
+        failed = failures[0]
+        assert failed.index == 4
+        assert failed.status == "failed"
+        assert failed.empirical == "failed"
+        assert not failed.captured
+        assert "injected poison" in failed.error
+        assert failed.attempts == 2
+        for position, record in enumerate(degraded.records):
+            if position != 4:
+                assert record == clean.records[position]
+
+    def test_chaos_failed_fsync_aborts_then_resume_is_exact(self, tmp_path):
+        spec = small_spec()
+        clean = run_fleet(spec, seed=21).fingerprint()
+        checkpoint = tmp_path / "fsync-cp"
+        plan = FaultPlan(failed_fsyncs=(7,))
+        with pytest.raises(Exception, match="injected fsync failure"):
+            run_fleet(
+                spec, seed=21, chunk_size=2, checkpoint_path=checkpoint,
+                fault_plan=plan,
+            )
+        resumed = resume_fleet(checkpoint)
+        assert resumed.complete
+        assert resumed.fingerprint() == clean
+
+
+# -- chaos: real SIGKILL subprocess harness -----------------------------------
+
+
+_KILL_FLEET_CHILD = """
+import sys
+from repro.fleet import FaultPlan, run_fleet
+sys.path.insert(0, {tests_dir!r})
+from test_faults import small_spec
+
+plan = FaultPlan(kill_points=(7,))
+run_fleet(small_spec(), seed=11, checkpoint_path=sys.argv[1],
+          checkpoint_every=1, chunk_size=2, rotate_every=3, fault_plan=plan)
+raise SystemExit("kill point did not fire")
+"""
+
+_KILL_ADAPTIVE_CHILD = """
+import sys
+from repro.fleet import FaultPlan, run_adaptive_fleet
+sys.path.insert(0, {tests_dir!r})
+from test_faults import tiny_adaptive_spec
+
+plan = FaultPlan(kill_points=(7,))
+run_adaptive_fleet(tiny_adaptive_spec(), seed=17, checkpoint_path=sys.argv[1],
+                   checkpoint_every=1, chunk_size=2, fault_plan=plan)
+raise SystemExit("kill point did not fire")
+"""
+
+
+def _run_killed_child(script: str, checkpoint: Path) -> None:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    script = script.format(tests_dir=str(REPO_ROOT / "tests"))
+    proc = subprocess.run(
+        [sys.executable, "-c", script, str(checkpoint)],
+        env=env,
+        cwd=str(REPO_ROOT),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        timeout=300,
+    )
+    assert proc.returncode == -signal.SIGKILL, (
+        f"child exited with {proc.returncode} instead of SIGKILL: "
+        f"{proc.stderr.decode(errors='replace')[-2000:]}"
+    )
+
+
+class TestChaosSigkill:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_chaos_sigkill_fleet_resume_matches_uninterrupted(
+        self, tmp_path, workers
+    ):
+        checkpoint = tmp_path / "cp"
+        _run_killed_child(_KILL_FLEET_CHILD, checkpoint)
+        resumed = resume_fleet(checkpoint, workers=workers, rotate_every=3)
+        clean = run_fleet(small_spec(), seed=11)
+        assert resumed.complete
+        assert resumed.fingerprint() == clean.fingerprint()
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_chaos_sigkill_adaptive_resume_matches_uninterrupted(
+        self, tmp_path, workers
+    ):
+        checkpoint = tmp_path / "cp"
+        _run_killed_child(_KILL_ADAPTIVE_CHILD, checkpoint)
+        resumed = resume_adaptive_fleet(checkpoint, workers=workers)
+        clean = run_adaptive_fleet(tiny_adaptive_spec(), seed=17)
+        assert resumed.fingerprint() == clean.fingerprint()
+
+
+# -- durable checkpoints ------------------------------------------------------
+
+
+def _checkpoint(num_records: int) -> FleetCheckpoint:
+    return FleetCheckpoint(
+        spec="spec-token",
+        seed=1,
+        num_records=num_records,
+        log_name="log.jsonl",
+        log_offset=10 * num_records,
+    )
+
+
+class TestCrashAtomicCheckpoints:
+    def test_kill_during_checkpoint_write_preserves_previous(self, tmp_path):
+        path = tmp_path / "cp"
+        save_checkpoint(path, _checkpoint(1))
+        state = FaultState(FaultPlan(checkpoint_crashes=(1,)))
+        state.next_checkpoint_ordinal()  # ordinal 0 was the initial write
+        with pytest.raises(InjectedCheckpointCrash):
+            save_checkpoint(path, _checkpoint(2), faults=state)
+        # The crash died after a partial temp file; the primary survives.
+        assert load_checkpoint(path).num_records == 1
+        # And a later write over the leftover temp file works.
+        save_checkpoint(path, _checkpoint(3))
+        assert load_checkpoint(path).num_records == 3
+
+    def test_corrupt_primary_falls_back_to_backup(self, tmp_path):
+        path = tmp_path / "cp"
+        save_checkpoint(path, _checkpoint(1))
+        save_checkpoint(path, _checkpoint(2))
+        assert backup_path(path).exists()
+        corrupt_file_bytes(path)
+        with pytest.warns(UserWarning, match="falling back"):
+            loaded = load_checkpoint(path)
+        assert loaded.num_records == 1
+
+    def test_corrupt_primary_without_backup_raises(self, tmp_path):
+        path = tmp_path / "cp"
+        save_checkpoint(path, _checkpoint(1), keep_previous=False)
+        corrupt_file_bytes(path)
+        with pytest.raises(Exception):
+            load_checkpoint(path)
+
+    def test_fresh_run_initial_checkpoint_clears_stale_backup(self, tmp_path):
+        path = tmp_path / "cp"
+        save_checkpoint(path, _checkpoint(1))
+        save_checkpoint(path, _checkpoint(2))  # leaves a .bak of 1
+        save_checkpoint(path, _checkpoint(0), keep_previous=False)
+        assert not backup_path(path).exists()
+        assert load_checkpoint(path).num_records == 0
+
+    def test_planned_corruption_is_caught_on_load(self, tmp_path):
+        path = tmp_path / "cp"
+        save_checkpoint(path, _checkpoint(1))
+        state = FaultState(FaultPlan(corrupt_checkpoints=(1,)))
+        state.next_checkpoint_ordinal()
+        save_checkpoint(path, _checkpoint(2), faults=state)  # then corrupted
+        with pytest.warns(UserWarning, match="falling back"):
+            loaded = load_checkpoint(path)
+        assert loaded.num_records == 1
+
+
+# -- rotation, compaction, salvage --------------------------------------------
+
+
+class TestRotationAndCompaction:
+    def test_rotated_log_rebuilds_same_result(self, tmp_path):
+        spec = small_spec()
+        log = tmp_path / "fleet.jsonl"
+        result = run_fleet(spec, seed=2, log_path=log, rotate_every=4)
+        segments = sorted(tmp_path.glob("fleet.jsonl.seg*"))
+        assert len(segments) >= 2
+        rebuilt = FleetResult.from_log(log)
+        assert rebuilt.fingerprint() == result.fingerprint()
+
+    def test_auto_compaction_is_lossless(self, tmp_path):
+        spec = small_spec()
+        log = tmp_path / "fleet.jsonl"
+        result = run_fleet(
+            spec, seed=2, log_path=log, rotate_every=3, compact_after=2
+        )
+        assert (tmp_path / "fleet.jsonl.compact").exists()
+        rebuilt = FleetResult.from_log(log)
+        assert rebuilt.fingerprint() == result.fingerprint()
+
+    def test_explicit_compact_log_merges_all_segments(self, tmp_path):
+        spec = small_spec()
+        log = tmp_path / "fleet.jsonl"
+        result = run_fleet(spec, seed=4, log_path=log, rotate_every=3)
+        merged = compact_log(log)
+        assert merged >= 9  # at least the closed segments' records
+        assert not list(tmp_path.glob("fleet.jsonl.seg*"))
+        rebuilt = FleetResult.from_log(log)
+        assert rebuilt.fingerprint() == result.fingerprint()
+        assert compact_log(log) == 0  # idempotent: nothing left to merge
+
+    def test_resume_across_rotation_is_exact(self, tmp_path):
+        spec = small_spec()
+        clean = run_fleet(spec, seed=6).fingerprint()
+        checkpoint = tmp_path / "cp"
+        partial = run_fleet(
+            spec, seed=6, chunk_size=2, checkpoint_path=checkpoint,
+            rotate_every=3, stop_after_swarms=7,
+        )
+        assert not partial.complete
+        resumed = resume_fleet(checkpoint, rotate_every=3)
+        assert resumed.complete
+        assert resumed.fingerprint() == clean
+
+    def test_resume_across_rotation_and_compaction_is_exact(self, tmp_path):
+        spec = small_spec()
+        clean = run_fleet(spec, seed=6).fingerprint()
+        checkpoint = tmp_path / "cp"
+        run_fleet(
+            spec, seed=6, chunk_size=2, checkpoint_path=checkpoint,
+            rotate_every=2, compact_after=2, stop_after_swarms=7,
+        )
+        resumed = resume_fleet(checkpoint, rotate_every=2, compact_after=2)
+        assert resumed.complete
+        assert resumed.fingerprint() == clean
+
+    def test_resume_after_checkpointed_segment_was_compacted(self, tmp_path):
+        """The slow resume path: the checkpointed segment no longer exists,
+        so the prefix is rebuilt from the census snapshot by record count."""
+        spec = small_spec(num_swarms=8)
+        reference_log = tmp_path / "ref.jsonl"
+        result = run_fleet(spec, seed=3, log_path=reference_log)
+        full = read_log(reference_log)
+        log = tmp_path / "rot.jsonl"
+        with FleetLogWriter(
+            log, full.header, rotate_every=2, compact_after=1
+        ) as writer:
+            writer.append(list(full.records))
+        # Every closed segment was folded into the census snapshot; a
+        # checkpoint pointing into segment 0 can only resume by count.
+        resumed_writer = FleetLogWriter(
+            log, full.header,
+            resume_offset=999_999,  # meaningless once the segment is gone
+            resume_segment=0,
+            resume_records=2,
+        )
+        prefix = read_log(log)
+        assert [record.index for record in prefix.records] == [0, 1]
+        resumed_writer.append(list(full.records[2:]))
+        resumed_writer.close()
+        rebuilt = FleetResult.from_log(log)
+        assert rebuilt.fingerprint() == result.fingerprint()
+
+    def test_adaptive_resume_across_rotation(self, tmp_path):
+        spec = tiny_adaptive_spec()
+        clean = run_adaptive_fleet(spec, seed=8).fingerprint()
+        checkpoint = tmp_path / "cp"
+        run_adaptive_fleet(
+            spec, seed=8, chunk_size=2, checkpoint_path=checkpoint,
+            rotate_every=3, stop_after_swarms=7,
+        )
+        resumed = resume_adaptive_fleet(checkpoint, rotate_every=3)
+        assert resumed.fingerprint() == clean
+
+
+class TestSalvageMode:
+    def _corrupt_record_line(self, log: Path, record_index: int) -> None:
+        """Flip a payload value of one record line without breaking its
+        JSON, so only the CRC32 checksum can tell it changed."""
+        lines = log.read_bytes().split(b"\n")
+        line_number = 1 + record_index  # line 0 is the header
+        payload = json.loads(lines[line_number])
+        payload["events"] = payload["events"] + 1
+        lines[line_number] = json.dumps(payload, sort_keys=True).encode()
+        log.write_bytes(b"\n".join(lines))
+
+    def test_strict_read_rejects_checksum_mismatch(self, tmp_path):
+        spec = small_spec(num_swarms=8)
+        log = tmp_path / "fleet.jsonl"
+        run_fleet(spec, seed=1, log_path=log)
+        self._corrupt_record_line(log, 3)
+        with pytest.raises(FleetLogError, match="CRC32"):
+            read_log(log)
+
+    def test_salvage_skips_corrupt_interior_records(self, tmp_path):
+        spec = small_spec(num_swarms=8)
+        log = tmp_path / "fleet.jsonl"
+        run_fleet(spec, seed=1, log_path=log)
+        self._corrupt_record_line(log, 3)
+        with pytest.warns(UserWarning, match="checksum"):
+            salvaged = read_log(log, strict=False)
+        assert salvaged.salvaged == 1
+        assert [record.index for record in salvaged.records] == [
+            0, 1, 2, 4, 5, 6, 7,
+        ]
+
+    def test_from_log_salvage_keeps_contiguous_prefix(self, tmp_path):
+        spec = small_spec(num_swarms=8)
+        log = tmp_path / "fleet.jsonl"
+        run_fleet(spec, seed=1, log_path=log)
+        self._corrupt_record_line(log, 3)
+        with pytest.warns(UserWarning):
+            rebuilt = FleetResult.from_log(log, strict=False)
+        assert len(rebuilt.records) == 3  # the prefix before the bad line
+
+    def test_undecodable_interior_line_is_salvaged_too(self, tmp_path):
+        spec = small_spec(num_swarms=8)
+        log = tmp_path / "fleet.jsonl"
+        run_fleet(spec, seed=1, log_path=log)
+        lines = log.read_bytes().split(b"\n")
+        lines[2] = b"\x00\xff garbage \xfe"
+        log.write_bytes(b"\n".join(lines))
+        with pytest.raises(FleetLogError, match="corrupt"):
+            read_log(log)
+        with pytest.warns(UserWarning, match="corrupt"):
+            salvaged = read_log(log, strict=False)
+        assert salvaged.salvaged == 1
+        assert [record.index for record in salvaged.records] == [
+            0, 2, 3, 4, 5, 6, 7,
+        ]
